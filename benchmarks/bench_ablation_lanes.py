@@ -1,0 +1,35 @@
+"""Benchmark E-A2: lane count / lane width design-space sweep (Section 5.1).
+
+"The width and number of lanes are adjustable parameters in the design.  They
+can be adjusted at design-time of the SoC to meet the flexibility and
+bandwidth requirements of the aimed applications."  The sweep reports the
+area / clock-frequency / concurrency trade-off around the published design
+point (4 lanes × 4 bits).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import lane_parameter_sweep
+from repro.experiments.report import format_table
+
+
+def test_lane_parameter_sweep(once):
+    rows = once(lane_parameter_sweep)
+
+    by_point = {(r["lanes_per_port"], r["lane_width_bits"]): r for r in rows}
+    default = by_point[(4, 4)]
+    assert default["total_area_mm2"] == pytest.approx(0.0506, rel=0.05)
+    assert default["config_memory_bits"] == 100
+
+    # Scaling sanity: area grows with both knobs, clock drops with more lanes,
+    # concurrency (streams per link) equals the lane count.
+    assert by_point[(8, 4)]["total_area_mm2"] > default["total_area_mm2"] > by_point[(2, 4)]["total_area_mm2"]
+    assert by_point[(4, 8)]["total_area_mm2"] > default["total_area_mm2"] > by_point[(4, 2)]["total_area_mm2"]
+    assert by_point[(8, 4)]["max_frequency_mhz"] < by_point[(2, 4)]["max_frequency_mhz"]
+    assert all(r["concurrent_streams_per_link"] == r["lanes_per_port"] for r in rows)
+
+    print()
+    print("Lane geometry design-space sweep (circuit-switched router):")
+    print(format_table(rows, precision=3))

@@ -1,0 +1,35 @@
+"""Extension benchmark: technology scaling of the circuit/packet comparison.
+
+The paper evaluates both routers in 0.13 µm.  This study re-runs the
+Scenario IV power experiment and the synthesis model at scaled nodes (90 nm,
+65 nm) to show that the circuit-switched advantage is structural — it follows
+from removing buffers and arbitration, not from a property of one process
+generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import technology_scaling_study
+from repro.experiments.report import format_table
+
+
+def test_technology_scaling_study(once):
+    rows = once(technology_scaling_study, cycles=3000)
+
+    baseline = rows[0]
+    assert baseline["node_nm"] == 130.0
+    assert baseline["area_ratio"] == pytest.approx(3.56, abs=0.3)
+
+    for row in rows:
+        # The advantage persists at every node.
+        assert row["power_ratio"] > 2.5
+        assert row["area_ratio"] == pytest.approx(baseline["area_ratio"], rel=0.05)
+    # Scaling down shrinks area and speeds the clock up.
+    assert rows[-1]["cs_area_mm2"] < baseline["cs_area_mm2"]
+    assert rows[-1]["cs_fmax_mhz"] > baseline["cs_fmax_mhz"]
+
+    print()
+    print("Technology scaling study (Scenario IV, 25 MHz operating point):")
+    print(format_table(rows, precision=3))

@@ -1,0 +1,34 @@
+"""Benchmark E-F10: regenerate Figure 10 (dynamic power vs. data bit flips).
+
+The paper's conclusions checked here: bit flips have only a minor influence on
+the dynamic power; the number of concurrent streams matters more; the
+packet-switched router pays an extra arbitration/control penalty when two
+streams collide on one output port (the Scenario IV / East collision).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure10
+from repro.experiments.harness import DEFAULT_CYCLES
+
+
+def test_figure10_reproduction(once):
+    data = once(figure10.reproduce_figure10, cycles=DEFAULT_CYCLES)
+
+    assert all(data.checks.values()), data.checks
+
+    for (router, scenario), values in data.series.items():
+        spread = max(values.values()) / min(values.values())
+        assert spread < 1.5, (router, scenario, values)
+        assert values[100] >= values[0] * 0.999
+
+    # The packet-switched router sits well above the circuit-switched one for
+    # every scenario and flip rate (the Figure 10 band separation).
+    for scenario in ("I", "II", "III", "IV"):
+        for flip in (0, 50, 100):
+            cs = data.series[("circuit_switched", scenario)][flip]
+            ps = data.series[("packet_switched", scenario)][flip]
+            assert ps > 2.5 * cs
+
+    print()
+    print(figure10.format_report(data))

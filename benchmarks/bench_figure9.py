@@ -1,0 +1,32 @@
+"""Benchmark E-F9: regenerate Figure 9 (power per scenario, both routers).
+
+Paper operating point: 25 MHz clock, random data (50 % bit flips), 100 % load,
+200 µs of simulated time (5000 cycles, 2 kB transported per stream).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure9
+from repro.experiments.harness import DEFAULT_CYCLES
+
+
+def test_figure9_reproduction(once):
+    data = once(figure9.reproduce_figure9, cycles=DEFAULT_CYCLES)
+
+    # Headline claim: ≈3.5x less power for the circuit-switched router.
+    assert data.mean_power_ratio == pytest.approx(3.5, abs=0.6)
+    for scenario, ratio in data.power_ratio_by_scenario.items():
+        assert 2.5 <= ratio <= 4.5, (scenario, ratio)
+
+    # Qualitative structure of the bars (Section 7.3).
+    assert all(data.checks.values()), data.checks
+    by_key = {(row["router"], row["scenario"]): row for row in data.rows}
+    for router in ("circuit_switched", "packet_switched"):
+        totals = [by_key[(router, s)]["total_uw"] for s in ("I", "II", "III", "IV")]
+        assert totals == sorted(totals)  # more streams, more power
+        assert by_key[(router, "I")]["static_uw"] < 0.15 * by_key[(router, "I")]["total_uw"]
+
+    print()
+    print(figure9.format_report(data))

@@ -1,0 +1,17 @@
+"""Benchmark E-T1: regenerate Table 1 (HiperLAN/2 communication requirements)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table1
+from repro.experiments.paper_data import TABLE1_PAPER_MBPS
+
+
+def test_table1_reproduction(once):
+    """Table 1 must be reproduced exactly (it is derived, not fitted)."""
+    measured = once(table1.measured_values)
+    for key, reference in TABLE1_PAPER_MBPS.items():
+        assert measured[key] == pytest.approx(reference), key
+    print()
+    print(table1.format_report())

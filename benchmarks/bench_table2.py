@@ -1,0 +1,18 @@
+"""Benchmark E-T2: regenerate Table 2 (UMTS communication requirements)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table2
+from repro.experiments.paper_data import TABLE2_PAPER_MBPS, TABLE2_PAPER_TOTAL_MBPS
+
+
+def test_table2_reproduction(once):
+    """Table 2 must be reproduced exactly; the 4-finger example lands at ≈320 Mbit/s."""
+    measured = once(table2.measured_values)
+    for key, reference in TABLE2_PAPER_MBPS.items():
+        assert measured[key] == pytest.approx(reference), key
+    assert table2.measured_total_mbps() == pytest.approx(TABLE2_PAPER_TOTAL_MBPS, rel=0.02)
+    print()
+    print(table2.format_report())

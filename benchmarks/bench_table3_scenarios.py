@@ -1,0 +1,29 @@
+"""Benchmark E-T3: regenerate Table 3 / Fig. 8 (streams and traffic scenarios).
+
+Beyond reproducing the definitions, the benchmark runs every scenario on both
+routers at the paper's operating point and checks that the offered traffic is
+actually delivered — the precondition for the Figure 9/10 power numbers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import scenarios
+
+
+def test_table3_stream_and_scenario_definitions(once):
+    rows = once(scenarios.table3_rows)
+    assert len(rows) == 3
+    composition = {row["scenario"]: row["concurrent_streams"] for row in scenarios.scenario_rows()}
+    assert composition == {"I": 0, "II": 1, "III": 2, "IV": 3}
+    collisions = {row["scenario"]: row["streams_on_busiest_port"] for row in scenarios.collision_analysis()}
+    assert collisions["IV"] == 2  # streams 1 and 3 share output East
+    print()
+    print(scenarios.format_report())
+
+
+def test_scenarios_deliver_traffic_on_both_routers(once):
+    results = once(scenarios.verify_scenarios, cycles=2500)
+    for kind, per_scenario in results.items():
+        assert all(per_scenario.values()), (kind, per_scenario)
+    print()
+    print("Traffic delivery check (both routers, all scenarios):", results)

@@ -1,0 +1,29 @@
+"""Benchmark E-T4: regenerate Table 4 (synthesis results of the three routers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table4
+from repro.experiments.paper_data import PAPER_AREA_RATIO, TABLE4_PAPER
+
+
+def test_table4_reproduction(once):
+    """Component areas, clock frequencies and link bandwidths of all three routers."""
+    measured = once(table4.measured_values)
+
+    for router, reference in TABLE4_PAPER.items():
+        assert measured[router]["total_area_mm2"] == pytest.approx(
+            reference["total_area_mm2"], rel=0.05
+        ), router
+        assert measured[router]["max_frequency_mhz"] == pytest.approx(
+            reference["max_frequency_mhz"], rel=0.05
+        ), router
+        assert measured[router]["link_bandwidth_gbps"] == pytest.approx(
+            reference["link_bandwidth_gbps"], rel=0.05
+        ), router
+
+    ratio = table4.measured_area_ratio()
+    assert ratio == pytest.approx(PAPER_AREA_RATIO, abs=0.4)
+    print()
+    print(table4.format_report())

@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one published artefact (table or figure) of the
+paper and asserts its headline claim.  The simulations are deterministic, so a
+single round per benchmark is sufficient and keeps the whole suite fast; the
+``benchmark`` fixture still reports the wall-clock cost of regenerating each
+artefact, which is useful when profiling the simulator itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run *function* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapper around :func:`run_once` (``once(fn, *args)``)."""
+
+    def runner(function, *args, **kwargs):
+        return run_once(benchmark, function, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs (``bdist_wheel``) are unavailable.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (or plain
+``pip install -e .`` on newer toolchains) fall back to the legacy develop
+mode.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""Application-domain models: the wireless standards that motivate the NoC.
+
+The paper derives its router requirements from the communication behaviour of
+three wireless baseband applications (Section 3): HiperLAN/2 (block-based
+OFDM, Table 1), UMTS W-CDMA (streaming rake receiver, Table 2) and Digital
+Radio Mondiale (HiperLAN/2-like, three orders of magnitude lower rates).
+This package models all three as Kahn-process-network style graphs whose edge
+bandwidths are *derived* from the standards' parameters, plus the synthetic
+traffic patterns and scenarios used for the router power benchmarks
+(Section 6, Table 3).
+"""
+
+from repro.apps.kpn import Channel, Process, ProcessGraph, TileType, TrafficClass
+from repro.apps.traffic import (
+    SCENARIOS,
+    TABLE3_STREAMS,
+    BitFlipPattern,
+    Scenario,
+    StreamSpec,
+    measure_flip_rate,
+    scenario_by_name,
+    word_generator,
+)
+from repro.apps import hiperlan2, umts, drm
+
+__all__ = [
+    "Channel",
+    "Process",
+    "ProcessGraph",
+    "TileType",
+    "TrafficClass",
+    "SCENARIOS",
+    "TABLE3_STREAMS",
+    "BitFlipPattern",
+    "Scenario",
+    "StreamSpec",
+    "measure_flip_rate",
+    "scenario_by_name",
+    "word_generator",
+    "hiperlan2",
+    "umts",
+    "drm",
+]

@@ -1,0 +1,76 @@
+"""Digital Radio Mondiale (DRM) receiver model (Section 3).
+
+"The block diagram of DRM is similar to HiperLAN/2, but the communication
+requirements are a factor 1000 less compared to HiperLAN/2."  DRM is also an
+OFDM system, but with very long symbols (robustness mode B uses ≈26.66 ms
+symbols versus HiperLAN/2's 4 µs) and far fewer carriers per unit time, which
+is where the three-orders-of-magnitude difference comes from.
+
+We model DRM exactly the way the paper treats it: the same receiver chain as
+HiperLAN/2 with every guaranteed-throughput bandwidth scaled down by 1000.
+The resulting kbit/s-range channels are what stretches the NoC requirement
+space from "several kbit/s (DRM) up to more than 0.5 Gbit/s (HiperLAN/2)"
+(Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.apps.hiperlan2 import Hiperlan2Parameters, edge_bandwidths_mbps as _hl2_edges
+from repro.apps.kpn import Channel, ProcessGraph, TrafficClass
+from repro.apps import hiperlan2 as _hiperlan2
+
+__all__ = ["DrmParameters", "edge_bandwidths_mbps", "build_process_graph"]
+
+#: The factor the paper quotes between HiperLAN/2 and DRM communication load.
+DRM_SCALE_FACTOR = 1000.0
+
+
+@dataclass(frozen=True)
+class DrmParameters:
+    """DRM receiver parameters expressed relative to the HiperLAN/2 chain."""
+
+    scale_factor: float = DRM_SCALE_FACTOR
+    modulation: str = "QAM-64"  # DRM uses up to 64-QAM on its data carriers
+
+    def __post_init__(self) -> None:
+        if self.scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+
+    @property
+    def reference(self) -> Hiperlan2Parameters:
+        """The HiperLAN/2 parameter set the scaling is applied to."""
+        return Hiperlan2Parameters(modulation=self.modulation)
+
+
+def edge_bandwidths_mbps(params: DrmParameters = DrmParameters()) -> Dict[str, float]:
+    """Per-edge bandwidths of the DRM receiver (HiperLAN/2 edges divided by 1000)."""
+    return {
+        name: bandwidth / params.scale_factor
+        for name, bandwidth in _hl2_edges(params.reference).items()
+    }
+
+
+def build_process_graph(params: DrmParameters = DrmParameters()) -> ProcessGraph:
+    """The DRM receiver as a process graph (same topology, scaled bandwidths)."""
+    reference = _hiperlan2.build_process_graph(params.reference)
+    graph = ProcessGraph(f"drm_{params.modulation.lower()}")
+    for process in reference.processes:
+        graph.add_process(process)
+    for channel in reference.channels:
+        scale = 1.0 if channel.traffic_class == TrafficClass.BEST_EFFORT else params.scale_factor
+        graph.add_channel(
+            Channel(
+                name=channel.name,
+                src=channel.src,
+                dst=channel.dst,
+                bandwidth_mbps=channel.bandwidth_mbps / scale,
+                traffic_class=channel.traffic_class,
+                block_size_words=channel.block_size_words,
+                word_bits=channel.word_bits,
+            )
+        )
+    graph.validate()
+    return graph

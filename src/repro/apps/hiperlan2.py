@@ -1,0 +1,183 @@
+"""HiperLAN/2 baseband processing model (Section 3.1, Fig. 2, Table 1).
+
+The physical layer of HiperLAN/2 is OFDM based: samples are grouped into
+OFDM symbols of 80 samples (64-point FFT plus a 16-sample cyclic prefix) and
+one symbol must be processed every 4 µs.  The receiver chain of Fig. 2
+(serial-to-parallel, frequency-offset correction, prefix removal, FFT, phase
+offset correction, channel equalisation, de-mapping, synchronisation &
+control) communicates complex baseband samples quantised to 16 bits per I/Q
+component — 32 bits per complex sample — which is exactly what reproduces the
+Table 1 bandwidths:
+
+=============================  ======================================  =========
+edge                            derivation                              Mbit/s
+=============================  ======================================  =========
+S/P → prefix removal            80 samples × 32 bit / 4 µs              640
+prefix removal → FFT            64 samples × 32 bit / 4 µs              512
+FFT → channel equalisation      52 carriers × 32 bit / 4 µs             416
+channel equalisation → de-map   48 carriers × 32 bit / 4 µs             384
+hard bits                       48 carriers × bits/carrier / 4 µs       12…72
+=============================  ======================================  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.apps.kpn import Channel, Process, ProcessGraph, TileType, TrafficClass
+
+__all__ = [
+    "Hiperlan2Parameters",
+    "MODULATION_BITS",
+    "edge_bandwidths_mbps",
+    "table1_rows",
+    "build_process_graph",
+    "ofdm_symbol_stream",
+]
+
+#: Bits per sub-carrier for the modulation schemes of the standard.
+MODULATION_BITS: Dict[str, int] = {
+    "BPSK": 1,
+    "QPSK": 2,
+    "QAM-16": 4,
+    "QAM-64": 6,
+}
+
+
+@dataclass(frozen=True)
+class Hiperlan2Parameters:
+    """Physical-layer parameters of the HiperLAN/2 OFDM receiver."""
+
+    symbol_period_us: float = 4.0
+    samples_per_symbol: int = 80
+    cyclic_prefix_samples: int = 16
+    fft_size: int = 64
+    used_subcarriers: int = 52
+    data_subcarriers: int = 48
+    bits_per_iq_component: int = 16
+    modulation: str = "BPSK"
+
+    def __post_init__(self) -> None:
+        if self.modulation not in MODULATION_BITS:
+            raise ValueError(
+                f"unknown modulation {self.modulation!r}; choose from {sorted(MODULATION_BITS)}"
+            )
+        if self.samples_per_symbol != self.fft_size + self.cyclic_prefix_samples:
+            raise ValueError("samples_per_symbol must equal fft_size + cyclic prefix")
+
+    @property
+    def bits_per_complex_sample(self) -> int:
+        """Bits of one complex baseband sample (16-bit I + 16-bit Q)."""
+        return 2 * self.bits_per_iq_component
+
+    @property
+    def symbol_rate_hz(self) -> float:
+        """OFDM symbols per second (one every 4 µs)."""
+        return 1e6 / self.symbol_period_us
+
+    @property
+    def sample_rate_msps(self) -> float:
+        """Complex baseband sample rate in Msample/s (20 for HiperLAN/2)."""
+        return self.samples_per_symbol / self.symbol_period_us
+
+    @property
+    def hard_bit_rate_mbps(self) -> float:
+        """Demapped hard-bit rate for the configured modulation."""
+        bits = MODULATION_BITS[self.modulation]
+        return self.data_subcarriers * bits / self.symbol_period_us
+
+    def samples_to_mbps(self, samples_per_symbol: int) -> float:
+        """Bandwidth of a stream carrying *samples_per_symbol* complex samples per symbol."""
+        return samples_per_symbol * self.bits_per_complex_sample / self.symbol_period_us
+
+
+def edge_bandwidths_mbps(params: Hiperlan2Parameters = Hiperlan2Parameters()) -> Dict[str, float]:
+    """The per-edge bandwidth requirements of Table 1 (derived, not hard-coded)."""
+    return {
+        "sp_to_prefix_removal": params.samples_to_mbps(params.samples_per_symbol),
+        "prefix_removal_to_fft": params.samples_to_mbps(params.fft_size),
+        "fft_to_channel_eq": params.samples_to_mbps(params.used_subcarriers),
+        "channel_eq_to_demap": params.samples_to_mbps(params.data_subcarriers),
+        "hard_bits": params.hard_bit_rate_mbps,
+    }
+
+
+def table1_rows(params: Hiperlan2Parameters = Hiperlan2Parameters()) -> List[Dict[str, object]]:
+    """The rows of Table 1 in presentation order."""
+    bandwidths = edge_bandwidths_mbps(params)
+    low = Hiperlan2Parameters(modulation="BPSK")
+    high = Hiperlan2Parameters(modulation="QAM-64")
+    return [
+        {"edge": "S/P -> Pre-fix removal", "streams": "1-2", "bandwidth_mbps": bandwidths["sp_to_prefix_removal"]},
+        {"edge": "Pre-fix removal -> FFT", "streams": "3-4", "bandwidth_mbps": bandwidths["prefix_removal_to_fft"]},
+        {"edge": "FFT -> Channel eq.", "streams": "5-6", "bandwidth_mbps": bandwidths["fft_to_channel_eq"]},
+        {"edge": "Channel eq. -> De-map", "streams": "7", "bandwidth_mbps": bandwidths["channel_eq_to_demap"]},
+        {
+            "edge": "Hard bits",
+            "streams": "8",
+            "bandwidth_mbps": low.hard_bit_rate_mbps,
+            "bandwidth_mbps_max": high.hard_bit_rate_mbps,
+        },
+    ]
+
+
+def build_process_graph(params: Hiperlan2Parameters = Hiperlan2Parameters()) -> ProcessGraph:
+    """The HiperLAN/2 receiver as a process graph ready for CCN mapping (Fig. 2)."""
+    graph = ProcessGraph(f"hiperlan2_{params.modulation.lower()}")
+    dsp_like = frozenset({TileType.DSP, TileType.DSRH, TileType.FPGA})
+    asic_like = frozenset({TileType.ASIC, TileType.DSRH, TileType.FPGA})
+
+    graph.add_process(Process("serial_to_parallel", asic_like, "sample grouping into OFDM symbols"))
+    graph.add_process(Process("frequency_offset", dsp_like, "frequency offset correction"))
+    graph.add_process(Process("prefix_removal", asic_like, "cyclic prefix removal"))
+    graph.add_process(Process("fft", dsp_like, "64-point FFT"))
+    graph.add_process(Process("phase_offset", dsp_like, "phase offset correction"))
+    graph.add_process(Process("channel_equalization", dsp_like, "per-carrier equalisation"))
+    graph.add_process(Process("demapping", dsp_like, "soft/hard bit demapping"))
+    graph.add_process(Process("synchronization", frozenset({TileType.GPP, TileType.DSP}), "synchronisation & control"))
+
+    bandwidths = edge_bandwidths_mbps(params)
+    samples_block = params.samples_per_symbol
+    fft_block = params.fft_size
+    used_block = params.used_subcarriers
+    data_block = params.data_subcarriers
+
+    graph.add_channel(Channel("e1_sp_to_freq", "serial_to_parallel", "frequency_offset",
+                              bandwidths["sp_to_prefix_removal"], block_size_words=samples_block * 2))
+    graph.add_channel(Channel("e2_freq_to_prefix", "frequency_offset", "prefix_removal",
+                              bandwidths["sp_to_prefix_removal"], block_size_words=samples_block * 2))
+    graph.add_channel(Channel("e3_prefix_to_fft", "prefix_removal", "fft",
+                              bandwidths["prefix_removal_to_fft"], block_size_words=fft_block * 2))
+    graph.add_channel(Channel("e4_fft_to_phase", "fft", "phase_offset",
+                              bandwidths["fft_to_channel_eq"], block_size_words=used_block * 2))
+    graph.add_channel(Channel("e5_phase_to_eq", "phase_offset", "channel_equalization",
+                              bandwidths["fft_to_channel_eq"], block_size_words=used_block * 2))
+    graph.add_channel(Channel("e6_eq_to_demap", "channel_equalization", "demapping",
+                              bandwidths["channel_eq_to_demap"], block_size_words=data_block * 2))
+    graph.add_channel(Channel("e7_hard_bits", "demapping", "synchronization",
+                              bandwidths["hard_bits"], block_size_words=None))
+    graph.add_channel(Channel("e8_control", "synchronization", "frequency_offset",
+                              1.0, traffic_class=TrafficClass.BEST_EFFORT, block_size_words=None))
+    graph.validate()
+    return graph
+
+
+def ofdm_symbol_stream(
+    params: Hiperlan2Parameters = Hiperlan2Parameters(),
+    symbols: int = 1,
+    seed: int = 0,
+) -> Iterator[List[int]]:
+    """Generate OFDM symbols as blocks of 16-bit words (I and Q interleaved).
+
+    The block-based character of this stream (80 complex samples arriving
+    back-to-back every 4 µs) is the reason HiperLAN/2 can use block-mode
+    communication on the NoC (Section 3.3).
+    """
+    rng = np.random.default_rng(seed)
+    words_per_symbol = params.samples_per_symbol * 2
+    for _ in range(symbols):
+        block = rng.integers(0, 1 << params.bits_per_iq_component, size=words_per_symbol)
+        yield [int(w) for w in block]

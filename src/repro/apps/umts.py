@@ -1,0 +1,240 @@
+"""UMTS W-CDMA rake-receiver model (Section 3.2, Fig. 3, Table 2).
+
+The UMTS downlink receiver is streaming oriented: at the 3.84 Mchip/s chip
+rate, every chip (8-bit I + 8-bit Q = 16 bits) must be forwarded to the
+de-scrambling/de-spreading fingers as soon as it arrives — "at a regular
+short interval a very small packet, containing 1 sample, has to be
+transported to the successive processor".  The Table 2 bandwidths follow
+directly from the chip rate, the quantisation and the spreading factor:
+
+===========================  ===========================================  ==========
+edge                          derivation                                   Mbit/s
+===========================  ===========================================  ==========
+chips (per finger)            3.84 Mchip/s × 16 bit                        61.44
+scrambling code               3.84 Mchip/s × 2 bit                         7.68
+MRC coefficient (per finger)  (3.84/SF) Msym/s × 16 bit                    61.44/SF
+received bits                 (3.84/SF) Msym/s × 2 bit (QPSK)              7.68/SF
+                              (3.84/SF) Msym/s × 4 bit (QAM-16)            15.36/SF
+===========================  ===========================================  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.apps.kpn import Channel, Process, ProcessGraph, TileType, TrafficClass
+
+__all__ = [
+    "UmtsParameters",
+    "UMTS_MODULATION_BITS",
+    "edge_bandwidths_mbps",
+    "table2_rows",
+    "total_bandwidth_mbps",
+    "build_process_graph",
+    "chip_stream",
+]
+
+#: Bits per symbol of the downlink modulation schemes quoted in Table 2.
+UMTS_MODULATION_BITS: Dict[str, int] = {
+    "QPSK": 2,
+    "QAM-16": 4,
+}
+
+
+@dataclass(frozen=True)
+class UmtsParameters:
+    """Parameters of the W-CDMA downlink receiver."""
+
+    chip_rate_mcps: float = 3.84
+    bits_per_chip_component: int = 8
+    spreading_factor: int = 4
+    rake_fingers: int = 4
+    modulation: str = "QPSK"
+    scrambling_bits_per_chip: int = 2
+
+    def __post_init__(self) -> None:
+        if self.modulation not in UMTS_MODULATION_BITS:
+            raise ValueError(
+                f"unknown modulation {self.modulation!r}; choose from {sorted(UMTS_MODULATION_BITS)}"
+            )
+        if self.spreading_factor < 1:
+            raise ValueError("spreading factor must be at least 1")
+        if self.rake_fingers < 1:
+            raise ValueError("a rake receiver needs at least one finger")
+
+    @property
+    def bits_per_chip(self) -> int:
+        """Bits per complex chip (8-bit I + 8-bit Q)."""
+        return 2 * self.bits_per_chip_component
+
+    @property
+    def symbol_rate_msps(self) -> float:
+        """Post-despreading symbol rate in Msymbol/s."""
+        return self.chip_rate_mcps / self.spreading_factor
+
+    @property
+    def chip_bandwidth_mbps(self) -> float:
+        """Chip stream bandwidth per finger (Table 2 edge 2)."""
+        return self.chip_rate_mcps * self.bits_per_chip
+
+    @property
+    def scrambling_bandwidth_mbps(self) -> float:
+        """Scrambling-code bandwidth (Table 2 edge 3)."""
+        return self.chip_rate_mcps * self.scrambling_bits_per_chip
+
+    @property
+    def mrc_bandwidth_mbps(self) -> float:
+        """Maximal-ratio-combining coefficient bandwidth per finger (Table 2 edge 4)."""
+        return self.symbol_rate_msps * self.bits_per_chip
+
+    @property
+    def received_bits_mbps(self) -> float:
+        """Hard-bit bandwidth after demapping (Table 2 edge 5)."""
+        return self.symbol_rate_msps * UMTS_MODULATION_BITS[self.modulation]
+
+
+def edge_bandwidths_mbps(params: UmtsParameters = UmtsParameters()) -> Dict[str, float]:
+    """The per-edge bandwidths of Table 2 (derived, not hard-coded)."""
+    return {
+        "chips_per_finger": params.chip_bandwidth_mbps,
+        "scrambling_code": params.scrambling_bandwidth_mbps,
+        "mrc_coefficient_per_finger": params.mrc_bandwidth_mbps,
+        "received_bits": params.received_bits_mbps,
+    }
+
+
+def table2_rows(params: UmtsParameters = UmtsParameters()) -> List[Dict[str, object]]:
+    """The rows of Table 2 in presentation order."""
+    qpsk = UmtsParameters(
+        chip_rate_mcps=params.chip_rate_mcps,
+        bits_per_chip_component=params.bits_per_chip_component,
+        spreading_factor=params.spreading_factor,
+        rake_fingers=params.rake_fingers,
+        modulation="QPSK",
+    )
+    qam16 = UmtsParameters(
+        chip_rate_mcps=params.chip_rate_mcps,
+        bits_per_chip_component=params.bits_per_chip_component,
+        spreading_factor=params.spreading_factor,
+        rake_fingers=params.rake_fingers,
+        modulation="QAM-16",
+    )
+    return [
+        {"edge": "Chips (per finger)", "number": 2, "bandwidth_mbps": params.chip_bandwidth_mbps},
+        {"edge": "Scrambling code", "number": 3, "bandwidth_mbps": params.scrambling_bandwidth_mbps},
+        {
+            "edge": "MRC coefficient (per finger)",
+            "number": 4,
+            "bandwidth_mbps": params.mrc_bandwidth_mbps,
+            "formula": f"61.44/SF (SF={params.spreading_factor})",
+        },
+        {
+            "edge": "Received bits",
+            "number": 5,
+            "bandwidth_mbps": qpsk.received_bits_mbps,
+            "bandwidth_mbps_qam16": qam16.received_bits_mbps,
+        },
+    ]
+
+
+def total_bandwidth_mbps(params: UmtsParameters = UmtsParameters()) -> float:
+    """Total receiver bandwidth (the paper's example: ≈320 Mbit/s for 4 fingers, SF 4)."""
+    return (
+        params.rake_fingers * params.chip_bandwidth_mbps
+        + params.scrambling_bandwidth_mbps
+        + params.rake_fingers * params.mrc_bandwidth_mbps
+        + params.received_bits_mbps
+    )
+
+
+def build_process_graph(params: UmtsParameters = UmtsParameters()) -> ProcessGraph:
+    """The flexible rake receiver of Fig. 3 as a process graph."""
+    graph = ProcessGraph(
+        f"umts_sf{params.spreading_factor}_f{params.rake_fingers}_{params.modulation.lower()}"
+    )
+    dsp_like = frozenset({TileType.DSP, TileType.DSRH, TileType.FPGA})
+    asic_like = frozenset({TileType.ASIC, TileType.DSRH})
+
+    graph.add_process(Process("pulse_shaping", asic_like, "root-raised-cosine pulse shaping"))
+    graph.add_process(Process("scrambling_generator", asic_like, "scrambling code generation"))
+    graph.add_process(Process("mrc", dsp_like, "maximal ratio combining"))
+    graph.add_process(Process("demapping", dsp_like, "symbol de-mapping"))
+    graph.add_process(
+        Process("control", frozenset({TileType.GPP, TileType.DSP}),
+                "cell searcher / path searcher / channel estimation")
+    )
+
+    bandwidths = edge_bandwidths_mbps(params)
+    for finger in range(1, params.rake_fingers + 1):
+        finger_name = f"finger_{finger}"
+        graph.add_process(Process(finger_name, dsp_like, "de-scrambling and de-spreading"))
+        graph.add_channel(
+            Channel(
+                f"chips_{finger}",
+                "pulse_shaping",
+                finger_name,
+                bandwidths["chips_per_finger"],
+                block_size_words=None,
+            )
+        )
+        graph.add_channel(
+            Channel(
+                f"scrambling_{finger}",
+                "scrambling_generator",
+                finger_name,
+                bandwidths["scrambling_code"],
+                block_size_words=None,
+            )
+        )
+        graph.add_channel(
+            Channel(
+                f"mrc_coeff_{finger}",
+                finger_name,
+                "mrc",
+                bandwidths["mrc_coefficient_per_finger"],
+                block_size_words=None,
+            )
+        )
+    graph.add_channel(
+        Channel("soft_symbols", "mrc", "demapping", bandwidths["received_bits"], block_size_words=None)
+    )
+    graph.add_channel(
+        Channel(
+            "control_feedback",
+            "control",
+            "mrc",
+            0.5,
+            traffic_class=TrafficClass.BEST_EFFORT,
+            block_size_words=None,
+        )
+    )
+    graph.add_channel(
+        Channel(
+            "control_observation",
+            "pulse_shaping",
+            "control",
+            1.0,
+            traffic_class=TrafficClass.BEST_EFFORT,
+            block_size_words=None,
+        )
+    )
+    graph.validate()
+    return graph
+
+
+def chip_stream(
+    params: UmtsParameters = UmtsParameters(),
+    chips: int = 256,
+    seed: int = 0,
+) -> Iterator[int]:
+    """Generate a 16-bit chip stream (8-bit I, 8-bit Q packed into one word).
+
+    The random chips have ≈50 % bit flips, which the paper notes is also the
+    toggle behaviour observed on edge 2 of the UMTS receiver (Section 7.2).
+    """
+    rng = np.random.default_rng(seed)
+    for value in rng.integers(0, 1 << params.bits_per_chip, size=chips):
+        yield int(value)

@@ -1,0 +1,58 @@
+"""The packet-switched baseline the paper compares against.
+
+This package implements a Kavaldjiev-style virtual-channel wormhole router
+(5 ports, 16-bit links, 4 VCs, credit flow control, XY routing) plus the
+literature reference constants of the Philips Æthereal router.  Together with
+:mod:`repro.core` it provides both columns of the paper's comparison.
+"""
+
+from repro.baseline.flit import (
+    FLIT_CONTROL_BITS,
+    FLIT_PAYLOAD_BITS,
+    Flit,
+    FlitType,
+    Packet,
+    depacketize,
+    packetize,
+    split_words,
+)
+from repro.baseline.buffer import VirtualChannelBuffer
+from repro.baseline.link import PacketLink
+from repro.baseline.routing import path_ports, route_distance, xy_route
+from repro.baseline.arbiter import RoundRobinArbiter
+from repro.baseline.vc import InputVcState, OutputVcAllocator
+from repro.baseline.router import PacketSwitchedRouter, PacketTileInterface
+from repro.baseline.aethereal import AETHEREAL, AetherealReference
+from repro.baseline.testbench import (
+    PacketStreamConsumer,
+    PacketStreamDriver,
+    TilePacketConsumer,
+    TilePacketDriver,
+)
+
+__all__ = [
+    "FLIT_CONTROL_BITS",
+    "FLIT_PAYLOAD_BITS",
+    "Flit",
+    "FlitType",
+    "Packet",
+    "depacketize",
+    "packetize",
+    "split_words",
+    "VirtualChannelBuffer",
+    "PacketLink",
+    "path_ports",
+    "route_distance",
+    "xy_route",
+    "RoundRobinArbiter",
+    "InputVcState",
+    "OutputVcAllocator",
+    "PacketSwitchedRouter",
+    "PacketTileInterface",
+    "AETHEREAL",
+    "AetherealReference",
+    "PacketStreamConsumer",
+    "PacketStreamDriver",
+    "TilePacketConsumer",
+    "TilePacketDriver",
+]

@@ -1,0 +1,62 @@
+"""Literature reference model of the Philips Æthereal router (Table 4, last column).
+
+The paper quotes the published synthesis/layout results of the Æthereal
+router (Dielissen et al., "Concepts and implementation of the Philips
+network-on-chip") for comparison: 6 ports, 32-bit data path, 0.175 mm² after
+layout, 500 MHz, 16 Gb/s per link.  No component breakdown was published
+("n.a." in Table 4), so — like the paper — we carry the quoted constants and
+add only a small analytic model of its contention-free slot-table operation,
+which is used by the guaranteed-throughput comparison in the documentation
+and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AetherealReference", "AETHEREAL"]
+
+
+@dataclass(frozen=True)
+class AetherealReference:
+    """Published characteristics of the Æthereal guaranteed-throughput router."""
+
+    num_ports: int = 6
+    data_width_bits: int = 32
+    total_area_mm2: float = 0.175
+    max_frequency_mhz: float = 500.0
+    slot_table_size: int = 256
+
+    @property
+    def link_bandwidth_gbps(self) -> float:
+        """Raw per-direction link bandwidth (Table 4: 16 Gb/s)."""
+        return self.data_width_bits * self.max_frequency_mhz * 1e6 / 1e9
+
+    def guaranteed_bandwidth_mbps(self, slots_allocated: int) -> float:
+        """Guaranteed throughput of a connection holding *slots_allocated* slots.
+
+        Æthereal divides each link into TDMA slots of its slot table; a
+        connection's guaranteed bandwidth is its slot share of the raw link
+        bandwidth.  This is the "static time slots table" whose configuration
+        effort the paper contrasts with lane-division multiplexing
+        (Section 4).
+        """
+        if not 0 <= slots_allocated <= self.slot_table_size:
+            raise ValueError(
+                f"slots_allocated must be within 0..{self.slot_table_size}"
+            )
+        share = slots_allocated / self.slot_table_size
+        return share * self.link_bandwidth_gbps * 1e3
+
+    def slots_needed_mbps(self, bandwidth_mbps: float) -> int:
+        """Minimum number of slots needed to guarantee *bandwidth_mbps*."""
+        if bandwidth_mbps < 0:
+            raise ValueError("bandwidth must be non-negative")
+        per_slot = self.link_bandwidth_gbps * 1e3 / self.slot_table_size
+        import math
+
+        return math.ceil(bandwidth_mbps / per_slot)
+
+
+#: Default literature-reference instance used by the Table 4 benchmark.
+AETHEREAL = AetherealReference()

@@ -1,0 +1,72 @@
+"""Links of the packet-switched baseline: 16-bit flit channel plus credits.
+
+A :class:`PacketLink` is the packet-switched counterpart of
+:class:`repro.core.lane.LaneLink`: one unidirectional 16-bit flit channel and
+a per-virtual-channel credit return path in the reverse direction.  Like the
+lane link it is a pure wire bundle — the registers driving it live in the
+routers at either end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.baseline.flit import Flit
+
+__all__ = ["PacketLink"]
+
+
+@dataclass
+class PacketLink:
+    """One unidirectional flit channel with credit-based flow control."""
+
+    name: str
+    num_vcs: int = 4
+
+    #: Committed flit currently on the wire (``None`` = idle).
+    forward: Optional[Flit] = None
+    #: Pending credit returns per virtual channel (written by the receiver,
+    #: consumed by the sender).
+    credits: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_vcs < 1:
+            raise ValueError("a packet link needs at least one virtual channel")
+        if not self.credits:
+            self.credits = [0] * self.num_vcs
+
+    # -- forward flit -------------------------------------------------------------
+
+    def drive(self, flit: Optional[Flit]) -> None:
+        """Place *flit* on the wire for the next cycle (``None`` = idle)."""
+        self.forward = flit
+
+    def read(self) -> Optional[Flit]:
+        """Sample the flit currently on the wire."""
+        return self.forward
+
+    # -- credit return ---------------------------------------------------------------
+
+    def return_credit(self, vc: int, amount: int = 1) -> None:
+        """Called by the receiver when it frees *amount* buffer slots of *vc*."""
+        self._check_vc(vc)
+        if amount < 0:
+            raise ValueError("credit amount must be non-negative")
+        self.credits[vc] += amount
+
+    def take_credits(self, vc: int) -> int:
+        """Called by the sender: collect (and clear) pending credits of *vc*."""
+        self._check_vc(vc)
+        amount = self.credits[vc]
+        self.credits[vc] = 0
+        return amount
+
+    def reset(self) -> None:
+        """Return the link to the idle state."""
+        self.forward = None
+        self.credits = [0] * self.num_vcs
+
+    def _check_vc(self, vc: int) -> None:
+        if not 0 <= vc < self.num_vcs:
+            raise IndexError(f"virtual channel {vc} out of range 0..{self.num_vcs - 1}")

@@ -1,0 +1,345 @@
+"""The packet-switched baseline router (Kavaldjiev-style virtual-channel router).
+
+This is the "packet-switched equivalent" of Section 7: five bidirectional
+16-bit ports, four virtual channels per input port, wormhole switching with
+credit-based link-level flow control, XY routing and round-robin virtual
+channel / switch allocation.  At the same clock frequency it offers the same
+link bandwidth and bounded latency for guaranteed-throughput traffic as the
+circuit-switched router, which is what makes the power comparison of
+Figures 9 and 10 meaningful.
+
+The model is flit- and bit-accurate where it matters for energy: every flit
+is written to and read from an input FIFO, traverses the output crossbar
+register, and toggles the link wires; every arbitration decision and every
+grant change is recorded.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.baseline.arbiter import RoundRobinArbiter
+from repro.baseline.buffer import VirtualChannelBuffer
+from repro.baseline.flit import FLIT_PAYLOAD_BITS, Flit, Packet, packetize
+from repro.baseline.link import PacketLink
+from repro.baseline.routing import xy_route
+from repro.baseline.vc import OutputVcAllocator, vc_state_table
+from repro.common import ALL_PORTS, NEIGHBOR_PORTS, ConfigurationError, Port, toggle_count
+from repro.energy.activity import ActivityCounters, ActivityKeys
+from repro.energy.area import PacketSwitchedRouterArea
+from repro.energy.power import PowerBreakdown, PowerModel
+from repro.energy.technology import TSMC_130NM_LVHP, Technology
+from repro.energy.timing import PacketSwitchedTiming
+from repro.sim.engine import ClockedComponent
+
+__all__ = ["PacketSwitchedRouter", "PacketTileInterface"]
+
+
+class PacketTileInterface:
+    """Word/packet-level interface between a processing tile and its router."""
+
+    def __init__(self, router: "PacketSwitchedRouter", words_per_packet: int = 16) -> None:
+        if words_per_packet < 1:
+            raise ValueError("words_per_packet must be positive")
+        self.router = router
+        self.words_per_packet = words_per_packet
+        self._injection_queue: Deque[Flit] = deque()
+        self._next_vc = 0
+        self._partial: Dict[Tuple[Tuple[int, int], int], List[Flit]] = {}
+        self.received_packets: List[Packet] = []
+        self.received_words: List[int] = []
+        self.words_queued = 0
+
+    # -- sending --------------------------------------------------------------------
+
+    def send_packet(self, packet: Packet, vc: Optional[int] = None) -> None:
+        """Queue a whole packet for injection into the network."""
+        if vc is None:
+            vc = self._next_vc
+            self._next_vc = (self._next_vc + 1) % self.router.num_vcs
+        self._injection_queue.extend(packetize(packet, vc))
+        self.words_queued += len(packet.words)
+
+    def send_words(self, dest: Tuple[int, int], words: List[int], vc: Optional[int] = None) -> int:
+        """Split *words* into packets towards *dest* and queue them; returns packet count."""
+        count = 0
+        for start in range(0, len(words), self.words_per_packet):
+            chunk = list(words[start : start + self.words_per_packet])
+            self.send_packet(Packet(src=self.router.position, dest=dest, words=chunk), vc)
+            count += 1
+        return count
+
+    @property
+    def injection_backlog(self) -> int:
+        """Flits queued at the tile but not yet accepted by the router."""
+        return len(self._injection_queue)
+
+    # -- receiving (driven by the router) ------------------------------------------------
+
+    def _deliver(self, flit: Flit) -> None:
+        key = (flit.src, flit.packet_id)
+        flits = self._partial.setdefault(key, [])
+        flits.append(flit)
+        if flit.flit_type.is_tail:
+            del self._partial[key]
+            words = [f.payload for f in flits if not f.flit_type.is_head]
+            packet = Packet(src=flit.src, dest=flit.dest, words=words, packet_id=flit.packet_id)
+            self.received_packets.append(packet)
+            self.received_words.extend(words)
+
+    @property
+    def words_received(self) -> int:
+        """Total payload words delivered to this tile."""
+        return len(self.received_words)
+
+    def reset(self) -> None:
+        """Drop all queued and partially received data."""
+        self._injection_queue.clear()
+        self._partial.clear()
+        self.received_packets.clear()
+        self.received_words.clear()
+        self.words_queued = 0
+        self._next_vc = 0
+
+
+class PacketSwitchedRouter(ClockedComponent):
+    """Cycle-accurate model of the virtual-channel wormhole baseline router."""
+
+    NUM_PORTS = 5
+
+    def __init__(
+        self,
+        name: str,
+        position: Tuple[int, int] = (0, 0),
+        num_vcs: int = 4,
+        fifo_depth: int = 8,
+        data_width: int = 16,
+        words_per_packet: int = 16,
+        tech: Technology = TSMC_130NM_LVHP,
+    ) -> None:
+        super().__init__(name)
+        if data_width != FLIT_PAYLOAD_BITS:
+            raise ConfigurationError(
+                f"the baseline router models {FLIT_PAYLOAD_BITS}-bit links; "
+                f"got data_width={data_width}"
+            )
+        self.position = position
+        self.num_vcs = num_vcs
+        self.fifo_depth = fifo_depth
+        self.data_width = data_width
+        self.tech = tech
+
+        self.activity = ActivityCounters(name)
+        self.area_model = PacketSwitchedRouterArea(
+            self.NUM_PORTS, data_width, num_vcs, fifo_depth, tech=tech
+        )
+        self.timing_model = PacketSwitchedTiming(self.NUM_PORTS, num_vcs, fifo_depth, tech)
+
+        self.ports: Tuple[Port, ...] = ALL_PORTS[: self.NUM_PORTS]
+        self.buffers: Dict[Tuple[Port, int], VirtualChannelBuffer] = {
+            (port, vc): VirtualChannelBuffer(f"{name}.{port.short_name}{vc}", fifo_depth, self.activity)
+            for port in self.ports
+            for vc in range(num_vcs)
+        }
+        self.vc_states = vc_state_table(list(self.ports), num_vcs)
+        self.output_allocators: Dict[Port, OutputVcAllocator] = {
+            port: OutputVcAllocator(port, num_vcs, fifo_depth) for port in self.ports
+        }
+        self.switch_arbiters: Dict[Port, RoundRobinArbiter] = {
+            port: RoundRobinArbiter(self.NUM_PORTS * num_vcs) for port in self.ports
+        }
+        self._input_index: List[Tuple[Port, int]] = [
+            (port, vc) for port in self.ports for vc in range(num_vcs)
+        ]
+
+        self.tile = PacketTileInterface(self, words_per_packet)
+
+        self._rx_links: Dict[Port, Optional[PacketLink]] = {p: None for p in NEIGHBOR_PORTS}
+        self._tx_links: Dict[Port, Optional[PacketLink]] = {p: None for p in NEIGHBOR_PORTS}
+        self._output_prev_payload: Dict[Port, int] = {p: 0 for p in self.ports}
+        self._last_winner: Dict[Port, Optional[Tuple[Port, int]]] = {p: None for p in self.ports}
+
+        # Values sampled during evaluate, consumed during commit.
+        self._sampled_flits: Dict[Port, Optional[Flit]] = {p: None for p in NEIGHBOR_PORTS}
+        self._sampled_credits: Dict[Port, List[int]] = {
+            p: [0] * num_vcs for p in NEIGHBOR_PORTS
+        }
+
+    # -- wiring ------------------------------------------------------------------------
+
+    def attach_link(self, port: Port, rx_link: Optional[PacketLink], tx_link: Optional[PacketLink]) -> None:
+        """Attach the incoming and outgoing flit channels of a neighbour port."""
+        port = Port(port)
+        if port not in NEIGHBOR_PORTS:
+            raise ConfigurationError("links can only be attached to neighbour ports")
+        for link in (rx_link, tx_link):
+            if link is not None and link.num_vcs != self.num_vcs:
+                raise ConfigurationError(
+                    f"link {link.name!r} has {link.num_vcs} VCs, router expects {self.num_vcs}"
+                )
+        self._rx_links[port] = rx_link
+        self._tx_links[port] = tx_link
+
+    def rx_link(self, port: Port) -> Optional[PacketLink]:
+        """Incoming flit channel at *port* (``None`` at a mesh edge)."""
+        return self._rx_links[Port(port)]
+
+    def tx_link(self, port: Port) -> Optional[PacketLink]:
+        """Outgoing flit channel at *port* (``None`` at a mesh edge)."""
+        return self._tx_links[Port(port)]
+
+    # -- simulation -----------------------------------------------------------------------
+
+    def evaluate(self, cycle: int) -> None:
+        for port in NEIGHBOR_PORTS:
+            rx = self._rx_links[port]
+            self._sampled_flits[port] = rx.read() if rx is not None else None
+            tx = self._tx_links[port]
+            if tx is not None:
+                self._sampled_credits[port] = [tx.take_credits(vc) for vc in range(self.num_vcs)]
+            else:
+                self._sampled_credits[port] = [0] * self.num_vcs
+
+    def commit(self, cycle: int) -> None:
+        activity = self.activity
+
+        # 1. Credits returned by downstream routers.
+        for port in NEIGHBOR_PORTS:
+            allocator = self.output_allocators[port]
+            for vc, amount in enumerate(self._sampled_credits[port]):
+                if amount:
+                    allocator.add_credits(vc, amount)
+
+        # 2. Accept incoming flits into the input VC buffers.
+        for port in NEIGHBOR_PORTS:
+            flit = self._sampled_flits[port]
+            if flit is not None:
+                self.buffers[(port, flit.vc)].push(flit)
+
+        # 3. Tile injection (local port): one flit per cycle if space allows.
+        queue = self.tile._injection_queue
+        if queue:
+            flit = queue[0]
+            buffer = self.buffers[(Port.TILE, flit.vc)]
+            if not buffer.is_full():
+                buffer.push(queue.popleft())
+
+        # 4. Route computation and output-VC allocation for head-of-line head flits.
+        for key in self._input_index:
+            buffer = self.buffers[key]
+            flit = buffer.front()
+            if flit is None:
+                continue
+            state = self.vc_states[key]
+            if flit.flit_type.is_head and not state.routed:
+                state.out_port = xy_route(self.position, flit.dest)
+            if state.routed and not state.allocated:
+                out_vc = self.output_allocators[state.out_port].try_allocate(key)
+                if out_vc is not None:
+                    state.out_vc = out_vc
+                    activity.add(ActivityKeys.VC_ALLOCATIONS, 1)
+
+        # 5. Switch allocation and flit traversal, one winner per output port.
+        credit_returns: Dict[Port, List[int]] = {p: [] for p in NEIGHBOR_PORTS}
+        driven: Dict[Port, Optional[Flit]] = {p: None for p in NEIGHBOR_PORTS}
+        for out_port in self.ports:
+            requests: List[bool] = []
+            for key in self._input_index:
+                state = self.vc_states[key]
+                buffer = self.buffers[key]
+                wants = (
+                    not buffer.is_empty()
+                    and state.routed
+                    and state.out_port == out_port
+                    and state.allocated
+                )
+                if wants and out_port in NEIGHBOR_PORTS:
+                    wants = (
+                        self._tx_links[out_port] is not None
+                        and self.output_allocators[out_port].credits(state.out_vc) > 0
+                    )
+                requests.append(wants)
+            arbiter = self.switch_arbiters[out_port]
+            winner_index = arbiter.grant(requests)
+            if winner_index is None:
+                continue
+            winner_key = self._input_index[winner_index]
+            activity.add(ActivityKeys.ARBITER_DECISIONS, 1)
+            if self._last_winner[out_port] is not None and self._last_winner[out_port] != winner_key:
+                activity.add(ActivityKeys.ARBITER_GRANT_CHANGES, 1)
+            self._last_winner[out_port] = winner_key
+
+            state = self.vc_states[winner_key]
+            flit = self.buffers[winner_key].pop()
+            out_flit = flit.with_vc(state.out_vc)
+            activity.add(ActivityKeys.FLITS_ROUTED, 1)
+
+            # Crossbar traversal and output register toggles.
+            toggles = toggle_count(
+                self._output_prev_payload[out_port], out_flit.payload, FLIT_PAYLOAD_BITS
+            )
+            if toggles:
+                activity.add(ActivityKeys.REG_TOGGLE_BITS, toggles)
+            self._output_prev_payload[out_port] = out_flit.payload
+
+            if out_port == Port.TILE:
+                self.tile._deliver(out_flit)
+                activity.add(ActivityKeys.WORDS_DELIVERED, 0 if out_flit.flit_type.is_head else 1)
+            else:
+                self.output_allocators[out_port].consume_credit(state.out_vc)
+                driven[out_port] = out_flit
+                if toggles:
+                    activity.add(ActivityKeys.LINK_TOGGLE_BITS, toggles)
+
+            # Return a credit to the upstream router for the freed buffer slot.
+            in_port, in_vc = winner_key
+            if in_port in NEIGHBOR_PORTS:
+                credit_returns[in_port].append(in_vc)
+
+            if out_flit.flit_type.is_tail:
+                self.output_allocators[state.out_port].release(state.out_vc)
+                state.release()
+                activity.add(ActivityKeys.PACKETS_ROUTED, 1)
+
+        # 6. Drive the outgoing links and the upstream credit wires.
+        for port in NEIGHBOR_PORTS:
+            tx = self._tx_links[port]
+            if tx is not None:
+                tx.drive(driven[port])
+            rx = self._rx_links[port]
+            if rx is not None:
+                for vc in credit_returns[port]:
+                    rx.return_credit(vc, 1)
+
+        activity.cycles = cycle + 1
+
+    def reset(self) -> None:
+        for buffer in self.buffers.values():
+            buffer.reset()
+        for state in self.vc_states.values():
+            state.release()
+        for allocator in self.output_allocators.values():
+            allocator.reset(self.fifo_depth)
+        for arbiter in self.switch_arbiters.values():
+            arbiter.reset()
+        self.tile.reset()
+        self.activity.reset()
+        self._output_prev_payload = {p: 0 for p in self.ports}
+        self._last_winner = {p: None for p in self.ports}
+
+    # -- reporting -----------------------------------------------------------------------
+
+    def power(self, frequency_hz: float, cycles: int | None = None) -> PowerBreakdown:
+        """Estimate the router's average power over the recorded activity."""
+        model = PowerModel(self.tech)
+        return model.estimate(self.area_model, self.activity, frequency_hz, cycles)
+
+    def max_frequency_mhz(self) -> float:
+        """Maximum clock frequency of this router instance (Table 4)."""
+        return self.timing_model.max_frequency_mhz()
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Silicon area of this router instance (Table 4)."""
+        return self.area_model.total_mm2

@@ -1,0 +1,61 @@
+"""XY dimension-order routing for the packet-switched baseline.
+
+The mesh uses the mathematical orientation defined in :mod:`repro.common`:
+``x`` grows towards the east, ``y`` grows towards the north.  XY routing
+first corrects the x coordinate, then the y coordinate, and delivers to the
+local tile when both match — deterministic, deadlock-free on a mesh, and the
+standard choice for this class of router.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.common import Port
+
+__all__ = ["xy_route", "route_distance", "path_ports"]
+
+
+def xy_route(current: Tuple[int, int], dest: Tuple[int, int]) -> Port:
+    """Output port chosen at *current* for a packet heading to *dest*."""
+    cx, cy = current
+    dx, dy = dest
+    if dx > cx:
+        return Port.EAST
+    if dx < cx:
+        return Port.WEST
+    if dy > cy:
+        return Port.NORTH
+    if dy < cy:
+        return Port.SOUTH
+    return Port.TILE
+
+
+def route_distance(src: Tuple[int, int], dest: Tuple[int, int]) -> int:
+    """Number of router-to-router hops between two mesh positions."""
+    return abs(src[0] - dest[0]) + abs(src[1] - dest[1])
+
+
+def path_ports(src: Tuple[int, int], dest: Tuple[int, int]) -> list[Port]:
+    """The sequence of output ports an XY-routed packet takes from *src* to *dest*.
+
+    The final element is always :attr:`Port.TILE` (delivery at the destination
+    router); useful for tests and for the best-effort configuration network.
+    """
+    ports: list[Port] = []
+    position = src
+    while position != dest:
+        port = xy_route(position, dest)
+        ports.append(port)
+        if port == Port.EAST:
+            position = (position[0] + 1, position[1])
+        elif port == Port.WEST:
+            position = (position[0] - 1, position[1])
+        elif port == Port.NORTH:
+            position = (position[0], position[1] + 1)
+        elif port == Port.SOUTH:
+            position = (position[0], position[1] - 1)
+        else:  # pragma: no cover - xy_route never returns TILE before arrival
+            break
+    ports.append(Port.TILE)
+    return ports

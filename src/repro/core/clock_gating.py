@@ -1,0 +1,80 @@
+"""Lane-level clock gating (paper Section 7.3 and future work).
+
+The paper observes that the dynamic power of both routers is dominated by a
+large data-independent offset and proposes clock gating for the
+circuit-switched router: "we can use the configuration information of the
+router and switch off the unused lanes".
+
+Two forms are provided here:
+
+* the *simulated* form — pass ``clock_gating=True`` to
+  :class:`repro.core.router.CircuitSwitchedRouter`; idle lanes then report
+  their register bits as gated and the power model scales the gateable part
+  of the offset accordingly;
+* the *analytic* form in this module — a quick estimate of the same effect
+  that the ablation benchmark uses to cross-check the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.area import CircuitSwitchedRouterArea
+from repro.energy.technology import TSMC_130NM_LVHP, Technology
+
+__all__ = ["ClockGatingEstimate", "estimate_gated_offset"]
+
+
+@dataclass(frozen=True)
+class ClockGatingEstimate:
+    """Analytic estimate of the dynamic offset with and without clock gating."""
+
+    active_lanes: int
+    total_lanes: int
+    offset_uw_per_mhz_ungated: float
+    offset_uw_per_mhz_gated: float
+
+    @property
+    def reduction_factor(self) -> float:
+        """Offset power without gating divided by offset power with gating."""
+        if self.offset_uw_per_mhz_gated <= 0:
+            return float("inf")
+        return self.offset_uw_per_mhz_ungated / self.offset_uw_per_mhz_gated
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fraction of the offset removed by clock gating."""
+        if self.offset_uw_per_mhz_ungated <= 0:
+            return 0.0
+        return 1.0 - self.offset_uw_per_mhz_gated / self.offset_uw_per_mhz_ungated
+
+
+def estimate_gated_offset(
+    active_lanes: int,
+    area_model: CircuitSwitchedRouterArea | None = None,
+    tech: Technology = TSMC_130NM_LVHP,
+) -> ClockGatingEstimate:
+    """Estimate the clock/idle power offset when only *active_lanes* are clocked.
+
+    The gateable area (crossbar output stage and data converter) scales with
+    the fraction of active lanes; the configuration memory and the clock root
+    are never gated.
+    """
+    if area_model is None:
+        area_model = CircuitSwitchedRouterArea(tech=tech)
+    total_lanes = area_model.num_ports * area_model.lanes_per_port
+    if not 0 <= active_lanes <= total_lanes:
+        raise ValueError(f"active_lanes must be within 0..{total_lanes}")
+
+    density = tech.clock_power_density_uw_per_mhz_per_mm2
+    gateable = area_model.gateable_area_mm2
+    fixed = area_model.total_mm2 - gateable
+
+    ungated = density * area_model.total_mm2
+    gated = density * (fixed + gateable * (active_lanes / total_lanes))
+    return ClockGatingEstimate(
+        active_lanes=active_lanes,
+        total_lanes=total_lanes,
+        offset_uw_per_mhz_ungated=ungated,
+        offset_uw_per_mhz_gated=gated,
+    )

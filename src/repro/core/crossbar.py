@@ -1,0 +1,169 @@
+"""The lane crossbar with registered output lanes (Section 5.1).
+
+The crossbar connects every input lane to the output lanes of all *other*
+ports (a 16 × 20 structure in the default router: 20 output lanes, each able
+to select one of the 16 input lanes that do not belong to its own port).  The
+output lanes are registered, so a hop through a router costs exactly one
+clock cycle and the cycle time only depends on the mux tree plus the link
+wire — the property that gives the circuit-switched router its 1075 MHz
+clock in Table 4.
+
+The reverse acknowledge wire of every lane is routed *backwards* through the
+same configuration (output lane → its configured input lane) and is also
+registered per hop.
+
+The crossbar records its switching activity (register toggles, output-net
+toggles, clocked vs. clock-gated bits) in the router's
+:class:`repro.energy.activity.ActivityCounters`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.common import Port, toggle_count
+from repro.core.config_memory import ConfigurationMemory
+from repro.energy.activity import ActivityCounters, ActivityKeys
+
+__all__ = ["Crossbar"]
+
+LaneKey = Tuple[Port, int]
+
+
+class Crossbar:
+    """Bit-accurate model of the configured lane crossbar."""
+
+    def __init__(
+        self,
+        config: ConfigurationMemory,
+        lane_width: int = 4,
+        activity: ActivityCounters | None = None,
+        name: str = "crossbar",
+    ) -> None:
+        if lane_width < 1:
+            raise ValueError("lane_width must be positive")
+        self.name = name
+        self.config = config
+        self.lane_width = lane_width
+        self.activity = activity if activity is not None else ActivityCounters(name)
+
+        lanes = list(config.iter_lanes())
+        self._lanes: List[LaneKey] = lanes
+        # Committed (visible) state of the registered output stage.
+        self._out_data: Dict[LaneKey, int] = {key: 0 for key in lanes}
+        self._ack_out: Dict[LaneKey, bool] = {key: False for key in lanes}
+        # Next state computed during evaluate.
+        self._next_out: Dict[LaneKey, int] = dict(self._out_data)
+        self._next_ack: Dict[LaneKey, bool] = dict(self._ack_out)
+        # Cached reverse mapping (input lane -> output lanes fed by it).
+        self._reverse_map: Dict[LaneKey, List[LaneKey]] = {}
+        self._cached_version = -1
+
+    # -- configuration cache ----------------------------------------------------
+
+    def _refresh_cache(self) -> None:
+        if self._cached_version == self.config.version:
+            return
+        reverse: Dict[LaneKey, List[LaneKey]] = {key: [] for key in self._lanes}
+        for out_port, out_lane, cfg in self.config.active_entries():
+            reverse[(cfg.source_port, cfg.source_lane)].append((out_port, out_lane))
+        self._reverse_map = reverse
+        self._cached_version = self.config.version
+
+    # -- two-phase execution -------------------------------------------------------
+
+    def evaluate(
+        self,
+        input_data: Mapping[LaneKey, int],
+        downstream_ack: Mapping[LaneKey, bool],
+    ) -> None:
+        """Compute the next output-register and acknowledge-register values.
+
+        Parameters
+        ----------
+        input_data:
+            Committed value of every input lane, keyed by ``(port, lane)``.
+            Missing keys read as the idle value 0.
+        downstream_ack:
+            Acknowledge value observed *behind* every output lane (from the
+            downstream router on neighbour ports, from the local deserialiser
+            on tile-port output lanes).
+        """
+        self._refresh_cache()
+        config = self.config
+        for key in self._lanes:
+            cfg = config.get(*key)
+            if cfg.active:
+                value = input_data.get((cfg.source_port, cfg.source_lane), 0)
+            else:
+                value = 0
+            self._next_out[key] = value
+        for key in self._lanes:
+            outputs = self._reverse_map.get(key, ())
+            self._next_ack[key] = any(downstream_ack.get(out, False) for out in outputs)
+
+    def commit(self, clock_gating: bool = False) -> None:
+        """Latch the output and acknowledge registers; record activity."""
+        activity = self.activity
+        width = self.lane_width
+        config = self.config
+        reg_toggles = 0
+        clocked_bits = 0
+        gated_bits = 0
+        xbar_toggles = 0
+        for key in self._lanes:
+            active = config.get(*key).active
+            if clock_gating and not active:
+                gated_bits += width + 1  # data register + acknowledge register
+                # Registers hold their value; for an inactive lane that value
+                # is already the idle pattern, so nothing else changes.
+                continue
+            new_value = self._next_out[key]
+            old_value = self._out_data[key]
+            toggles = toggle_count(old_value, new_value, width)
+            reg_toggles += toggles
+            xbar_toggles += toggles
+            clocked_bits += width
+            self._out_data[key] = new_value
+
+            new_ack = self._next_ack[key]
+            old_ack = self._ack_out[key]
+            if new_ack != old_ack:
+                reg_toggles += 1
+            clocked_bits += 1
+            self._ack_out[key] = new_ack
+
+        if reg_toggles:
+            activity.add(ActivityKeys.REG_TOGGLE_BITS, reg_toggles)
+        if xbar_toggles:
+            activity.add(ActivityKeys.XBAR_TOGGLE_BITS, xbar_toggles)
+        if clocked_bits:
+            activity.add(ActivityKeys.REG_CLOCKED_BITS, clocked_bits)
+        if gated_bits:
+            activity.add(ActivityKeys.REG_GATED_BITS, gated_bits)
+
+    # -- observation ---------------------------------------------------------------
+
+    def output(self, port: Port, lane: int) -> int:
+        """Committed value of one registered output lane."""
+        return self._out_data[(Port(port), lane)]
+
+    def ack_output(self, port: Port, lane: int) -> bool:
+        """Committed acknowledge value routed back towards one input lane."""
+        return self._ack_out[(Port(port), lane)]
+
+    def outputs_for_port(self, port: Port) -> List[int]:
+        """Committed values of all output lanes of *port*, in lane order."""
+        port = Port(port)
+        return [
+            self._out_data[(port, lane)]
+            for lane in range(self.config.lanes_per_port)
+        ]
+
+    def reset(self) -> None:
+        """Return all registers to the idle state."""
+        for key in self._lanes:
+            self._out_data[key] = 0
+            self._ack_out[key] = False
+            self._next_out[key] = 0
+            self._next_ack[key] = False

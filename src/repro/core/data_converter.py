@@ -1,0 +1,429 @@
+"""Data converter between the 16-bit tile interface and the 4-bit lanes (Fig. 5).
+
+The processing tile talks to the network in whole data words (16 bits, the
+same interface as the packet-switched alternative of Kavaldjiev), while the
+circuit-switched network transports 4-bit phits over individual lanes.  The
+data converter therefore contains, per tile-port lane:
+
+* a **serialiser** (tile → network): accepts lane packets, checks the
+  window-counter flow control, and shifts the packet out as five phits,
+* a **deserialiser** (network → tile): watches the tile-port output lane,
+  acquires frame synchronisation on a valid header nibble, reassembles the
+  packet, queues the received word for the tile and generates acknowledge
+  pulses after the tile has read ``X`` words.
+
+The :class:`TileInterface` is the word-level facade the processing tiles (and
+the traffic generators of the experiments) use.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.common import CapacityError, toggle_count
+from repro.core.flow_control import AckGenerator, FlowControlConfig, WindowCounterSource
+from repro.core.header import HEADER_WIDTH, LaneHeader, LanePacket, phits_per_packet
+from repro.energy.activity import ActivityCounters, ActivityKeys
+
+__all__ = ["ReceivedWord", "LaneSerializer", "LaneDeserializer", "DataConverter", "TileInterface"]
+
+
+@dataclass(frozen=True)
+class ReceivedWord:
+    """A data word delivered to the tile, with its header flags and arrival time."""
+
+    data: int
+    sob: bool
+    eob: bool
+    user: bool
+    cycle: int
+
+
+class LaneSerializer:
+    """Tile → network serialiser for one tile-port lane."""
+
+    def __init__(
+        self,
+        lane: int,
+        lane_width: int = 4,
+        data_width: int = 16,
+        tx_queue_depth: int = 4,
+        flow: FlowControlConfig = FlowControlConfig(),
+        activity: ActivityCounters | None = None,
+    ) -> None:
+        if tx_queue_depth < 1:
+            raise ValueError("tx_queue_depth must be positive")
+        self.lane = lane
+        self.lane_width = lane_width
+        self.data_width = data_width
+        self.tx_queue_depth = tx_queue_depth
+        self.activity = activity if activity is not None else ActivityCounters()
+        self.window = WindowCounterSource(flow)
+        self.phits_per_packet = phits_per_packet(data_width, lane_width)
+        self._queue: Deque[LanePacket] = deque()
+        self._remaining_phits: List[int] = []
+        self._current_phit = 0  # committed output register value
+        self._hold_register = 0
+        self.words_loaded = 0
+
+    # -- tile-side API ------------------------------------------------------------
+
+    def can_accept(self) -> bool:
+        """True when the tile may submit another word this cycle."""
+        return len(self._queue) < self.tx_queue_depth
+
+    def submit(self, packet: LanePacket) -> None:
+        """Queue a lane packet for transmission."""
+        if not self.can_accept():
+            raise CapacityError(
+                f"serialiser queue of lane {self.lane} is full "
+                f"({self.tx_queue_depth} entries)"
+            )
+        self._queue.append(packet)
+
+    @property
+    def pending(self) -> int:
+        """Words queued but not yet (fully) transmitted."""
+        return len(self._queue) + (1 if self._remaining_phits else 0)
+
+    @property
+    def busy(self) -> bool:
+        """True while a packet is being shifted out or waiting in the queue."""
+        return bool(self._remaining_phits or self._queue)
+
+    # -- network-side API -----------------------------------------------------------
+
+    @property
+    def output_phit(self) -> int:
+        """Committed value currently driven into the crossbar input lane."""
+        return self._current_phit
+
+    def configure_flow(self, flow: FlowControlConfig) -> None:
+        """Replace the window-counter configuration (new connection set-up)."""
+        self.window = WindowCounterSource(flow)
+
+    # -- clocking ----------------------------------------------------------------------
+
+    def tick(self, ack_pulse: bool, clock_gating: bool = False) -> None:
+        """Advance by one clock cycle.
+
+        Parameters
+        ----------
+        ack_pulse:
+            Acknowledge value arriving (through the crossbar's reverse path)
+            for this lane during this cycle.
+        clock_gating:
+            When true and the serialiser is completely idle, its registers are
+            treated as clock-gated for the activity accounting.
+        """
+        activity = self.activity
+        packet_bits = self.phits_per_packet * self.lane_width
+
+        if ack_pulse:
+            self.window.on_ack()
+            activity.add(ActivityKeys.ACKS_DELIVERED, 1)
+
+        if self._remaining_phits:
+            next_phit = self._remaining_phits.pop(0)
+        elif self._queue and self.window.can_send():
+            packet = self._queue.popleft()
+            self.window.on_send()
+            phits = packet.to_phits(self.lane_width)
+            next_phit = phits[0]
+            self._remaining_phits = phits[1:]
+            encoded = packet.encode()
+            activity.add(
+                ActivityKeys.REG_TOGGLE_BITS,
+                toggle_count(self._hold_register, encoded, packet_bits),
+            )
+            self._hold_register = encoded
+            self.words_loaded += 1
+            activity.add(ActivityKeys.WORDS_INJECTED, 1)
+        else:
+            next_phit = 0
+
+        idle = not self.busy and next_phit == 0 and self._current_phit == 0
+        if clock_gating and idle:
+            activity.add(ActivityKeys.REG_GATED_BITS, packet_bits + self.lane_width)
+        else:
+            activity.add(ActivityKeys.REG_CLOCKED_BITS, packet_bits + self.lane_width)
+            activity.add(
+                ActivityKeys.REG_TOGGLE_BITS,
+                toggle_count(self._current_phit, next_phit, self.lane_width),
+            )
+        self._current_phit = next_phit
+
+    def reset(self) -> None:
+        """Return to the idle state (queue and shift register cleared)."""
+        self._queue.clear()
+        self._remaining_phits = []
+        self._current_phit = 0
+        self._hold_register = 0
+        self.words_loaded = 0
+        self.window.reset()
+
+
+class LaneDeserializer:
+    """Network → tile deserialiser for one tile-port lane."""
+
+    def __init__(
+        self,
+        lane: int,
+        lane_width: int = 4,
+        data_width: int = 16,
+        flow: FlowControlConfig = FlowControlConfig(),
+        activity: ActivityCounters | None = None,
+    ) -> None:
+        self.lane = lane
+        self.lane_width = lane_width
+        self.data_width = data_width
+        self.activity = activity if activity is not None else ActivityCounters()
+        self.flow = flow
+        self.ack_generator = AckGenerator(flow)
+        self.phits_per_packet = phits_per_packet(data_width, lane_width)
+        self._collected: List[int] = []
+        self._previous_phit = 0
+        self._rx_queue: Deque[ReceivedWord] = deque()
+        self._pending_ack_pulses = 0
+        self._ack_pulse = False  # committed one-cycle pulse
+        self.words_received = 0
+        self.max_occupancy = 0
+
+    # -- tile-side API -------------------------------------------------------------
+
+    def available(self) -> int:
+        """Number of received words waiting for the tile."""
+        return len(self._rx_queue)
+
+    def receive(self) -> Optional[ReceivedWord]:
+        """Pop the oldest received word; returns ``None`` when empty.
+
+        Reading a word feeds the acknowledge generator, which is how the
+        destination returns credit to the source (Section 5.2).
+        """
+        if not self._rx_queue:
+            return None
+        word = self._rx_queue.popleft()
+        self._pending_ack_pulses += self.ack_generator.on_consumed(1)
+        return word
+
+    def configure_flow(self, flow: FlowControlConfig) -> None:
+        """Replace the acknowledge-generation configuration."""
+        self.flow = flow
+        self.ack_generator = AckGenerator(flow)
+
+    # -- network-side API --------------------------------------------------------------
+
+    @property
+    def ack_pulse(self) -> bool:
+        """Committed acknowledge pulse fed back into the crossbar's reverse path."""
+        return self._ack_pulse
+
+    @property
+    def collecting(self) -> bool:
+        """True while in the middle of reassembling a packet."""
+        return bool(self._collected)
+
+    # -- clocking ------------------------------------------------------------------------
+
+    def tick(self, input_phit: int, cycle: int, clock_gating: bool = False) -> None:
+        """Advance by one clock cycle with *input_phit* observed on the lane."""
+        activity = self.activity
+        packet_bits = self.phits_per_packet * self.lane_width
+
+        if self._collected:
+            self._collected.append(input_phit)
+            if len(self._collected) == self.phits_per_packet:
+                packet = LanePacket.from_phits(self._collected, self.lane_width, self.data_width)
+                self._collected = []
+                self._deliver(packet, cycle)
+        else:
+            header_candidate = input_phit & ((1 << HEADER_WIDTH) - 1)
+            if LaneHeader.decode(header_candidate).valid:
+                self._collected = [input_phit]
+
+        idle = not self._collected and input_phit == 0 and self._previous_phit == 0
+        if clock_gating and idle:
+            activity.add(ActivityKeys.REG_GATED_BITS, packet_bits + 1)
+        else:
+            activity.add(ActivityKeys.REG_CLOCKED_BITS, packet_bits + 1)
+            activity.add(
+                ActivityKeys.REG_TOGGLE_BITS,
+                toggle_count(self._previous_phit, input_phit, self.lane_width),
+            )
+        self._previous_phit = input_phit
+
+        # Emit at most one acknowledge pulse per cycle.
+        if self._pending_ack_pulses > 0:
+            self._ack_pulse = True
+            self._pending_ack_pulses -= 1
+        else:
+            self._ack_pulse = False
+
+    def _deliver(self, packet: LanePacket, cycle: int) -> None:
+        header = packet.header
+        self._rx_queue.append(
+            ReceivedWord(packet.data, header.sob, header.eob, header.user, cycle)
+        )
+        self.words_received += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._rx_queue))
+        self.activity.add(ActivityKeys.WORDS_DELIVERED, 1)
+        window = self.flow.window_size
+        if window is not None and len(self._rx_queue) > window:
+            raise CapacityError(
+                f"destination buffer overflow on lane {self.lane}: "
+                f"{len(self._rx_queue)} words buffered but the window is {window} "
+                "(window-counter flow control violated)"
+            )
+
+    def reset(self) -> None:
+        """Return to the idle state."""
+        self._collected = []
+        self._previous_phit = 0
+        self._rx_queue.clear()
+        self._pending_ack_pulses = 0
+        self._ack_pulse = False
+        self.words_received = 0
+        self.max_occupancy = 0
+        self.ack_generator.reset()
+
+
+class DataConverter:
+    """All serialisers and deserialisers of one router's tile port."""
+
+    def __init__(
+        self,
+        lanes_per_port: int = 4,
+        lane_width: int = 4,
+        data_width: int = 16,
+        tx_queue_depth: int = 4,
+        activity: ActivityCounters | None = None,
+    ) -> None:
+        self.lanes_per_port = lanes_per_port
+        self.lane_width = lane_width
+        self.data_width = data_width
+        self.activity = activity if activity is not None else ActivityCounters()
+        self.serializers = [
+            LaneSerializer(lane, lane_width, data_width, tx_queue_depth, activity=self.activity)
+            for lane in range(lanes_per_port)
+        ]
+        self.deserializers = [
+            LaneDeserializer(lane, lane_width, data_width, activity=self.activity)
+            for lane in range(lanes_per_port)
+        ]
+        self.interface = TileInterface(self)
+
+    def tx_phit(self, lane: int) -> int:
+        """Committed phit driven into the crossbar's tile-port input lane."""
+        return self.serializers[lane].output_phit
+
+    def rx_ack_pulse(self, lane: int) -> bool:
+        """Committed acknowledge pulse of the tile-port output lane's deserialiser."""
+        return self.deserializers[lane].ack_pulse
+
+    def tick(
+        self,
+        rx_phits: List[int],
+        tx_acks: List[bool],
+        cycle: int,
+        clock_gating: bool = False,
+    ) -> None:
+        """Advance all serialisers and deserialisers by one cycle.
+
+        Parameters
+        ----------
+        rx_phits:
+            Committed crossbar output values of the tile-port output lanes.
+        tx_acks:
+            Committed crossbar acknowledge values routed back to the tile-port
+            input lanes.
+        cycle:
+            Current simulation cycle (used to timestamp received words).
+        clock_gating:
+            Enables activity-level clock gating of idle lanes.
+        """
+        for lane, serializer in enumerate(self.serializers):
+            serializer.tick(tx_acks[lane], clock_gating)
+        for lane, deserializer in enumerate(self.deserializers):
+            deserializer.tick(rx_phits[lane], cycle, clock_gating)
+
+    def reset(self) -> None:
+        """Reset every serialiser and deserialiser."""
+        for serializer in self.serializers:
+            serializer.reset()
+        for deserializer in self.deserializers:
+            deserializer.reset()
+
+
+class TileInterface:
+    """Word-level interface of a processing tile to its circuit-switched router.
+
+    The interface is deliberately identical in spirit to the packet-switched
+    router's tile interface (16-bit words in, 16-bit words out), which is what
+    makes the paper's comparison fair.
+    """
+
+    def __init__(self, converter: DataConverter) -> None:
+        self._converter = converter
+
+    @property
+    def lanes(self) -> int:
+        """Number of lanes available towards the network."""
+        return self._converter.lanes_per_port
+
+    # -- configuration -------------------------------------------------------------
+
+    def configure_tx(self, lane: int, flow: FlowControlConfig = FlowControlConfig()) -> None:
+        """Configure the window-counter flow control of an outgoing lane."""
+        self._converter.serializers[lane].configure_flow(flow)
+
+    def configure_rx(self, lane: int, flow: FlowControlConfig = FlowControlConfig()) -> None:
+        """Configure acknowledge generation of an incoming lane."""
+        self._converter.deserializers[lane].configure_flow(flow)
+
+    # -- sending ----------------------------------------------------------------------
+
+    def can_send(self, lane: int) -> bool:
+        """True when a word can be submitted on *lane* this cycle."""
+        return self._converter.serializers[lane].can_accept()
+
+    def send(self, lane: int, data: int, *, sob: bool = False, eob: bool = False, user: bool = False) -> bool:
+        """Submit one data word; returns ``False`` when the lane queue is full."""
+        serializer = self._converter.serializers[lane]
+        if not serializer.can_accept():
+            return False
+        packet = LanePacket(
+            data=data,
+            header=LaneHeader(valid=True, sob=sob, eob=eob, user=user),
+            data_width=self._converter.data_width,
+        )
+        serializer.submit(packet)
+        return True
+
+    def tx_pending(self, lane: int) -> int:
+        """Words queued on *lane* that have not yet left the router."""
+        return self._converter.serializers[lane].pending
+
+    # -- receiving --------------------------------------------------------------------
+
+    def rx_available(self, lane: int) -> int:
+        """Number of words waiting to be read from *lane*."""
+        return self._converter.deserializers[lane].available()
+
+    def receive(self, lane: int) -> Optional[ReceivedWord]:
+        """Read the oldest word from *lane* (``None`` when empty)."""
+        return self._converter.deserializers[lane].receive()
+
+    # -- statistics ---------------------------------------------------------------------
+
+    @property
+    def words_sent(self) -> int:
+        """Total words accepted from the tile across all lanes."""
+        return sum(s.words_loaded for s in self._converter.serializers)
+
+    @property
+    def words_received(self) -> int:
+        """Total words delivered to the tile across all lanes."""
+        return sum(d.words_received for d in self._converter.deserializers)

@@ -1,0 +1,158 @@
+"""Window-counter end-to-end flow control (Section 5.2).
+
+A lane has no forward "ready" signal, so the source must not send more
+packets than the destination can buffer.  The paper's mechanism:
+
+* every source keeps a local *window counter* ``WC`` — the number of packets
+  it is still allowed to send;
+* the destination returns a one-cycle acknowledge pulse after it has *read*
+  ``X`` packets (``X ≤ WC``);
+* on receiving the pulse the source increases its window counter by ``X``.
+
+By configuring whether the acknowledge wire is used and the values of ``X``
+and ``WC``, both blocking and non-blocking communication are supported; this
+module implements both sides of the mechanism independent of the data path so
+the tile interface, the lane test-bench drivers and the property-based tests
+can all reuse it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import CapacityError
+
+__all__ = ["WindowCounterSource", "AckGenerator", "FlowControlConfig"]
+
+
+@dataclass(frozen=True)
+class FlowControlConfig:
+    """Configuration of one connection's flow control.
+
+    Attributes
+    ----------
+    window_size:
+        Initial / maximum value of the source window counter ``WC``.  ``None``
+        disables end-to-end flow control entirely (non-blocking mode with an
+        infinitely patient destination, e.g. a sink that always consumes).
+    credit_per_ack:
+        ``X`` — the number of packets acknowledged by a single pulse.
+    """
+
+    window_size: int | None = 8
+    credit_per_ack: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window_size is not None and self.window_size < 1:
+            raise ValueError("window_size must be positive (or None to disable)")
+        if self.credit_per_ack < 1:
+            raise ValueError("credit_per_ack must be at least 1")
+        if self.window_size is not None and self.credit_per_ack > self.window_size:
+            raise ValueError("credit_per_ack (X) must not exceed the window size (WC)")
+
+
+class WindowCounterSource:
+    """Source side: tracks how many packets may still be sent."""
+
+    def __init__(self, config: FlowControlConfig = FlowControlConfig()) -> None:
+        self.config = config
+        self._credits = config.window_size
+        self._sent = 0
+        self._acks_received = 0
+
+    @property
+    def credits(self) -> int | None:
+        """Remaining send credits (``None`` when flow control is disabled)."""
+        return self._credits
+
+    @property
+    def packets_sent(self) -> int:
+        """Total packets the source has sent."""
+        return self._sent
+
+    @property
+    def acks_received(self) -> int:
+        """Total acknowledge pulses received."""
+        return self._acks_received
+
+    def can_send(self) -> bool:
+        """True when the window counter allows sending another packet."""
+        return self._credits is None or self._credits > 0
+
+    def on_send(self) -> None:
+        """Consume one credit; raises if the window is exhausted."""
+        self._sent += 1
+        if self._credits is None:
+            return
+        if self._credits <= 0:
+            raise CapacityError("window counter exhausted: destination buffer would overflow")
+        self._credits -= 1
+
+    def on_ack(self, pulses: int = 1) -> None:
+        """Return ``pulses × X`` credits to the window."""
+        if pulses < 0:
+            raise ValueError("pulses must be non-negative")
+        if pulses == 0:
+            return
+        self._acks_received += pulses
+        if self._credits is None:
+            return
+        self._credits += pulses * self.config.credit_per_ack
+        if self.config.window_size is not None and self._credits > self.config.window_size:
+            # More credit returned than ever handed out indicates a protocol bug.
+            raise CapacityError(
+                f"window counter overflow: {self._credits} credits exceed the "
+                f"window size {self.config.window_size}"
+            )
+
+    def reset(self) -> None:
+        """Return to the initial state."""
+        self._credits = self.config.window_size
+        self._sent = 0
+        self._acks_received = 0
+
+
+class AckGenerator:
+    """Destination side: emits an acknowledge pulse every ``X`` consumed packets."""
+
+    def __init__(self, config: FlowControlConfig = FlowControlConfig()) -> None:
+        self.config = config
+        self._consumed_since_ack = 0
+        self._total_consumed = 0
+        self._acks_sent = 0
+
+    @property
+    def total_consumed(self) -> int:
+        """Total packets the destination has read."""
+        return self._total_consumed
+
+    @property
+    def acks_sent(self) -> int:
+        """Total acknowledge pulses emitted."""
+        return self._acks_sent
+
+    @property
+    def pending(self) -> int:
+        """Packets consumed since the last acknowledge pulse."""
+        return self._consumed_since_ack
+
+    def on_consumed(self, packets: int = 1) -> int:
+        """Record that the destination read *packets*; return pulses to emit now."""
+        if packets < 0:
+            raise ValueError("packets must be non-negative")
+        if self.config.window_size is None:
+            # Flow control disabled: never emit pulses.
+            self._total_consumed += packets
+            return 0
+        self._total_consumed += packets
+        self._consumed_since_ack += packets
+        pulses = self._consumed_since_ack // self.config.credit_per_ack
+        self._consumed_since_ack -= pulses * self.config.credit_per_ack
+        self._acks_sent += pulses
+        return pulses
+
+    def reset(self) -> None:
+        """Return to the initial state."""
+        self._consumed_since_ack = 0
+        self._total_consumed = 0
+        self._acks_sent = 0

@@ -1,0 +1,111 @@
+"""Lane bundles: the physical wires between two circuit-switched routers.
+
+The bidirectional link between two routers consists of two unidirectional
+bundles, each made of ``num_lanes`` small data channels ("lanes",
+Section 5.1) of ``lane_width`` bits plus one acknowledge wire per lane
+running in the reverse direction (Section 5.2, Fig. 7).
+
+A :class:`LaneLink` is a pure wire bundle: it stores the values most recently
+*committed* by the routers at either end.  The registers driving those values
+live inside the routers (the crossbar output stage is registered), so the
+link itself has no clocked state; it only needs to be written during the
+commit phase and read during the evaluate phase of the two-phase simulation
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common import bit_mask
+
+__all__ = ["LaneLink", "link_width_bits"]
+
+
+def link_width_bits(num_lanes: int, lane_width: int) -> int:
+    """Total forward data width of one link direction (paper: 4 × 4 = 16)."""
+    if num_lanes < 1 or lane_width < 1:
+        raise ValueError("num_lanes and lane_width must be positive")
+    return num_lanes * lane_width
+
+
+@dataclass
+class LaneLink:
+    """One unidirectional bundle of lanes plus reverse acknowledge wires.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in traces (e.g. ``"r00.E->r10.W"``).
+    num_lanes / lane_width:
+        Geometry of the bundle (paper default: 4 lanes of 4 bits).
+    forward:
+        Per-lane forward data value, written by the *source* router's
+        registered output lanes.
+    ack:
+        Per-lane reverse acknowledge wire, written by the *destination*
+        router (a one-cycle pulse means "credit returned").
+    """
+
+    name: str
+    num_lanes: int = 4
+    lane_width: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_lanes < 1:
+            raise ValueError("a link needs at least one lane")
+        if self.lane_width < 1:
+            raise ValueError("lane width must be positive")
+        self._mask = bit_mask(self.lane_width)
+        self.forward: List[int] = [0] * self.num_lanes
+        self.ack: List[bool] = [False] * self.num_lanes
+
+    # -- forward data --------------------------------------------------------
+
+    def drive_forward(self, lane: int, value: int) -> None:
+        """Set the forward data of *lane* (called by the source router)."""
+        self._check_lane(lane)
+        if value < 0 or value > self._mask:
+            raise ValueError(
+                f"value {value:#x} does not fit in a {self.lane_width}-bit lane"
+            )
+        self.forward[lane] = value
+
+    def read_forward(self, lane: int) -> int:
+        """Read the forward data of *lane* (called by the destination router)."""
+        self._check_lane(lane)
+        return self.forward[lane]
+
+    # -- reverse acknowledge ---------------------------------------------------
+
+    def drive_ack(self, lane: int, value: bool) -> None:
+        """Set the reverse acknowledge of *lane* (called by the destination)."""
+        self._check_lane(lane)
+        self.ack[lane] = bool(value)
+
+    def read_ack(self, lane: int) -> bool:
+        """Read the reverse acknowledge of *lane* (called by the source)."""
+        self._check_lane(lane)
+        return self.ack[lane]
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def width_bits(self) -> int:
+        """Forward data width of the whole bundle."""
+        return link_width_bits(self.num_lanes, self.lane_width)
+
+    def idle(self) -> bool:
+        """True when every forward lane carries the idle (all-zero) value."""
+        return all(value == 0 for value in self.forward)
+
+    def reset(self) -> None:
+        """Return all wires to the idle state."""
+        for lane in range(self.num_lanes):
+            self.forward[lane] = 0
+            self.ack[lane] = False
+
+    def _check_lane(self, lane: int) -> None:
+        if not 0 <= lane < self.num_lanes:
+            raise IndexError(f"lane {lane} out of range 0..{self.num_lanes - 1}")

@@ -1,0 +1,242 @@
+"""The reconfigurable circuit-switched router (Section 5, Fig. 4).
+
+The router consists of the three major parts the paper names:
+
+* the **data converter** between the 16-bit tile interface and the 4-bit
+  lanes (:mod:`repro.core.data_converter`),
+* the **crossbar** with registered output lanes (:mod:`repro.core.crossbar`),
+* the **crossbar configuration** memory written through a small interface
+  attached to the best-effort network (:mod:`repro.core.config_memory`,
+  :mod:`repro.core.configuration`).
+
+The router is a :class:`repro.sim.ClockedComponent`: during ``evaluate`` it
+samples the committed values on its incoming lane links and the committed
+outputs of its own serialisers, and feeds them through the (combinational)
+crossbar; during ``commit`` it latches the crossbar output registers, steps
+the data converter and drives its outgoing lane links — exactly one cycle of
+latency per hop, as in the hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.common import (
+    ALL_PORTS,
+    NEIGHBOR_PORTS,
+    ConfigurationError,
+    Port,
+    toggle_count,
+)
+from repro.core.config_memory import ConfigurationMemory, LaneConfig
+from repro.core.configuration import ConfigurationCommand
+from repro.core.crossbar import Crossbar
+from repro.core.data_converter import DataConverter, TileInterface
+from repro.core.lane import LaneLink
+from repro.energy.activity import ActivityCounters, ActivityKeys
+from repro.energy.area import CircuitSwitchedRouterArea
+from repro.energy.power import PowerBreakdown, PowerModel
+from repro.energy.technology import TSMC_130NM_LVHP, Technology
+from repro.energy.timing import CircuitSwitchedTiming
+from repro.sim.engine import ClockedComponent
+
+__all__ = ["CircuitSwitchedRouter"]
+
+
+class CircuitSwitchedRouter(ClockedComponent):
+    """Bit- and cycle-accurate model of the paper's circuit-switched router.
+
+    Parameters
+    ----------
+    name:
+        Unique component name (e.g. ``"router_1_2"``).
+    lanes_per_port / lane_width / data_width:
+        Design parameters of Section 5.1; defaults are the published design
+        point (four 4-bit lanes per link direction, 16-bit tile interface).
+    position:
+        Mesh coordinates of the router (used by the network substrate).
+    clock_gating:
+        Enables the lane-level clock gating the paper proposes as future work
+        (Section 7.3); inactive lanes then stop contributing to the
+        data-independent power offset.
+    tech:
+        Technology node used for the attached area/power models.
+    """
+
+    NUM_PORTS = 5
+
+    def __init__(
+        self,
+        name: str,
+        lanes_per_port: int = 4,
+        lane_width: int = 4,
+        data_width: int = 16,
+        position: Tuple[int, int] = (0, 0),
+        clock_gating: bool = False,
+        tech: Technology = TSMC_130NM_LVHP,
+    ) -> None:
+        super().__init__(name)
+        self.lanes_per_port = lanes_per_port
+        self.lane_width = lane_width
+        self.data_width = data_width
+        self.position = position
+        self.clock_gating = clock_gating
+        self.tech = tech
+
+        self.activity = ActivityCounters(name)
+        self.config = ConfigurationMemory(self.NUM_PORTS, lanes_per_port)
+        self.crossbar = Crossbar(self.config, lane_width, self.activity, f"{name}.crossbar")
+        self.converter = DataConverter(
+            lanes_per_port, lane_width, data_width, activity=self.activity
+        )
+        self.area_model = CircuitSwitchedRouterArea(
+            self.NUM_PORTS, lanes_per_port, lane_width, data_width, tech
+        )
+        self.timing_model = CircuitSwitchedTiming(
+            self.NUM_PORTS, lanes_per_port, lane_width, tech
+        )
+
+        # Incoming / outgoing lane links per neighbour port (None = mesh edge).
+        self._rx_links: Dict[Port, Optional[LaneLink]] = {p: None for p in NEIGHBOR_PORTS}
+        self._tx_links: Dict[Port, Optional[LaneLink]] = {p: None for p in NEIGHBOR_PORTS}
+        self._tx_previous: Dict[Tuple[Port, int], int] = {
+            (port, lane): 0 for port in NEIGHBOR_PORTS for lane in range(lanes_per_port)
+        }
+
+    # -- wiring -------------------------------------------------------------------
+
+    @property
+    def tile(self) -> TileInterface:
+        """The word-level tile interface of this router."""
+        return self.converter.interface
+
+    def attach_link(self, port: Port, rx_link: Optional[LaneLink], tx_link: Optional[LaneLink]) -> None:
+        """Attach the incoming and outgoing lane bundles of a neighbour port.
+
+        ``rx_link`` carries data *towards* this router (we read its forward
+        lanes and drive its acknowledge wires); ``tx_link`` carries data away
+        from it (we drive its forward lanes and read its acknowledge wires).
+        Either may be ``None`` on the edge of the mesh.
+        """
+        port = Port(port)
+        if port not in NEIGHBOR_PORTS:
+            raise ConfigurationError("links can only be attached to neighbour ports")
+        for link in (rx_link, tx_link):
+            if link is None:
+                continue
+            if link.num_lanes != self.lanes_per_port or link.lane_width != self.lane_width:
+                raise ConfigurationError(
+                    f"link {link.name!r} geometry ({link.num_lanes}x{link.lane_width}) does "
+                    f"not match router {self.name!r} ({self.lanes_per_port}x{self.lane_width})"
+                )
+        self._rx_links[port] = rx_link
+        self._tx_links[port] = tx_link
+
+    def rx_link(self, port: Port) -> Optional[LaneLink]:
+        """The incoming lane bundle attached at *port* (``None`` at a mesh edge)."""
+        return self._rx_links[Port(port)]
+
+    def tx_link(self, port: Port) -> Optional[LaneLink]:
+        """The outgoing lane bundle attached at *port* (``None`` at a mesh edge)."""
+        return self._tx_links[Port(port)]
+
+    # -- configuration ---------------------------------------------------------------
+
+    def configure(self, out_port: Port, out_lane: int, in_port: Port, in_lane: int) -> None:
+        """Connect ``in_port.in_lane`` to ``out_port.out_lane`` (direct CCN access)."""
+        self.config.set_entry(out_port, out_lane, LaneConfig(True, Port(in_port), in_lane))
+        self.activity.add(ActivityKeys.CONFIG_WRITES, 1)
+
+    def deconfigure(self, out_port: Port, out_lane: int) -> None:
+        """Tear down the circuit using ``out_port.out_lane``."""
+        self.config.set_entry(out_port, out_lane, None)
+        self.activity.add(ActivityKeys.CONFIG_WRITES, 1)
+
+    def apply_command(self, command: ConfigurationCommand) -> None:
+        """Apply a 10-bit configuration command received over the BE network."""
+        command.apply(self.config)
+        self.activity.add(ActivityKeys.CONFIG_WRITES, 1)
+
+    def active_circuits(self) -> int:
+        """Number of active output lanes (concurrent streams through the router)."""
+        return self.config.active_lane_count()
+
+    # -- simulation ---------------------------------------------------------------------
+
+    def evaluate(self, cycle: int) -> None:
+        lanes = range(self.lanes_per_port)
+
+        # 1. Committed values on every crossbar input lane.
+        input_data: Dict[Tuple[Port, int], int] = {}
+        for lane in lanes:
+            input_data[(Port.TILE, lane)] = self.converter.tx_phit(lane)
+        for port in NEIGHBOR_PORTS:
+            link = self._rx_links[port]
+            for lane in lanes:
+                input_data[(port, lane)] = link.read_forward(lane) if link is not None else 0
+
+        # 2. Committed acknowledge values observed behind every output lane.
+        downstream_ack: Dict[Tuple[Port, int], bool] = {}
+        for lane in lanes:
+            downstream_ack[(Port.TILE, lane)] = self.converter.rx_ack_pulse(lane)
+        for port in NEIGHBOR_PORTS:
+            link = self._tx_links[port]
+            for lane in lanes:
+                downstream_ack[(port, lane)] = link.read_ack(lane) if link is not None else False
+
+        self.crossbar.evaluate(input_data, downstream_ack)
+
+    def commit(self, cycle: int) -> None:
+        lanes = range(self.lanes_per_port)
+
+        # 1. Latch the crossbar output and acknowledge registers.
+        self.crossbar.commit(self.clock_gating)
+
+        # 2. Step the data converter with the freshly latched tile-port values.
+        rx_phits = [self.crossbar.output(Port.TILE, lane) for lane in lanes]
+        tx_acks = [self.crossbar.ack_output(Port.TILE, lane) for lane in lanes]
+        self.converter.tick(rx_phits, tx_acks, cycle, self.clock_gating)
+
+        # 3. Drive the outgoing links (data forward, acknowledges backward).
+        for port in NEIGHBOR_PORTS:
+            tx_link = self._tx_links[port]
+            if tx_link is not None:
+                for lane in lanes:
+                    value = self.crossbar.output(port, lane)
+                    previous = self._tx_previous[(port, lane)]
+                    if value != previous:
+                        self.activity.add(
+                            ActivityKeys.LINK_TOGGLE_BITS,
+                            toggle_count(previous, value, self.lane_width),
+                        )
+                        self._tx_previous[(port, lane)] = value
+                    tx_link.drive_forward(lane, value)
+            rx_link = self._rx_links[port]
+            if rx_link is not None:
+                for lane in lanes:
+                    rx_link.drive_ack(lane, self.crossbar.ack_output(port, lane))
+
+        self.activity.cycles = cycle + 1
+
+    def reset(self) -> None:
+        self.crossbar.reset()
+        self.converter.reset()
+        self.activity.reset()
+        for key in self._tx_previous:
+            self._tx_previous[key] = 0
+
+    # -- reporting -----------------------------------------------------------------------
+
+    def power(self, frequency_hz: float, cycles: int | None = None) -> PowerBreakdown:
+        """Estimate the router's average power over the recorded activity."""
+        model = PowerModel(self.tech)
+        return model.estimate(self.area_model, self.activity, frequency_hz, cycles)
+
+    def max_frequency_mhz(self) -> float:
+        """Maximum clock frequency of this router instance (Table 4)."""
+        return self.timing_model.max_frequency_mhz()
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Silicon area of this router instance (Table 4)."""
+        return self.area_model.total_mm2

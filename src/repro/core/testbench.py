@@ -1,0 +1,254 @@
+"""Test-bench components that emulate the surroundings of a single router.
+
+The power experiments of Section 6/7 exercise one router with streams that
+enter or leave through its neighbour ports (Table 3: Tile→East, North→Tile,
+West→East).  These classes stand in for the upstream and downstream routers
+and the local processing tile:
+
+* :class:`LaneStreamDriver` — emulates an upstream router driving one lane of
+  an incoming link (it contains the same serialiser and window counter a real
+  source would use),
+* :class:`LaneStreamConsumer` — emulates a downstream router plus destination
+  tile: it deserialises one lane of an outgoing link, consumes the words and
+  returns acknowledge pulses,
+* :class:`TileStreamDriver` / :class:`TileStreamConsumer` — the same roles for
+  streams that start or end at the router's own tile interface.
+
+They are ordinary :class:`repro.sim.ClockedComponent` objects, so a scenario
+is simply a kernel containing the router under test plus a handful of these.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.data_converter import LaneDeserializer, LaneSerializer, ReceivedWord
+from repro.core.flow_control import FlowControlConfig
+from repro.core.header import LaneHeader, LanePacket, phits_per_packet
+from repro.core.lane import LaneLink
+from repro.core.router import CircuitSwitchedRouter
+from repro.energy.activity import ActivityCounters
+from repro.sim.engine import ClockedComponent
+
+__all__ = [
+    "WordSource",
+    "LaneStreamDriver",
+    "LaneStreamConsumer",
+    "TileStreamDriver",
+    "TileStreamConsumer",
+]
+
+#: A callable producing the next data word of a stream.
+WordSource = Callable[[], int]
+
+
+class _LoadPacer:
+    """Turns a load fraction into a word-emission schedule.
+
+    A lane transports one word every ``phits_per_packet`` cycles at 100 %
+    load; the pacer accumulates ``load`` credits per cycle and releases a word
+    whenever a full packet's worth of credit is available.
+    """
+
+    def __init__(self, load: float, cycles_per_word: int) -> None:
+        if not 0.0 <= load <= 1.0:
+            raise ValueError("load must be within [0, 1]")
+        if cycles_per_word < 1:
+            raise ValueError("cycles_per_word must be positive")
+        self.load = load
+        self.cycles_per_word = cycles_per_word
+        self._credit = 0.0
+
+    def should_emit(self) -> bool:
+        """Advance one cycle and report whether a word should be offered now."""
+        self._credit += self.load
+        if self._credit >= self.cycles_per_word:
+            self._credit -= self.cycles_per_word
+            return True
+        return False
+
+
+class LaneStreamDriver(ClockedComponent):
+    """Drives one lane of a link *into* the router under test.
+
+    Parameters
+    ----------
+    link:
+        The :class:`LaneLink` attached as the router's incoming bundle on the
+        chosen port; the driver plays the role of the upstream router.
+    lane:
+        Which lane of the bundle the stream occupies.
+    word_source:
+        Callable returning the next 16-bit data word.
+    load:
+        Offered load as a fraction of the lane's capacity (1.0 = a word every
+        5 cycles at the default geometry).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        link: LaneLink,
+        lane: int,
+        word_source: WordSource,
+        load: float = 1.0,
+        data_width: int = 16,
+        flow: FlowControlConfig = FlowControlConfig(),
+    ) -> None:
+        super().__init__(name)
+        self.link = link
+        self.lane = lane
+        self.word_source = word_source
+        self.data_width = data_width
+        self.activity = ActivityCounters(name)
+        self.serializer = LaneSerializer(
+            lane, link.lane_width, data_width, tx_queue_depth=4, flow=flow, activity=self.activity
+        )
+        self._pacer = _LoadPacer(load, phits_per_packet(data_width, link.lane_width))
+        self.words_offered = 0
+        self.words_dropped = 0
+
+    def evaluate(self, cycle: int) -> None:
+        if self._pacer.should_emit():
+            self.words_offered += 1
+            if self.serializer.can_accept():
+                packet = LanePacket(self.word_source(), LaneHeader(valid=True), self.data_width)
+                self.serializer.submit(packet)
+            else:
+                self.words_dropped += 1
+
+    def commit(self, cycle: int) -> None:
+        ack = self.link.read_ack(self.lane)
+        self.serializer.tick(ack)
+        self.link.drive_forward(self.lane, self.serializer.output_phit)
+
+    @property
+    def words_sent(self) -> int:
+        """Words actually loaded into the lane."""
+        return self.serializer.words_loaded
+
+    def reset(self) -> None:
+        self.serializer.reset()
+        self.words_offered = 0
+        self.words_dropped = 0
+
+
+class LaneStreamConsumer(ClockedComponent):
+    """Consumes one lane of a link *out of* the router under test."""
+
+    def __init__(
+        self,
+        name: str,
+        link: LaneLink,
+        lane: int,
+        data_width: int = 16,
+        flow: FlowControlConfig = FlowControlConfig(),
+    ) -> None:
+        super().__init__(name)
+        self.link = link
+        self.lane = lane
+        self.activity = ActivityCounters(name)
+        self.deserializer = LaneDeserializer(
+            lane, link.lane_width, data_width, flow=flow, activity=self.activity
+        )
+        self.received: List[ReceivedWord] = []
+
+    def evaluate(self, cycle: int) -> None:  # all work happens at the clock edge
+        pass
+
+    def commit(self, cycle: int) -> None:
+        phit = self.link.read_forward(self.lane)
+        self.deserializer.tick(phit, cycle)
+        # The destination tile reads everything immediately (it never stalls).
+        while self.deserializer.available():
+            word = self.deserializer.receive()
+            if word is not None:
+                self.received.append(word)
+        self.link.drive_ack(self.lane, self.deserializer.ack_pulse)
+
+    @property
+    def words_received(self) -> int:
+        """Words fully reassembled and consumed."""
+        return len(self.received)
+
+    def reset(self) -> None:
+        self.deserializer.reset()
+        self.received.clear()
+
+
+class TileStreamDriver(ClockedComponent):
+    """Feeds a stream into the router through its own tile interface."""
+
+    def __init__(
+        self,
+        name: str,
+        router: CircuitSwitchedRouter,
+        lane: int,
+        word_source: WordSource,
+        load: float = 1.0,
+        mark_blocks: Optional[int] = None,
+    ) -> None:
+        super().__init__(name)
+        self.router = router
+        self.lane = lane
+        self.word_source = word_source
+        self.mark_blocks = mark_blocks
+        self._pacer = _LoadPacer(
+            load, phits_per_packet(router.data_width, router.lane_width)
+        )
+        self.words_offered = 0
+        self.words_sent = 0
+        self.words_dropped = 0
+        self._index = 0
+
+    def evaluate(self, cycle: int) -> None:
+        if not self._pacer.should_emit():
+            return
+        self.words_offered += 1
+        sob = eob = False
+        if self.mark_blocks:
+            position = self._index % self.mark_blocks
+            sob = position == 0
+            eob = position == self.mark_blocks - 1
+        if self.router.tile.send(self.lane, self.word_source(), sob=sob, eob=eob):
+            self.words_sent += 1
+            self._index += 1
+        else:
+            self.words_dropped += 1
+
+    def commit(self, cycle: int) -> None:  # the router itself owns the clocked state
+        pass
+
+    def reset(self) -> None:
+        self.words_offered = 0
+        self.words_sent = 0
+        self.words_dropped = 0
+        self._index = 0
+
+
+class TileStreamConsumer(ClockedComponent):
+    """Drains words arriving at the router's tile interface."""
+
+    def __init__(self, name: str, router: CircuitSwitchedRouter, lane: int) -> None:
+        super().__init__(name)
+        self.router = router
+        self.lane = lane
+        self.received: List[ReceivedWord] = []
+
+    def evaluate(self, cycle: int) -> None:
+        pass
+
+    def commit(self, cycle: int) -> None:
+        while self.router.tile.rx_available(self.lane):
+            word = self.router.tile.receive(self.lane)
+            if word is None:
+                break
+            self.received.append(word)
+
+    @property
+    def words_received(self) -> int:
+        """Words delivered to the local tile."""
+        return len(self.received)
+
+    def reset(self) -> None:
+        self.received.clear()

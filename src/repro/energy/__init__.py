@@ -1,0 +1,63 @@
+"""Area, timing and power models for the 0.13 µm router implementations.
+
+The paper evaluates both routers with Synopsys synthesis and Power Compiler
+on a TSMC 0.13 µm standard-cell library (Section 7).  Neither the RTL nor the
+cell library is available, so this package provides the substitute described
+in DESIGN.md:
+
+* :mod:`repro.energy.technology` — process constants (gate area, FO4 delay,
+  leakage density, per-event energies) for a modelled 0.13 µm node,
+* :mod:`repro.energy.gates` — gate-equivalent costs of the structural
+  primitives (muxes, flip-flops, FIFO bits, arbiters),
+* :mod:`repro.energy.area` — per-component area models of both routers,
+  calibrated at the default design point to Table 4,
+* :mod:`repro.energy.timing` — critical-path models giving the maximum clock
+  frequency and per-link bandwidth of Table 4,
+* :mod:`repro.energy.activity` — switching-activity counters filled in by the
+  bit-accurate router simulations,
+* :mod:`repro.energy.power` — the static / internal-cell / switching power
+  estimation used for Figures 9 and 10,
+* :mod:`repro.energy.synthesis` — "synthesis report" helpers that regenerate
+  Table 4.
+"""
+
+from repro.energy.technology import Technology, TSMC_130NM_LVHP
+from repro.energy.gates import GateLibrary, DEFAULT_GATES
+from repro.energy.area import (
+    AreaModel,
+    ComponentArea,
+    CircuitSwitchedRouterArea,
+    PacketSwitchedRouterArea,
+    AetherealRouterArea,
+)
+from repro.energy.timing import (
+    TimingPath,
+    CircuitSwitchedTiming,
+    PacketSwitchedTiming,
+    link_bandwidth_gbps,
+)
+from repro.energy.activity import ActivityCounters
+from repro.energy.power import PowerBreakdown, PowerModel
+from repro.energy.synthesis import SynthesisResult, synthesize_router, table4_results
+
+__all__ = [
+    "Technology",
+    "TSMC_130NM_LVHP",
+    "GateLibrary",
+    "DEFAULT_GATES",
+    "AreaModel",
+    "ComponentArea",
+    "CircuitSwitchedRouterArea",
+    "PacketSwitchedRouterArea",
+    "AetherealRouterArea",
+    "TimingPath",
+    "CircuitSwitchedTiming",
+    "PacketSwitchedTiming",
+    "link_bandwidth_gbps",
+    "ActivityCounters",
+    "PowerBreakdown",
+    "PowerModel",
+    "SynthesisResult",
+    "synthesize_router",
+    "table4_results",
+]

@@ -1,0 +1,127 @@
+"""Gate-equivalent cost library for the structural area models.
+
+The area models in :mod:`repro.energy.area` describe each router component in
+terms of the primitives a synthesis tool would map it to: 2-input muxes,
+flip-flops, FIFO storage bits, decoders, counters and round-robin arbiters.
+This module assigns a gate-equivalent (GE) count to each primitive — one GE
+being the area of a minimum-drive NAND2 — so that the area models stay
+readable and every structural assumption is in one place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["GateLibrary", "DEFAULT_GATES"]
+
+
+@dataclass(frozen=True)
+class GateLibrary:
+    """Gate-equivalent costs of the structural primitives.
+
+    The per-primitive values are typical standard-cell figures (a scan
+    flip-flop is ≈6 NAND2 equivalents, a 2:1 mux ≈1.75, an area-optimised
+    latch-based FIFO bit ≈2.2, …).  They are shared by both routers so that
+    the circuit-switched / packet-switched comparison is apples-to-apples.
+    """
+
+    ge_nand2: float = 1.0
+    ge_inverter: float = 0.67
+    ge_mux2: float = 1.75
+    ge_xor2: float = 2.0
+    ge_dff: float = 6.0
+    ge_fifo_bit: float = 2.05
+    ge_sram_bit: float = 1.5
+    ge_full_adder: float = 4.5
+
+    # -- combinational structures -------------------------------------------
+
+    def mux_tree_ge(self, inputs: int, width: int = 1) -> float:
+        """GE count of an *inputs*-to-1 multiplexer, *width* bits wide.
+
+        An N:1 mux needs N−1 two-input muxes per bit.
+        """
+        if inputs < 1:
+            raise ValueError("a mux needs at least one input")
+        if width < 1:
+            raise ValueError("width must be at least one bit")
+        return max(0, inputs - 1) * self.ge_mux2 * width
+
+    @staticmethod
+    def mux_tree_levels(inputs: int) -> int:
+        """Number of 2:1 mux levels on the select path of an N:1 mux."""
+        if inputs < 1:
+            raise ValueError("a mux needs at least one input")
+        return max(1, math.ceil(math.log2(inputs))) if inputs > 1 else 0
+
+    def decoder_ge(self, outputs: int) -> float:
+        """GE count of a one-hot address decoder with *outputs* outputs."""
+        if outputs < 1:
+            raise ValueError("decoder needs at least one output")
+        return outputs * 3.0 * self.ge_nand2
+
+    def or_tree_ge(self, inputs: int) -> float:
+        """GE count of an OR-reduction over *inputs* signals."""
+        if inputs < 1:
+            raise ValueError("or tree needs at least one input")
+        return max(0, inputs - 1) * self.ge_nand2
+
+    def comparator_ge(self, bits: int) -> float:
+        """GE count of an equality/magnitude comparator over *bits* bits."""
+        if bits < 1:
+            raise ValueError("comparator needs at least one bit")
+        return bits * 2.0 * self.ge_nand2
+
+    def adder_ge(self, bits: int) -> float:
+        """GE count of a ripple adder / incrementer over *bits* bits."""
+        if bits < 1:
+            raise ValueError("adder needs at least one bit")
+        return bits * self.ge_full_adder
+
+    # -- sequential structures ----------------------------------------------
+
+    def register_ge(self, bits: int) -> float:
+        """GE count of a *bits*-wide flip-flop register."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        return bits * self.ge_dff
+
+    def counter_ge(self, bits: int) -> float:
+        """GE count of a loadable binary counter of *bits* bits."""
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        return bits * (self.ge_dff + 2.5 * self.ge_nand2)
+
+    def fifo_ge(self, depth: int, width: int) -> float:
+        """GE count of a register/latch FIFO of *depth* entries × *width* bits.
+
+        The cost covers the storage matrix (area-efficient latch cells), the
+        read/write pointers, the status logic and the read multiplexer.
+        """
+        if depth < 1 or width < 1:
+            raise ValueError("FIFO depth and width must be at least one")
+        pointer_bits = max(1, math.ceil(math.log2(depth)))
+        storage = depth * width * self.ge_fifo_bit
+        pointers = 2 * self.counter_ge(pointer_bits)
+        status = 30.0 * self.ge_nand2
+        read_mux = self.mux_tree_ge(depth, width)
+        return storage + pointers + status + read_mux
+
+    def rr_arbiter_ge(self, requesters: int) -> float:
+        """GE count of a round-robin arbiter over *requesters* request lines."""
+        if requesters < 1:
+            raise ValueError("arbiter needs at least one requester")
+        pointer_bits = max(1, math.ceil(math.log2(requesters))) if requesters > 1 else 1
+        return requesters * 1.0 * self.ge_nand2 + self.register_ge(pointer_bits)
+
+    def memory_ge(self, bits: int, flip_flop_based: bool = True) -> float:
+        """GE count of a small configuration memory of *bits* bits."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        per_bit = self.ge_dff if flip_flop_based else self.ge_sram_bit
+        return bits * per_bit
+
+
+#: Library instance shared by all area models.
+DEFAULT_GATES = GateLibrary()

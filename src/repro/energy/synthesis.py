@@ -1,0 +1,138 @@
+"""Synthesis-style reporting: regenerates Table 4 of the paper.
+
+A :class:`SynthesisResult` bundles what the paper reports per router: port
+count, data width, per-component areas, total area, maximum clock frequency
+and the resulting per-link bandwidth.  :func:`table4_results` produces the
+three columns of Table 4 (circuit-switched, packet-switched, Æthereal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.energy.area import (
+    AetherealRouterArea,
+    AreaModel,
+    CircuitSwitchedRouterArea,
+    PacketSwitchedRouterArea,
+)
+from repro.energy.technology import TSMC_130NM_LVHP, Technology
+from repro.energy.timing import (
+    CircuitSwitchedTiming,
+    PacketSwitchedTiming,
+    link_bandwidth_gbps,
+)
+
+__all__ = ["SynthesisResult", "synthesize_router", "table4_results"]
+
+
+@dataclass
+class SynthesisResult:
+    """One column of Table 4."""
+
+    router: str
+    num_ports: int
+    data_width_bits: int
+    component_areas_mm2: Dict[str, float] = field(default_factory=dict)
+    total_area_mm2: float = 0.0
+    max_frequency_mhz: float = 0.0
+    link_bandwidth_gbps: float = 0.0
+
+    def as_dict(self) -> Dict[str, float | int | str]:
+        """Flat mapping used by the report formatter."""
+        result: Dict[str, float | int | str] = {
+            "router": self.router,
+            "ports": self.num_ports,
+            "data_width_bits": self.data_width_bits,
+            "total_area_mm2": self.total_area_mm2,
+            "max_frequency_mhz": self.max_frequency_mhz,
+            "link_bandwidth_gbps": self.link_bandwidth_gbps,
+        }
+        for name, area in self.component_areas_mm2.items():
+            result[f"area_{name}_mm2"] = area
+        return result
+
+
+def _result_from_area(
+    router: str,
+    area_model: AreaModel,
+    num_ports: int,
+    data_width_bits: int,
+    max_frequency_mhz: float,
+) -> SynthesisResult:
+    components = {c.name: c.area_mm2 for c in area_model.components()}
+    return SynthesisResult(
+        router=router,
+        num_ports=num_ports,
+        data_width_bits=data_width_bits,
+        component_areas_mm2=components,
+        total_area_mm2=area_model.total_mm2,
+        max_frequency_mhz=max_frequency_mhz,
+        link_bandwidth_gbps=link_bandwidth_gbps(data_width_bits, max_frequency_mhz),
+    )
+
+
+def synthesize_router(
+    kind: str,
+    tech: Technology = TSMC_130NM_LVHP,
+    *,
+    num_ports: int = 5,
+    lanes_per_port: int = 4,
+    lane_width: int = 4,
+    data_width: int = 16,
+    num_vcs: int = 4,
+    fifo_depth: int = 8,
+) -> SynthesisResult:
+    """Produce the synthesis report of one router.
+
+    Parameters
+    ----------
+    kind:
+        ``"circuit"``, ``"packet"`` or ``"aethereal"``.
+    tech:
+        Technology node to synthesise for.
+    Other parameters:
+        Design-point parameters; the defaults are the paper's.
+    """
+    kind = kind.lower()
+    if kind in ("circuit", "circuit_switched", "cs"):
+        area = CircuitSwitchedRouterArea(num_ports, lanes_per_port, lane_width, data_width, tech)
+        timing = CircuitSwitchedTiming(num_ports, lanes_per_port, lane_width, tech)
+        return _result_from_area(
+            "circuit_switched", area, num_ports, data_width, timing.max_frequency_mhz()
+        )
+    if kind in ("packet", "packet_switched", "ps"):
+        area = PacketSwitchedRouterArea(num_ports, data_width, num_vcs, fifo_depth, tech=tech)
+        timing = PacketSwitchedTiming(num_ports, num_vcs, fifo_depth, tech)
+        return _result_from_area(
+            "packet_switched", area, num_ports, data_width, timing.max_frequency_mhz()
+        )
+    if kind in ("aethereal", "ae"):
+        area = AetherealRouterArea(tech)
+        # The paper quotes the published layout figures for Æthereal rather
+        # than re-synthesising it; we do the same (500 MHz, 6 ports, 32 bit).
+        return _result_from_area(
+            "aethereal", area, area.num_ports, area.data_width, 500.0
+        )
+    raise ValueError(f"unknown router kind {kind!r}")
+
+
+def table4_results(tech: Technology = TSMC_130NM_LVHP) -> List[SynthesisResult]:
+    """The three columns of Table 4 at the paper's default design point."""
+    return [
+        synthesize_router("circuit", tech),
+        synthesize_router("packet", tech),
+        synthesize_router("aethereal", tech),
+    ]
+
+
+def area_ratio(results: Optional[List[SynthesisResult]] = None) -> float:
+    """Packet-switched total area divided by circuit-switched total area.
+
+    The paper's headline claim is that this ratio is ≈3.5.
+    """
+    if results is None:
+        results = table4_results()
+    by_name = {r.router: r for r in results}
+    return by_name["packet_switched"].total_area_mm2 / by_name["circuit_switched"].total_area_mm2

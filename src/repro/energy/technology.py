@@ -1,0 +1,172 @@
+"""Technology constants of the modelled 0.13 µm standard-cell process.
+
+The paper synthesises both routers in "a TSMC low voltage, nominal VT
+(TCB013LVHP) standard cell library" (Section 7.1).  We model that process
+with a small set of constants:
+
+* geometric constants (area of one gate equivalent, layout overhead),
+* timing constants (FO4 inverter delay),
+* power constants (leakage density, clock/idle power density, per-event
+  energies for register toggles, crossbar and link wire toggles, buffer
+  accesses and arbitration events).
+
+Calibration
+-----------
+The constants are calibrated **once**, at the paper's default design point,
+against the published Table 4 areas/frequencies and the magnitudes of
+Figures 9 and 10, and are then held fixed for every experiment, scenario,
+bit-flip rate and ablation in this repository (see DESIGN.md §2 and §5).
+They are physically plausible values for a 0.13 µm low-k process
+(e.g. ≈5 µm² per gate equivalent, ≈45 ps FO4); they are *not* fitted per
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["Technology", "TSMC_130NM_LVHP", "scale_technology"]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process and calibration constants for the energy/area/timing models.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier used in reports.
+    feature_size_nm:
+        Drawn gate length in nanometres (130 for the paper's process).
+    vdd_v:
+        Nominal supply voltage.
+    ge_area_um2:
+        Area of one gate equivalent (a drive-1 NAND2) in µm².
+    layout_overhead:
+        Multiplicative factor covering cell-row utilisation, wiring and
+        clock-tree area that synthesis adds on top of raw gate area.
+    fo4_delay_ps:
+        Delay of a fanout-of-4 inverter; all critical-path delays are
+        expressed in FO4 units.
+    clock_skew_margin_fo4:
+        Timing margin (clock skew + jitter) included in every critical path.
+    leakage_uw_per_mm2:
+        Static (leakage) power density.
+    clock_power_density_uw_per_mhz_per_mm2:
+        Data-independent dynamic power density (clock tree, idle cell-internal
+        power).  This produces the large "offset" in the dynamic power that
+        the paper highlights in Section 7.3.
+    e_reg_toggle_internal_fj / e_reg_toggle_switching_fj:
+        Internal-cell and net-switching energy per toggled register bit.
+    e_xbar_toggle_fj:
+        Net-switching energy per toggled bit on a crossbar output net.
+    e_link_toggle_fj:
+        Net-switching energy per toggled bit on an inter-router link wire.
+    e_buffer_write_fj_per_bit / e_buffer_read_fj_per_bit:
+        Internal energy per bit written to / read from an input-buffer FIFO
+        (packet-switched router only).
+    e_arbiter_decision_fj:
+        Internal energy of one switch-allocation decision.
+    e_arbiter_grant_change_fj:
+        Extra switching energy when an arbiter changes its grant (crossbar
+        select lines toggle); this is the mechanism behind the packet-switched
+        non-linearity the paper observes when two streams collide on one
+        output port.
+    e_config_write_fj:
+        Energy of writing one configuration-memory entry.
+    """
+
+    name: str = "modelled TSMC 0.13um LVHP"
+    feature_size_nm: float = 130.0
+    vdd_v: float = 1.2
+    ge_area_um2: float = 5.1
+    layout_overhead: float = 1.7
+    fo4_delay_ps: float = 45.0
+    clock_skew_margin_fo4: float = 1.7
+    leakage_uw_per_mm2: float = 155.0
+    clock_power_density_uw_per_mhz_per_mm2: float = 215.0
+    e_reg_toggle_internal_fj: float = 22.0
+    e_reg_toggle_switching_fj: float = 28.0
+    e_xbar_toggle_fj: float = 40.0
+    e_link_toggle_fj: float = 55.0
+    e_buffer_write_fj_per_bit: float = 60.0
+    e_buffer_read_fj_per_bit: float = 40.0
+    e_arbiter_decision_fj: float = 350.0
+    e_arbiter_grant_change_fj: float = 900.0
+    e_config_write_fj: float = 500.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "feature_size_nm",
+            "vdd_v",
+            "ge_area_um2",
+            "layout_overhead",
+            "fo4_delay_ps",
+            "leakage_uw_per_mm2",
+            "clock_power_density_uw_per_mhz_per_mm2",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    # -- derived helpers ---------------------------------------------------
+
+    def ge_to_mm2(self, gate_equivalents: float, wiring_factor: float = 1.0) -> float:
+        """Convert a gate-equivalent count into silicon area in mm²."""
+        if gate_equivalents < 0:
+            raise ValueError("gate_equivalents must be non-negative")
+        if wiring_factor <= 0:
+            raise ValueError("wiring_factor must be positive")
+        um2 = gate_equivalents * self.ge_area_um2 * self.layout_overhead * wiring_factor
+        return um2 * 1e-6
+
+    def fo4_to_ns(self, fo4_stages: float) -> float:
+        """Convert a delay expressed in FO4 units into nanoseconds."""
+        return fo4_stages * self.fo4_delay_ps * 1e-3
+
+    def max_frequency_mhz(self, critical_path_fo4: float) -> float:
+        """Maximum clock frequency for a critical path of *critical_path_fo4* FO4."""
+        if critical_path_fo4 <= 0:
+            raise ValueError("critical path must be positive")
+        period_ns = self.fo4_to_ns(critical_path_fo4 + self.clock_skew_margin_fo4)
+        return 1e3 / period_ns
+
+
+#: The default, paper-matching technology instance.
+TSMC_130NM_LVHP = Technology()
+
+
+def scale_technology(tech: Technology, feature_size_nm: float, name: str | None = None) -> Technology:
+    """Derive a coarsely scaled technology node from *tech*.
+
+    Classic constant-field scaling rules are used (area ∝ L², delay ∝ L,
+    dynamic energy ∝ L·V², leakage density grows when scaling down).  This is
+    an *extension* beyond the paper — useful for "what would this router cost
+    at 90/65 nm" studies — and is intentionally first-order only.
+    """
+    if feature_size_nm <= 0:
+        raise ValueError("feature_size_nm must be positive")
+    s = feature_size_nm / tech.feature_size_nm
+    voltage_scale = max(0.7, min(1.0, s))  # supply does not scale below ~0.85 V
+    vdd = tech.vdd_v * voltage_scale
+    energy_scale = s * voltage_scale**2
+    return replace(
+        tech,
+        name=name or f"scaled {feature_size_nm:.0f}nm (from {tech.name})",
+        feature_size_nm=feature_size_nm,
+        vdd_v=vdd,
+        ge_area_um2=tech.ge_area_um2 * s**2,
+        fo4_delay_ps=tech.fo4_delay_ps * s,
+        leakage_uw_per_mm2=tech.leakage_uw_per_mm2 / s,
+        clock_power_density_uw_per_mhz_per_mm2=(
+            tech.clock_power_density_uw_per_mhz_per_mm2 * voltage_scale**2 / s
+        ),
+        e_reg_toggle_internal_fj=tech.e_reg_toggle_internal_fj * energy_scale,
+        e_reg_toggle_switching_fj=tech.e_reg_toggle_switching_fj * energy_scale,
+        e_xbar_toggle_fj=tech.e_xbar_toggle_fj * energy_scale,
+        e_link_toggle_fj=tech.e_link_toggle_fj * energy_scale,
+        e_buffer_write_fj_per_bit=tech.e_buffer_write_fj_per_bit * energy_scale,
+        e_buffer_read_fj_per_bit=tech.e_buffer_read_fj_per_bit * energy_scale,
+        e_arbiter_decision_fj=tech.e_arbiter_decision_fj * energy_scale,
+        e_arbiter_grant_change_fj=tech.e_arbiter_grant_change_fj * energy_scale,
+        e_config_write_fj=tech.e_config_write_fj * energy_scale,
+    )

@@ -1,0 +1,182 @@
+"""Critical-path timing models: maximum frequency and link bandwidth (Table 4).
+
+The paper reports 1075 MHz for the circuit-switched router and 507 MHz for
+the packet-switched baseline after synthesis in the same 0.13 µm process.
+Since the circuit-switched data path is only a configured multiplexer in
+front of a register ("the speed of the total network will therefore only
+depend on the maximum delay in a single router plus the maximum wire delay of
+the link", Section 5.1), while the packet-switched path adds buffer read, VC
+selection, switch arbitration and a wider crossbar, the frequency ratio falls
+directly out of the respective pipeline-stage structure.
+
+Delays are expressed in FO4 units and converted with the technology's FO4
+delay.  The stage inventory below is an engineering estimate of the
+synthesised logic levels — each stage is listed explicitly so that the model
+is auditable and the ablations (more lanes → deeper mux tree → slower clock)
+behave qualitatively correctly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.energy.gates import DEFAULT_GATES, GateLibrary
+from repro.energy.technology import TSMC_130NM_LVHP, Technology
+
+__all__ = [
+    "TimingPath",
+    "CircuitSwitchedTiming",
+    "PacketSwitchedTiming",
+    "link_bandwidth_gbps",
+]
+
+# FO4 cost per structural timing element.
+_FO4_CLK_TO_Q = 2.5
+_FO4_PER_MUX_LEVEL = 2.2
+_FO4_SELECT_BUFFERING = 2.0
+_FO4_OUTPUT_WIRE = 4.0
+_FO4_SETUP = 1.7
+_FO4_ARBITER_PER_LEVEL = 2.5
+_FO4_CONTROL_DECODE = 2.6
+
+
+@dataclass
+class TimingPath:
+    """A named critical path expressed as a sum of FO4 stage delays."""
+
+    name: str
+    stages: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, stage: str, fo4: float) -> None:
+        """Append a stage of *fo4* FO4 units to the path."""
+        if fo4 < 0:
+            raise ValueError("stage delay must be non-negative")
+        self.stages[stage] = self.stages.get(stage, 0.0) + fo4
+
+    @property
+    def total_fo4(self) -> float:
+        """Total path delay in FO4 units."""
+        return sum(self.stages.values())
+
+    def delay_ns(self, tech: Technology) -> float:
+        """Path delay in nanoseconds for the given technology."""
+        return tech.fo4_to_ns(self.total_fo4)
+
+    def max_frequency_mhz(self, tech: Technology) -> float:
+        """Maximum clock frequency implied by this path (including skew margin)."""
+        return tech.max_frequency_mhz(self.total_fo4)
+
+
+class CircuitSwitchedTiming:
+    """Critical path of the circuit-switched router.
+
+    The path runs from an input-lane register of the upstream router through
+    the configured crossbar multiplexer to the registered output lane:
+    clock-to-Q, the mux tree (log2 of the selectable inputs levels), the
+    configuration-select buffering, the output/link wire and setup.
+    """
+
+    def __init__(
+        self,
+        num_ports: int = 5,
+        lanes_per_port: int = 4,
+        lane_width: int = 4,
+        tech: Technology = TSMC_130NM_LVHP,
+        gates: GateLibrary = DEFAULT_GATES,
+    ) -> None:
+        if num_ports < 2 or lanes_per_port < 1 or lane_width < 1:
+            raise ValueError("invalid router parameters")
+        self.num_ports = num_ports
+        self.lanes_per_port = lanes_per_port
+        self.lane_width = lane_width
+        self.tech = tech
+        self.gates = gates
+
+    @property
+    def crossbar_inputs_per_output(self) -> int:
+        """Selectable inputs per output lane (paper: 16)."""
+        return (self.num_ports - 1) * self.lanes_per_port
+
+    def critical_path(self) -> TimingPath:
+        """Build the router's critical path."""
+        path = TimingPath("circuit_switched")
+        path.add("clk_to_q", _FO4_CLK_TO_Q)
+        levels = self.gates.mux_tree_levels(self.crossbar_inputs_per_output)
+        path.add("crossbar_mux", levels * _FO4_PER_MUX_LEVEL)
+        path.add("config_select_buffering", _FO4_SELECT_BUFFERING)
+        path.add("output_wire", _FO4_OUTPUT_WIRE)
+        path.add("setup", _FO4_SETUP)
+        return path
+
+    def max_frequency_mhz(self) -> float:
+        """Maximum clock frequency of the router."""
+        return self.critical_path().max_frequency_mhz(self.tech)
+
+
+class PacketSwitchedTiming:
+    """Critical path of the packet-switched (virtual-channel) baseline.
+
+    The path covers the buffer read multiplexer, virtual-channel selection,
+    the switch allocator (round-robin over all VC buffers), the output
+    crossbar multiplexer, control decode, the output wire and setup — the
+    classic single-cycle wormhole router loop.
+    """
+
+    def __init__(
+        self,
+        num_ports: int = 5,
+        num_vcs: int = 4,
+        fifo_depth: int = 8,
+        tech: Technology = TSMC_130NM_LVHP,
+        gates: GateLibrary = DEFAULT_GATES,
+    ) -> None:
+        if num_ports < 2 or num_vcs < 1 or fifo_depth < 1:
+            raise ValueError("invalid router parameters")
+        self.num_ports = num_ports
+        self.num_vcs = num_vcs
+        self.fifo_depth = fifo_depth
+        self.tech = tech
+        self.gates = gates
+
+    @property
+    def total_vc_buffers(self) -> int:
+        """Number of VC buffers competing for the switch (paper: 20)."""
+        return self.num_ports * self.num_vcs
+
+    def critical_path(self) -> TimingPath:
+        """Build the router's critical path."""
+        path = TimingPath("packet_switched")
+        path.add("clk_to_q", _FO4_CLK_TO_Q)
+        path.add(
+            "buffer_read_mux",
+            self.gates.mux_tree_levels(self.fifo_depth) * _FO4_PER_MUX_LEVEL,
+        )
+        path.add(
+            "vc_select_mux",
+            self.gates.mux_tree_levels(self.num_vcs) * _FO4_PER_MUX_LEVEL,
+        )
+        arbiter_levels = math.log2(self.total_vc_buffers)
+        path.add("switch_arbitration", arbiter_levels * _FO4_ARBITER_PER_LEVEL)
+        path.add(
+            "crossbar_mux",
+            math.log2(self.total_vc_buffers) * _FO4_PER_MUX_LEVEL,
+        )
+        path.add("control_decode", _FO4_CONTROL_DECODE)
+        path.add("output_wire", _FO4_OUTPUT_WIRE)
+        path.add("setup", _FO4_SETUP)
+        return path
+
+    def max_frequency_mhz(self) -> float:
+        """Maximum clock frequency of the router."""
+        return self.critical_path().max_frequency_mhz(self.tech)
+
+
+def link_bandwidth_gbps(link_width_bits: int, frequency_mhz: float) -> float:
+    """Raw per-direction link bandwidth in Gbit/s (Table 4, last row)."""
+    if link_width_bits <= 0:
+        raise ValueError("link width must be positive")
+    if frequency_mhz <= 0:
+        raise ValueError("frequency must be positive")
+    return link_width_bits * frequency_mhz * 1e6 / 1e9

@@ -1,0 +1,54 @@
+"""Experiment harnesses that regenerate every table and figure of the paper.
+
+One module per published artefact (see DESIGN.md §4 for the full index):
+
+========  ======================================  ==========================
+artefact  module                                  what it checks
+========  ======================================  ==========================
+Table 1   :mod:`repro.experiments.table1`         HiperLAN/2 edge bandwidths
+Table 2   :mod:`repro.experiments.table2`         UMTS edge bandwidths
+Table 3   :mod:`repro.experiments.scenarios`      stream / scenario definitions
+Table 4   :mod:`repro.experiments.table4`         router synthesis results
+Fig. 9    :mod:`repro.experiments.figure9`        power per scenario
+Fig. 10   :mod:`repro.experiments.figure10`       power vs. bit flips
+ablations :mod:`repro.experiments.ablations`      clock gating, lanes, window
+========  ======================================  ==========================
+"""
+
+from repro.experiments.harness import (
+    DEFAULT_CYCLES,
+    DEFAULT_FREQUENCY_HZ,
+    ScenarioRunResult,
+    run_circuit_scenario,
+    run_packet_scenario,
+    run_scenario,
+)
+from repro.experiments import (
+    ablations,
+    figure9,
+    figure10,
+    paper_data,
+    report,
+    scenarios,
+    table1,
+    table2,
+    table4,
+)
+
+__all__ = [
+    "DEFAULT_CYCLES",
+    "DEFAULT_FREQUENCY_HZ",
+    "ScenarioRunResult",
+    "run_circuit_scenario",
+    "run_packet_scenario",
+    "run_scenario",
+    "ablations",
+    "figure9",
+    "figure10",
+    "paper_data",
+    "report",
+    "scenarios",
+    "table1",
+    "table2",
+    "table4",
+]

@@ -1,0 +1,123 @@
+"""Experiment E-F10: regenerate Figure 10.
+
+Figure 10 plots the dynamic power per MHz of both routers and all four
+scenarios against the percentage of data bit flips (0 %, 50 %, 100 %) at
+100 % load.  The paper's conclusions from it (Section 7.3):
+
+* bit flips have only a *minor* influence on the dynamic power,
+* the number of concurrent data streams matters more,
+* the packet-switched router pays an extra penalty when two streams collide
+  on the same output port (time multiplexing causes additional switching in
+  the arbitration/crossbar control), visible as a non-linearity — the paper
+  labels it Scenario III, but streams 1 and 3 only coexist in Scenario IV
+  (see DESIGN.md §5); we evaluate it for Scenario IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.apps.traffic import SCENARIOS, BitFlipPattern
+from repro.experiments.harness import DEFAULT_CYCLES, DEFAULT_FREQUENCY_HZ, run_scenario
+from repro.experiments.paper_data import FIGURE10_EXPECTATIONS
+from repro.experiments.report import format_table
+
+__all__ = ["Figure10Data", "reproduce_figure10", "format_report"]
+
+#: The x-axis of Figure 10.
+FLIP_PERCENTAGES: Tuple[int, ...] = (0, 50, 100)
+
+
+@dataclass
+class Figure10Data:
+    """All series of Figure 10 plus derived qualitative checks."""
+
+    #: ``series[(router, scenario)][flip_percentage] = dynamic µW/MHz``
+    series: Dict[Tuple[str, str], Dict[int, float]]
+    checks: Dict[str, bool]
+
+    def rows(self) -> List[dict]:
+        """Flat rows for table rendering."""
+        rows: List[dict] = []
+        for (router, scenario), values in sorted(self.series.items()):
+            row: dict = {"router": router, "scenario": scenario}
+            for flip in FLIP_PERCENTAGES:
+                row[f"dyn_uw_per_mhz_{flip}pct"] = values[flip]
+            rows.append(row)
+        return rows
+
+
+def reproduce_figure10(
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+    cycles: int = DEFAULT_CYCLES,
+    load: float = 1.0,
+) -> Figure10Data:
+    """Run all router × scenario × flip-rate combinations of Figure 10."""
+    series: Dict[Tuple[str, str], Dict[int, float]] = {}
+    for kind, router_name in (("circuit", "circuit_switched"), ("packet", "packet_switched")):
+        for scenario_name in SCENARIOS:
+            values: Dict[int, float] = {}
+            for flip in FLIP_PERCENTAGES:
+                pattern = BitFlipPattern.from_flip_percentage(flip)
+                run = run_scenario(
+                    kind,
+                    scenario_name,
+                    pattern=pattern,
+                    load=load,
+                    frequency_hz=frequency_hz,
+                    cycles=cycles,
+                )
+                values[flip] = run.power.dynamic_uw_per_mhz
+            series[(router_name, scenario_name)] = values
+
+    def flip_sensitivity(router: str) -> float:
+        values = series[(router, "IV")]
+        return values[100] / values[0] if values[0] > 0 else float("inf")
+
+    def stream_count_vs_flips(router: str) -> float:
+        added_streams = series[(router, "IV")][50] - series[(router, "I")][50]
+        added_flips = series[(router, "IV")][100] - series[(router, "IV")][0]
+        if added_flips <= 0:
+            return float("inf")
+        return added_streams / added_flips
+
+    def collision_penalty() -> float:
+        """Extra cost of the third stream (collides on East) vs. the second
+        stream (no collision) for the packet-switched router at 50 % flips."""
+        ps = "packet_switched"
+        second = series[(ps, "III")][50] - series[(ps, "II")][50]
+        third = series[(ps, "IV")][50] - series[(ps, "III")][50]
+        if second <= 0:
+            return float("inf")
+        return third / second
+
+    checks = {
+        "flip_sensitivity_circuit": FIGURE10_EXPECTATIONS["flip_sensitivity_circuit"].check(
+            flip_sensitivity("circuit_switched")
+        ),
+        "flip_sensitivity_packet": FIGURE10_EXPECTATIONS["flip_sensitivity_packet"].check(
+            flip_sensitivity("packet_switched")
+        ),
+        "stream_count_dominates": FIGURE10_EXPECTATIONS["stream_count_dominates"].check(
+            min(stream_count_vs_flips("circuit_switched"), stream_count_vs_flips("packet_switched"))
+        ),
+        "collision_penalty": FIGURE10_EXPECTATIONS["collision_penalty"].check(collision_penalty()),
+    }
+    return Figure10Data(series=series, checks=checks)
+
+
+def format_report(data: Figure10Data | None = None) -> str:
+    """Human-readable Figure 10 report."""
+    if data is None:
+        data = reproduce_figure10()
+    lines = [
+        "Figure 10 - Data dependency of the dynamic power consumption (100 % load)",
+        "",
+        format_table(data.rows(), precision=2),
+        "",
+        "Qualitative checks (Section 7.3):",
+    ]
+    for name, passed in data.checks.items():
+        lines.append(f"  {name}: {'PASS' if passed else 'FAIL'}")
+    return "\n".join(lines)

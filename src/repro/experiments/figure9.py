@@ -1,0 +1,117 @@
+"""Experiment E-F9: regenerate Figure 9.
+
+Figure 9 shows, for both routers and the four traffic scenarios, the static
+power and the two dynamic power components (internal cell and switching) at a
+25 MHz clock, random data (50 % bit flips) and 100 % stream load over 200 µs.
+This module runs those sixteen bars' worth of simulations and checks the
+qualitative expectations of Section 7.3 (≈3.5× power advantage, small static
+share, dominant data-independent offset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.apps.traffic import SCENARIOS, BitFlipPattern
+from repro.experiments.harness import DEFAULT_CYCLES, DEFAULT_FREQUENCY_HZ, run_scenario
+from repro.experiments.paper_data import FIGURE9_EXPECTATIONS, PAPER_POWER_RATIO
+from repro.experiments.report import format_table
+
+__all__ = ["Figure9Data", "reproduce_figure9", "format_report"]
+
+_ROUTERS = ("circuit_switched", "packet_switched")
+
+
+@dataclass
+class Figure9Data:
+    """All bars of Figure 9 plus derived headline figures."""
+
+    rows: List[dict]
+    power_ratio_by_scenario: Dict[str, float]
+    checks: Dict[str, bool]
+
+    @property
+    def mean_power_ratio(self) -> float:
+        """Average packet/circuit total-power ratio over the four scenarios."""
+        values = list(self.power_ratio_by_scenario.values())
+        return sum(values) / len(values) if values else 0.0
+
+
+def reproduce_figure9(
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+    cycles: int = DEFAULT_CYCLES,
+    load: float = 1.0,
+    pattern: BitFlipPattern = BitFlipPattern.TYPICAL,
+) -> Figure9Data:
+    """Run all router × scenario combinations of Figure 9."""
+    rows: List[dict] = []
+    totals: Dict[tuple[str, str], float] = {}
+    dynamics: Dict[tuple[str, str], float] = {}
+    statics: Dict[str, float] = {}
+
+    for kind in ("circuit", "packet"):
+        for name in SCENARIOS:
+            run = run_scenario(
+                kind, name, pattern=pattern, load=load, frequency_hz=frequency_hz, cycles=cycles
+            )
+            power = run.power
+            rows.append(
+                {
+                    "router": run.router_kind,
+                    "scenario": name,
+                    "static_uw": power.static_uw,
+                    "internal_uw": power.internal_uw,
+                    "switching_uw": power.switching_uw,
+                    "total_uw": power.total_uw,
+                }
+            )
+            totals[(run.router_kind, name)] = power.total_uw
+            dynamics[(run.router_kind, name)] = power.dynamic_uw
+            statics[run.router_kind] = power.static_uw
+
+    power_ratio = {
+        name: totals[("packet_switched", name)] / totals[("circuit_switched", name)]
+        for name in SCENARIOS
+    }
+
+    checks = {
+        "power_ratio": all(
+            FIGURE9_EXPECTATIONS["power_ratio"].check(ratio) for ratio in power_ratio.values()
+        ),
+        "static_fraction_circuit": FIGURE9_EXPECTATIONS["static_fraction_circuit"].check(
+            statics["circuit_switched"] / totals[("circuit_switched", "IV")]
+        ),
+        "static_fraction_packet": FIGURE9_EXPECTATIONS["static_fraction_packet"].check(
+            statics["packet_switched"] / totals[("packet_switched", "IV")]
+        ),
+        "offset_fraction": all(
+            FIGURE9_EXPECTATIONS["offset_fraction"].check(
+                dynamics[(router, "I")] / dynamics[(router, "IV")]
+            )
+            for router in _ROUTERS
+        ),
+    }
+    return Figure9Data(rows=rows, power_ratio_by_scenario=power_ratio, checks=checks)
+
+
+def format_report(data: Figure9Data | None = None) -> str:
+    """Human-readable Figure 9 report."""
+    if data is None:
+        data = reproduce_figure9()
+    lines = [
+        "Figure 9 - Dynamic and static power for different scenarios",
+        "(25 MHz, random data, 100 % load, 200 us)",
+        "",
+        format_table(data.rows, precision=1),
+        "",
+        "Packet/circuit total power ratio per scenario "
+        f"(paper claim: ~{PAPER_POWER_RATIO}x):",
+    ]
+    for name, ratio in data.power_ratio_by_scenario.items():
+        lines.append(f"  scenario {name}: {ratio:.2f}x")
+    lines.append("")
+    lines.append("Qualitative checks (Section 7.3):")
+    for name, passed in data.checks.items():
+        lines.append(f"  {name}: {'PASS' if passed else 'FAIL'}")
+    return "\n".join(lines)

@@ -1,0 +1,296 @@
+"""Single-router power-scenario harness (Sections 6 and 7.2).
+
+The paper's power experiments place one router in a test bench, drive the
+streams of Table 3 through it at 25 MHz and 100 % load for 200 µs (5000
+cycles, 2 kB transported per stream) and report the static / internal /
+switching power.  This module builds exactly that test bench for either
+router so that Figures 9 and 10 can be regenerated with identical traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.traffic import BitFlipPattern, Scenario, StreamSpec, scenario_by_name, word_generator
+from repro.baseline.link import PacketLink
+from repro.baseline.router import PacketSwitchedRouter
+from repro.baseline.testbench import (
+    PacketStreamConsumer,
+    PacketStreamDriver,
+    TilePacketConsumer,
+    TilePacketDriver,
+)
+from repro.common import NEIGHBOR_PORTS, Port, ReproError, port_offset
+from repro.core.lane import LaneLink
+from repro.core.router import CircuitSwitchedRouter
+from repro.core.testbench import (
+    LaneStreamConsumer,
+    LaneStreamDriver,
+    TileStreamConsumer,
+    TileStreamDriver,
+)
+from repro.energy.activity import ActivityCounters
+from repro.energy.power import PowerBreakdown
+from repro.energy.technology import TSMC_130NM_LVHP, Technology
+from repro.sim.engine import SimulationKernel
+
+__all__ = ["ScenarioRunResult", "run_circuit_scenario", "run_packet_scenario", "run_scenario"]
+
+#: The paper's power-experiment defaults (Section 7.2).
+DEFAULT_FREQUENCY_HZ = 25e6
+DEFAULT_CYCLES = 5000  # 200 µs at 25 MHz
+
+
+@dataclass
+class ScenarioRunResult:
+    """Outcome of one single-router scenario simulation."""
+
+    router_kind: str
+    scenario: str
+    pattern: BitFlipPattern
+    load: float
+    frequency_hz: float
+    cycles: int
+    power: PowerBreakdown
+    words_sent: Dict[int, int] = field(default_factory=dict)
+    words_received: Dict[int, int] = field(default_factory=dict)
+    activity: Optional[ActivityCounters] = None
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated duration of the run."""
+        return self.cycles / self.frequency_hz
+
+    @property
+    def transported_bytes(self) -> float:
+        """Payload bytes transported across all streams (paper: 2 kB per stream)."""
+        return sum(self.words_received.values()) * 2.0
+
+    def delivery_ok(self, tolerance_words: int = 8) -> bool:
+        """True when every stream delivered (almost) everything that was sent.
+
+        A few words are always in flight in the pipeline when the simulation
+        stops, hence the small tolerance.
+        """
+        for stream_id, sent in self.words_sent.items():
+            received = self.words_received.get(stream_id, 0)
+            if sent - received > tolerance_words:
+                return False
+        return True
+
+
+def _neighbor_position(position: tuple[int, int], port: Port) -> tuple[int, int]:
+    dx, dy = port_offset(port)
+    return (position[0] + dx, position[1] + dy)
+
+
+def run_circuit_scenario(
+    scenario: Scenario | str,
+    pattern: BitFlipPattern = BitFlipPattern.TYPICAL,
+    load: float = 1.0,
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+    cycles: int = DEFAULT_CYCLES,
+    clock_gating: bool = False,
+    seed: int = 0,
+    tech: Technology = TSMC_130NM_LVHP,
+) -> ScenarioRunResult:
+    """Run one scenario on the circuit-switched router and estimate its power."""
+    if isinstance(scenario, str):
+        scenario = scenario_by_name(scenario)
+    router = CircuitSwitchedRouter("dut", clock_gating=clock_gating, tech=tech)
+    kernel = SimulationKernel(frequency_hz)
+
+    links: Dict[Port, tuple[LaneLink, LaneLink]] = {}
+    for port in NEIGHBOR_PORTS:
+        rx = LaneLink(f"rx_{port.short_name}")
+        tx = LaneLink(f"tx_{port.short_name}")
+        router.attach_link(port, rx, tx)
+        links[port] = (rx, tx)
+
+    drivers: Dict[int, object] = {}
+    consumers: Dict[int, object] = {}
+    out_lane_use: Dict[Port, int] = {}
+    in_lane_use: Dict[Port, int] = {}
+
+    # Build one driver/consumer pair per stream and configure the crossbar.
+    components = []
+    for stream in scenario.streams:
+        source = word_generator(pattern, width=router.data_width, seed=seed + stream.stream_id)
+        out_lane = out_lane_use.get(stream.output_port, 0)
+        out_lane_use[stream.output_port] = out_lane + 1
+        in_lane = in_lane_use.get(stream.input_port, 0)
+        in_lane_use[stream.input_port] = in_lane + 1
+        router.configure(stream.output_port, out_lane, stream.input_port, in_lane)
+
+        if stream.enters_at_tile:
+            driver = TileStreamDriver(f"s{stream.stream_id}_src", router, in_lane, source, load)
+        else:
+            driver = LaneStreamDriver(
+                f"s{stream.stream_id}_src", links[stream.input_port][0], in_lane, source, load
+            )
+        if stream.leaves_at_tile:
+            consumer = TileStreamConsumer(f"s{stream.stream_id}_dst", router, out_lane)
+        else:
+            consumer = LaneStreamConsumer(
+                f"s{stream.stream_id}_dst", links[stream.output_port][1], out_lane
+            )
+        drivers[stream.stream_id] = driver
+        consumers[stream.stream_id] = consumer
+        components.extend([driver, consumer])
+
+    for component in components:
+        kernel.add(component)
+    kernel.add(router)
+    kernel.run(cycles)
+
+    result = ScenarioRunResult(
+        router_kind="circuit_switched",
+        scenario=scenario.name,
+        pattern=pattern,
+        load=load,
+        frequency_hz=frequency_hz,
+        cycles=cycles,
+        power=router.power(frequency_hz, cycles),
+        activity=router.activity,
+    )
+    for stream_id, driver in drivers.items():
+        result.words_sent[stream_id] = driver.words_sent
+    for stream_id, consumer in consumers.items():
+        result.words_received[stream_id] = consumer.words_received
+    return result
+
+
+def run_packet_scenario(
+    scenario: Scenario | str,
+    pattern: BitFlipPattern = BitFlipPattern.TYPICAL,
+    load: float = 1.0,
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+    cycles: int = DEFAULT_CYCLES,
+    words_per_packet: int = 16,
+    seed: int = 0,
+    tech: Technology = TSMC_130NM_LVHP,
+) -> ScenarioRunResult:
+    """Run one scenario on the packet-switched baseline router."""
+    if isinstance(scenario, str):
+        scenario = scenario_by_name(scenario)
+    position = (1, 1)  # keep all four neighbours inside a virtual mesh
+    router = PacketSwitchedRouter(
+        "dut", position=position, words_per_packet=words_per_packet, tech=tech
+    )
+    kernel = SimulationKernel(frequency_hz)
+
+    links: Dict[Port, tuple[PacketLink, PacketLink]] = {}
+    for port in NEIGHBOR_PORTS:
+        rx = PacketLink(f"rx_{port.short_name}", router.num_vcs)
+        tx = PacketLink(f"tx_{port.short_name}", router.num_vcs)
+        router.attach_link(port, rx, tx)
+        links[port] = (rx, tx)
+
+    drivers: Dict[int, object] = {}
+    consumers: Dict[int, object] = {}
+    link_consumers: Dict[Port, PacketStreamConsumer] = {}
+    tile_consumer: Optional[TilePacketConsumer] = None
+    components = []
+    next_vc = 0
+    for stream in scenario.streams:
+        source = word_generator(pattern, width=router.data_width, seed=seed + stream.stream_id)
+        vc = next_vc % router.num_vcs
+        next_vc += 1
+        dest = (
+            position
+            if stream.leaves_at_tile
+            else _neighbor_position(position, stream.output_port)
+        )
+        if stream.enters_at_tile:
+            driver = TilePacketDriver(
+                f"s{stream.stream_id}_src", router, source, dest, load, vc, words_per_packet
+            )
+        else:
+            src_position = _neighbor_position(position, stream.input_port)
+            driver = PacketStreamDriver(
+                f"s{stream.stream_id}_src",
+                links[stream.input_port][0],
+                source,
+                dest,
+                src_position,
+                load,
+                vc,
+                words_per_packet,
+                router.fifo_depth,
+            )
+        if stream.leaves_at_tile:
+            if tile_consumer is None:
+                tile_consumer = TilePacketConsumer(f"s{stream.stream_id}_dst", router)
+            consumer = tile_consumer
+        else:
+            # Streams sharing an output port share one physical downstream
+            # router; model it with a single consumer per link.
+            if stream.output_port not in link_consumers:
+                link_consumers[stream.output_port] = PacketStreamConsumer(
+                    f"link_{stream.output_port.short_name}_dst", links[stream.output_port][1]
+                )
+            consumer = link_consumers[stream.output_port]
+        drivers[stream.stream_id] = driver
+        consumers[stream.stream_id] = consumer
+        components.extend([driver, consumer])
+
+    # Several streams may leave through the same output port; they share one
+    # physical consumer, so deduplicate by object identity before registering.
+    seen = set()
+    for component in components:
+        if id(component) in seen:
+            continue
+        seen.add(id(component))
+        kernel.add(component)
+    kernel.add(router)
+    kernel.run(cycles)
+
+    result = ScenarioRunResult(
+        router_kind="packet_switched",
+        scenario=scenario.name,
+        pattern=pattern,
+        load=load,
+        frequency_hz=frequency_hz,
+        cycles=cycles,
+        power=router.power(frequency_hz, cycles),
+        activity=router.activity,
+    )
+    for stream_id, driver in drivers.items():
+        result.words_sent[stream_id] = driver.words_sent
+    # Per-stream delivery accounting: streams ending at the tile are counted at
+    # the tile interface; link consumers count words per link (streams sharing
+    # an output link are reported together under the lowest stream id).
+    link_totals: Dict[int, int] = {}
+    for stream_id, consumer in consumers.items():
+        if isinstance(consumer, TilePacketConsumer):
+            result.words_received[stream_id] = consumer.words_received
+        else:
+            link_totals[stream_id] = consumer.words_received
+    if link_totals:
+        shared: Dict[int, List[int]] = {}
+        for stream_id, consumer in consumers.items():
+            if isinstance(consumer, PacketStreamConsumer):
+                shared.setdefault(id(consumer), []).append(stream_id)
+        for consumer_id, stream_ids in shared.items():
+            total = next(
+                c.words_received
+                for c in consumers.values()
+                if isinstance(c, PacketStreamConsumer) and id(c) == consumer_id
+            )
+            # Attribute an equal share to each stream using the link (enough
+            # for the delivery sanity checks; power does not depend on it).
+            share = total // len(stream_ids)
+            for stream_id in stream_ids:
+                result.words_received[stream_id] = share
+    return result
+
+
+def run_scenario(router_kind: str, scenario: Scenario | str, **kwargs) -> ScenarioRunResult:
+    """Dispatch to the circuit- or packet-switched harness by name."""
+    kind = router_kind.lower()
+    if kind in ("circuit", "circuit_switched", "cs"):
+        return run_circuit_scenario(scenario, **kwargs)
+    if kind in ("packet", "packet_switched", "ps"):
+        return run_packet_scenario(scenario, **kwargs)
+    raise ReproError(f"unknown router kind {router_kind!r}")

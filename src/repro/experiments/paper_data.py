@@ -1,0 +1,157 @@
+"""Published values of the paper's tables and figures.
+
+These constants are used by the benchmarks and EXPERIMENTS.md to put the
+measured (reproduced) numbers next to the published ones.  Qualitative
+claims — the statements of Section 7.3 that the experiments must reproduce in
+*shape* — are captured as named expectations with tolerances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = [
+    "TABLE1_PAPER_MBPS",
+    "TABLE2_PAPER_MBPS",
+    "TABLE4_PAPER",
+    "FIGURE9_EXPECTATIONS",
+    "FIGURE10_EXPECTATIONS",
+    "PAPER_POWER_RATIO",
+    "PAPER_AREA_RATIO",
+]
+
+#: Table 1 — HiperLAN/2 edge bandwidths in Mbit/s.
+TABLE1_PAPER_MBPS: Dict[str, float] = {
+    "sp_to_prefix_removal": 640.0,
+    "prefix_removal_to_fft": 512.0,
+    "fft_to_channel_eq": 416.0,
+    "channel_eq_to_demap": 384.0,
+    "hard_bits_bpsk": 12.0,
+    "hard_bits_qam64": 72.0,
+}
+
+#: Table 2 — UMTS edge bandwidths in Mbit/s (spreading factor SF kept symbolic
+#: in the paper; the values here are for the paper's example SF = 4).
+TABLE2_PAPER_MBPS: Dict[str, float] = {
+    "chips_per_finger": 61.44,
+    "scrambling_code": 7.68,
+    "mrc_coefficient_per_finger_sf4": 61.44 / 4,
+    "received_bits_qpsk_sf4": 7.68 / 4,
+    "received_bits_qam16_sf4": 15.36 / 4,
+}
+
+#: Paper's example total for 4 rake fingers at SF = 4 ("~320 Mbit/s").
+TABLE2_PAPER_TOTAL_MBPS = 320.0
+
+#: Table 4 — synthesis results of the three routers.
+TABLE4_PAPER: Dict[str, Dict[str, float]] = {
+    "circuit_switched": {
+        "ports": 5,
+        "data_width_bits": 16,
+        "area_crossbar_mm2": 0.0258,
+        "area_configuration_mm2": 0.0090,
+        "area_data_converter_mm2": 0.0158,
+        "total_area_mm2": 0.0506,
+        "max_frequency_mhz": 1075.0,
+        "link_bandwidth_gbps": 17.2,
+    },
+    "packet_switched": {
+        "ports": 5,
+        "data_width_bits": 16,
+        "area_crossbar_mm2": 0.0706,
+        "area_buffering_mm2": 0.1034,
+        "area_arbitration_mm2": 0.0022,
+        "area_misc_mm2": 0.0038,
+        "total_area_mm2": 0.1800,
+        "max_frequency_mhz": 507.0,
+        "link_bandwidth_gbps": 8.1,
+    },
+    "aethereal": {
+        "ports": 6,
+        "data_width_bits": 32,
+        "total_area_mm2": 0.1750,
+        "max_frequency_mhz": 500.0,
+        "link_bandwidth_gbps": 16.0,
+    },
+}
+
+#: Headline area/power advantage of the circuit-switched router (Section 7.3,
+#: abstract: "3.5 times less energy compared to its packet-switched equivalent").
+PAPER_AREA_RATIO = 3.5
+PAPER_POWER_RATIO = 3.5
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """A qualitative claim of the paper with the tolerance we reproduce it to."""
+
+    name: str
+    description: str
+    lower: float
+    upper: float
+
+    def check(self, value: float) -> bool:
+        """True when the measured value satisfies the expectation."""
+        return self.lower <= value <= self.upper
+
+
+#: Figure 9 expectations (power per scenario at 25 MHz, random data, 100 % load).
+FIGURE9_EXPECTATIONS: Dict[str, Expectation] = {
+    "power_ratio": Expectation(
+        "power_ratio",
+        "packet-switched total power / circuit-switched total power (≈3.5×)",
+        2.5,
+        4.5,
+    ),
+    "static_fraction_circuit": Expectation(
+        "static_fraction_circuit",
+        "static power is a small fraction of the circuit-switched total",
+        0.0,
+        0.15,
+    ),
+    "static_fraction_packet": Expectation(
+        "static_fraction_packet",
+        "static power is a small fraction of the packet-switched total",
+        0.0,
+        0.15,
+    ),
+    "offset_fraction": Expectation(
+        "offset_fraction",
+        "the data-independent offset dominates the dynamic power "
+        "(scenario I dynamic / scenario IV dynamic)",
+        0.6,
+        1.0,
+    ),
+}
+
+#: Figure 10 expectations (dynamic power vs. bit flips).
+FIGURE10_EXPECTATIONS: Dict[str, Expectation] = {
+    "flip_sensitivity_circuit": Expectation(
+        "flip_sensitivity_circuit",
+        "bit flips have only a minor influence: dynamic power at 100 % flips / 0 % flips "
+        "for the circuit-switched router in scenario IV",
+        1.0,
+        1.5,
+    ),
+    "flip_sensitivity_packet": Expectation(
+        "flip_sensitivity_packet",
+        "bit flips have only a minor influence for the packet-switched router too",
+        1.0,
+        1.5,
+    ),
+    "stream_count_dominates": Expectation(
+        "stream_count_dominates",
+        "adding streams (scenario I → IV at 50 % flips) changes dynamic power at least as "
+        "much as adding bit flips (0 % → 100 % in scenario IV), expressed as a ratio of deltas",
+        1.0,
+        1e9,
+    ),
+    "collision_penalty": Expectation(
+        "collision_penalty",
+        "the packet-switched router pays an extra arbitration/control penalty when streams 1 "
+        "and 3 collide on output East (scenario IV extra power per added stream vs scenario III)",
+        1.0,
+        1e9,
+    ),
+}

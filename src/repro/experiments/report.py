@@ -1,0 +1,112 @@
+"""Report formatting helpers: tables and paper-vs-measured comparisons.
+
+All experiment modules return plain lists of dictionaries ("rows"); these
+helpers render them as aligned ASCII / Markdown tables and compute relative
+errors against the published values so the benchmarks and EXPERIMENTS.md can
+print self-contained summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "relative_error", "comparison_rows", "format_comparison"]
+
+
+def _format_value(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 3,
+    markdown: bool = True,
+) -> str:
+    """Render rows (list of dicts) as an aligned Markdown-style table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [
+        [_format_value(row.get(column, ""), precision) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(header[i]), max((len(line[i]) for line in body), default=0))
+        for i in range(len(columns))
+    ]
+
+    def render(cells: List[str]) -> str:
+        padded = [cells[i].ljust(widths[i]) for i in range(len(cells))]
+        return "| " + " | ".join(padded) + " |"
+
+    lines = [render(header)]
+    if markdown:
+        lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(render(line) for line in body)
+    return "\n".join(lines)
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """Relative error of *measured* against *reference* (0.0 when reference is 0)."""
+    if reference == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return (measured - reference) / reference
+
+
+def comparison_rows(
+    measured: Mapping[str, float],
+    reference: Mapping[str, float],
+    label: str = "quantity",
+) -> List[Dict[str, object]]:
+    """Side-by-side rows for every key present in *reference*."""
+    rows: List[Dict[str, object]] = []
+    for key, ref_value in reference.items():
+        value = measured.get(key)
+        row: Dict[str, object] = {label: key, "paper": ref_value}
+        if value is None:
+            row["measured"] = "n/a"
+            row["error_pct"] = "n/a"
+        else:
+            row["measured"] = value
+            row["error_pct"] = 100.0 * relative_error(value, ref_value)
+        rows.append(row)
+    return rows
+
+
+def format_comparison(
+    measured: Mapping[str, float],
+    reference: Mapping[str, float],
+    label: str = "quantity",
+    precision: int = 3,
+) -> str:
+    """Convenience: comparison rows rendered as a table."""
+    return format_table(comparison_rows(measured, reference, label), precision=precision)
+
+
+def max_absolute_error_pct(
+    measured: Mapping[str, float], reference: Mapping[str, float]
+) -> float:
+    """Largest |relative error| in percent over all keys of *reference*."""
+    worst = 0.0
+    for key, ref_value in reference.items():
+        if key not in measured:
+            continue
+        worst = max(worst, abs(relative_error(measured[key], ref_value)) * 100.0)
+    return worst
+
+
+def rows_to_csv(rows: Iterable[Mapping[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as CSV text (used by the examples to export results)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [",".join(str(c) for c in columns)]
+    for row in rows:
+        lines.append(",".join(str(row.get(c, "")) for c in columns))
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Experiment E-T1: regenerate Table 1 (HiperLAN/2 communication requirements).
+
+Table 1 is an arithmetic consequence of the HiperLAN/2 physical-layer
+parameters (80-sample OFDM symbols every 4 µs, 16-bit I/Q quantisation); the
+application model derives the same numbers from first principles, so the
+reproduction must match exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps.hiperlan2 import Hiperlan2Parameters, edge_bandwidths_mbps, table1_rows
+from repro.experiments.paper_data import TABLE1_PAPER_MBPS
+from repro.experiments.report import comparison_rows, format_table
+
+__all__ = ["measured_values", "reproduce_table1", "format_report"]
+
+
+def measured_values() -> Dict[str, float]:
+    """The reproduced Table 1 values keyed like :data:`TABLE1_PAPER_MBPS`."""
+    bandwidths = edge_bandwidths_mbps(Hiperlan2Parameters(modulation="BPSK"))
+    qam64 = Hiperlan2Parameters(modulation="QAM-64")
+    return {
+        "sp_to_prefix_removal": bandwidths["sp_to_prefix_removal"],
+        "prefix_removal_to_fft": bandwidths["prefix_removal_to_fft"],
+        "fft_to_channel_eq": bandwidths["fft_to_channel_eq"],
+        "channel_eq_to_demap": bandwidths["channel_eq_to_demap"],
+        "hard_bits_bpsk": bandwidths["hard_bits"],
+        "hard_bits_qam64": qam64.hard_bit_rate_mbps,
+    }
+
+
+def reproduce_table1() -> List[dict]:
+    """Paper-vs-measured comparison rows for Table 1."""
+    return comparison_rows(measured_values(), TABLE1_PAPER_MBPS, label="edge")
+
+
+def format_report() -> str:
+    """Human-readable report: the regenerated table plus the comparison."""
+    lines = ["Table 1 - Communication in HiperLAN/2 (regenerated)", ""]
+    lines.append(format_table(table1_rows(), precision=1))
+    lines.append("")
+    lines.append("Comparison against the published values:")
+    lines.append(format_table(reproduce_table1(), precision=2))
+    return "\n".join(lines)

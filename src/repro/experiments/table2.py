@@ -1,0 +1,56 @@
+"""Experiment E-T2: regenerate Table 2 (UMTS communication requirements).
+
+Like Table 1, Table 2 follows from the standard's parameters: 3.84 Mchip/s,
+8-bit I/Q chips, the spreading factor and the modulation.  The paper's worked
+example (4 rake fingers, SF = 4, ≈320 Mbit/s total) is also checked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps.umts import UmtsParameters, table2_rows, total_bandwidth_mbps
+from repro.experiments.paper_data import TABLE2_PAPER_MBPS, TABLE2_PAPER_TOTAL_MBPS
+from repro.experiments.report import comparison_rows, format_table
+
+__all__ = ["measured_values", "reproduce_table2", "measured_total_mbps", "format_report"]
+
+
+def measured_values(spreading_factor: int = 4) -> Dict[str, float]:
+    """The reproduced Table 2 values keyed like :data:`TABLE2_PAPER_MBPS`."""
+    qpsk = UmtsParameters(spreading_factor=spreading_factor, modulation="QPSK")
+    qam16 = UmtsParameters(spreading_factor=spreading_factor, modulation="QAM-16")
+    return {
+        "chips_per_finger": qpsk.chip_bandwidth_mbps,
+        "scrambling_code": qpsk.scrambling_bandwidth_mbps,
+        "mrc_coefficient_per_finger_sf4": qpsk.mrc_bandwidth_mbps,
+        "received_bits_qpsk_sf4": qpsk.received_bits_mbps,
+        "received_bits_qam16_sf4": qam16.received_bits_mbps,
+    }
+
+
+def measured_total_mbps(rake_fingers: int = 4, spreading_factor: int = 4) -> float:
+    """Total receiver bandwidth for the paper's worked example."""
+    return total_bandwidth_mbps(
+        UmtsParameters(rake_fingers=rake_fingers, spreading_factor=spreading_factor)
+    )
+
+
+def reproduce_table2() -> List[dict]:
+    """Paper-vs-measured comparison rows for Table 2 (at SF = 4)."""
+    return comparison_rows(measured_values(), TABLE2_PAPER_MBPS, label="edge")
+
+
+def format_report() -> str:
+    """Human-readable report: regenerated Table 2 plus comparison and total."""
+    lines = ["Table 2 - Communication in UMTS (regenerated, SF = 4)", ""]
+    lines.append(format_table(table2_rows(), precision=2))
+    lines.append("")
+    lines.append("Comparison against the published values:")
+    lines.append(format_table(reproduce_table2(), precision=2))
+    lines.append("")
+    lines.append(
+        f"Total bandwidth, 4 fingers at SF = 4: {measured_total_mbps():.1f} Mbit/s "
+        f"(paper: ~{TABLE2_PAPER_TOTAL_MBPS:.0f} Mbit/s)"
+    )
+    return "\n".join(lines)

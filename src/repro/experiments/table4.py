@@ -1,0 +1,62 @@
+"""Experiment E-T4: regenerate Table 4 (synthesis results of the three routers).
+
+The structural area and timing models of :mod:`repro.energy` are evaluated at
+the paper's default design point and compared component-by-component against
+the published numbers; the headline area ratio (≈3.5×) is reported as well.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.energy.synthesis import SynthesisResult, area_ratio, table4_results
+from repro.experiments.paper_data import PAPER_AREA_RATIO, TABLE4_PAPER
+from repro.experiments.report import comparison_rows, format_table
+
+__all__ = ["measured_values", "reproduce_table4", "measured_area_ratio", "format_report"]
+
+
+def _flatten(result: SynthesisResult) -> Dict[str, float]:
+    flat: Dict[str, float] = {
+        "ports": float(result.num_ports),
+        "data_width_bits": float(result.data_width_bits),
+        "total_area_mm2": result.total_area_mm2,
+        "max_frequency_mhz": result.max_frequency_mhz,
+        "link_bandwidth_gbps": result.link_bandwidth_gbps,
+    }
+    for name, area in result.component_areas_mm2.items():
+        flat[f"area_{name}_mm2"] = area
+    return flat
+
+
+def measured_values() -> Dict[str, Dict[str, float]]:
+    """The reproduced Table 4 values keyed like :data:`TABLE4_PAPER`."""
+    return {result.router: _flatten(result) for result in table4_results()}
+
+
+def measured_area_ratio() -> float:
+    """Packet-switched / circuit-switched total area (paper: ≈3.5)."""
+    return area_ratio()
+
+
+def reproduce_table4() -> Dict[str, List[dict]]:
+    """Per-router paper-vs-measured comparison rows."""
+    measured = measured_values()
+    return {
+        router: comparison_rows(measured.get(router, {}), reference, label="quantity")
+        for router, reference in TABLE4_PAPER.items()
+    }
+
+
+def format_report() -> str:
+    """Human-readable Table 4 report with per-router comparisons."""
+    lines = ["Table 4 - Synthesis results of three routers (regenerated)", ""]
+    for router, rows in reproduce_table4().items():
+        lines.append(router)
+        lines.append(format_table(rows, precision=4))
+        lines.append("")
+    lines.append(
+        f"Area ratio packet/circuit: {measured_area_ratio():.2f} "
+        f"(paper claim: ~{PAPER_AREA_RATIO})"
+    )
+    return "\n".join(lines)

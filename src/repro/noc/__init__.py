@@ -1,0 +1,58 @@
+"""Network-on-Chip substrate: mesh, tiles, networks, allocation and the CCN.
+
+This package assembles full multi-router systems from the router models:
+
+* :class:`~repro.noc.topology.Mesh2D` — the 2-D mesh of Section 1.1,
+* :class:`~repro.noc.tile.TileGrid` — the heterogeneous tiles of Fig. 1,
+* :class:`~repro.noc.network.CircuitSwitchedNoC` and
+  :class:`~repro.noc.packet_network.PacketSwitchedNoC` — complete
+  guaranteed-throughput networks built from either router,
+* :class:`~repro.noc.path_allocation.LaneAllocator` — lane-level circuit
+  allocation,
+* :class:`~repro.noc.mapping.SpatialMapper` — run-time process placement,
+* :class:`~repro.noc.be_network.BestEffortNetwork` — configuration transport,
+* :class:`~repro.noc.ccn.CentralCoordinationNode` — the admission pipeline
+  that ties all of the above together.
+"""
+
+from repro.noc.topology import Mesh2D, Position
+from repro.noc.tile import DEFAULT_TILE_PATTERN, ProcessingTile, TileGrid
+from repro.noc.path_allocation import (
+    CircuitAllocation,
+    LaneAllocator,
+    LaneCircuit,
+    LaneHop,
+)
+from repro.noc.mapping import Mapping, SpatialMapper
+from repro.noc.be_network import (
+    BestEffortNetwork,
+    BestEffortParameters,
+    ConfigurationDelivery,
+)
+from repro.noc.network import CircuitSwitchedNoC, StreamEndpoints
+from repro.noc.packet_network import PacketStreamEndpoints, PacketSwitchedNoC
+from repro.noc.ccn import ApplicationAdmission, CentralCoordinationNode, FeasibilityReport
+
+__all__ = [
+    "Mesh2D",
+    "Position",
+    "DEFAULT_TILE_PATTERN",
+    "ProcessingTile",
+    "TileGrid",
+    "CircuitAllocation",
+    "LaneAllocator",
+    "LaneCircuit",
+    "LaneHop",
+    "Mapping",
+    "SpatialMapper",
+    "BestEffortNetwork",
+    "BestEffortParameters",
+    "ConfigurationDelivery",
+    "CircuitSwitchedNoC",
+    "StreamEndpoints",
+    "PacketStreamEndpoints",
+    "PacketSwitchedNoC",
+    "ApplicationAdmission",
+    "CentralCoordinationNode",
+    "FeasibilityReport",
+]

@@ -1,0 +1,207 @@
+"""The Central Coordination Node (Section 1.1).
+
+"The SoC system is organized as a centralized system: one node, called
+Central Coordination Node (CCN), performs system coordination functions. …
+The CCN performs the feasibility analysis, spatial mapping, process
+allocation and configuration of the tiles and the NoC before the start of an
+application."
+
+The CCN implemented here runs exactly that admission pipeline:
+
+1. **feasibility analysis** — every guaranteed-throughput channel must fit in
+   the lane capacity available at the network clock,
+2. **spatial mapping** — :class:`repro.noc.mapping.SpatialMapper`,
+3. **path/lane allocation** — :class:`repro.noc.path_allocation.LaneAllocator`,
+4. **configuration** — 10-bit commands per lane, transported over the
+   best-effort network (:class:`repro.noc.be_network.BestEffortNetwork`) and,
+   when a live :class:`repro.noc.network.CircuitSwitchedNoC` is attached,
+   written into the routers' configuration memories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.kpn import ProcessGraph, TrafficClass
+from repro.common import AllocationError, MappingError
+from repro.noc.be_network import BestEffortNetwork, ConfigurationDelivery
+from repro.noc.mapping import Mapping, SpatialMapper
+from repro.noc.network import CircuitSwitchedNoC
+from repro.noc.path_allocation import CircuitAllocation, LaneAllocator
+from repro.noc.tile import TileGrid
+from repro.noc.topology import Mesh2D, Position
+
+__all__ = ["FeasibilityReport", "ApplicationAdmission", "CentralCoordinationNode"]
+
+
+@dataclass
+class FeasibilityReport:
+    """Result of the CCN's pre-mapping feasibility analysis."""
+
+    application: str
+    feasible: bool
+    lane_capacity_mbps: float
+    channel_lanes: Dict[str, int] = field(default_factory=dict)
+    problems: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ApplicationAdmission:
+    """Everything the CCN decided while admitting one application."""
+
+    application: str
+    mapping: Mapping
+    allocations: List[CircuitAllocation] = field(default_factory=list)
+    configuration_commands: int = 0
+    delivery: Optional[ConfigurationDelivery] = None
+    best_effort_channels: List[str] = field(default_factory=list)
+
+    @property
+    def total_lanes_used(self) -> int:
+        """Lane circuits allocated across all channels."""
+        return sum(a.lanes_used for a in self.allocations)
+
+    @property
+    def reconfiguration_time_s(self) -> float:
+        """Time needed to ship all configuration commands over the BE network."""
+        return self.delivery.total_time_s if self.delivery is not None else 0.0
+
+
+class CentralCoordinationNode:
+    """Run-time resource manager of the multi-tile SoC."""
+
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        grid: Optional[TileGrid] = None,
+        allocator: Optional[LaneAllocator] = None,
+        be_network: Optional[BestEffortNetwork] = None,
+        network_frequency_hz: float = 1075e6,
+        ccn_position: Position = (0, 0),
+    ) -> None:
+        self.mesh = mesh
+        self.grid = grid if grid is not None else TileGrid(mesh)
+        self.allocator = allocator if allocator is not None else LaneAllocator(mesh)
+        self.be_network = (
+            be_network if be_network is not None else BestEffortNetwork(mesh, ccn_position)
+        )
+        self.network_frequency_hz = network_frequency_hz
+        self.mapper = SpatialMapper(self.grid)
+        self._admissions: Dict[str, ApplicationAdmission] = {}
+
+    # -- feasibility ------------------------------------------------------------------------
+
+    def feasibility(self, graph: ProcessGraph) -> FeasibilityReport:
+        """Check whether every GT channel can be carried by the available lanes."""
+        capacity = self.allocator.lane_capacity_mbps(self.network_frequency_hz)
+        report = FeasibilityReport(graph.name, True, capacity)
+        if len(graph.processes) > self.mesh.size:
+            report.feasible = False
+            report.problems.append(
+                f"{len(graph.processes)} processes exceed the {self.mesh.size} available tiles"
+            )
+        for channel in graph.channels:
+            if channel.traffic_class != TrafficClass.GUARANTEED_THROUGHPUT:
+                continue
+            lanes = self.allocator.lanes_required(channel.bandwidth_mbps, self.network_frequency_hz)
+            report.channel_lanes[channel.name] = lanes
+            if lanes > self.allocator.lanes_per_link:
+                report.feasible = False
+                report.problems.append(
+                    f"channel {channel.name!r} needs {lanes} lanes but a link only has "
+                    f"{self.allocator.lanes_per_link}"
+                )
+        return report
+
+    # -- admission ------------------------------------------------------------------------------
+
+    def admit(
+        self,
+        graph: ProcessGraph,
+        network: Optional[CircuitSwitchedNoC] = None,
+    ) -> ApplicationAdmission:
+        """Map, allocate and configure one application (raises on infeasibility)."""
+        if graph.name in self._admissions:
+            raise MappingError(f"application {graph.name!r} is already admitted")
+        report = self.feasibility(graph)
+        if not report.feasible:
+            raise MappingError(
+                f"application {graph.name!r} is infeasible: " + "; ".join(report.problems)
+            )
+
+        mapping = self.mapper.map(graph)
+        admission = ApplicationAdmission(graph.name, mapping)
+
+        gt_channels = [
+            c for c in graph.channels if c.traffic_class == TrafficClass.GUARANTEED_THROUGHPUT
+        ]
+        gt_channels.sort(key=lambda c: c.bandwidth_mbps, reverse=True)
+        admission.best_effort_channels = [
+            c.name for c in graph.channels if c.traffic_class == TrafficClass.BEST_EFFORT
+        ]
+
+        allocated: List[CircuitAllocation] = []
+        try:
+            for channel in gt_channels:
+                src = mapping.position_of(channel.src)
+                dst = mapping.position_of(channel.dst)
+                allocation = self.allocator.allocate(
+                    f"{graph.name}:{channel.name}",
+                    src,
+                    dst,
+                    channel.bandwidth_mbps,
+                    self.network_frequency_hz,
+                )
+                allocated.append(allocation)
+        except AllocationError:
+            for allocation in allocated:
+                self.allocator.release(allocation.channel_name)
+            self.mapper.unmap(mapping)
+            raise
+
+        admission.allocations = allocated
+
+        # One 10-bit command per router hop of every lane circuit.
+        commands_per_router: Dict[Position, int] = {}
+        for allocation in allocated:
+            for circuit in allocation.circuits:
+                for hop in circuit.hops:
+                    commands_per_router[hop.position] = commands_per_router.get(hop.position, 0) + 1
+        admission.configuration_commands = sum(commands_per_router.values())
+        admission.delivery = self.be_network.deliver(commands_per_router)
+
+        if network is not None:
+            for allocation in allocated:
+                network.apply_allocation(allocation)
+
+        self._admissions[graph.name] = admission
+        return admission
+
+    def release(
+        self,
+        application: str,
+        network: Optional[CircuitSwitchedNoC] = None,
+    ) -> None:
+        """Tear an admitted application down again (frees tiles and lanes)."""
+        try:
+            admission = self._admissions.pop(application)
+        except KeyError:
+            raise MappingError(f"application {application!r} is not admitted") from None
+        for allocation in admission.allocations:
+            if network is not None:
+                network.remove_allocation(allocation)
+            self.allocator.release(allocation.channel_name)
+        self.mapper.unmap(admission.mapping)
+
+    @property
+    def admitted_applications(self) -> List[str]:
+        """Names of the currently admitted applications."""
+        return list(self._admissions)
+
+    def admission(self, application: str) -> ApplicationAdmission:
+        """The admission record of *application*."""
+        try:
+            return self._admissions[application]
+        except KeyError:
+            raise MappingError(f"application {application!r} is not admitted") from None

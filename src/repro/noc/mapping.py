@@ -1,0 +1,159 @@
+"""Run-time spatial mapping of applications onto tiles (Section 1.1).
+
+"The CCN performs the feasibility analysis, spatial mapping, process
+allocation and configuration of the tiles and the NoC before the start of an
+application."  The mapper implemented here is a greedy constructive placement
+followed by a local-search improvement pass:
+
+1. processes are placed in order of decreasing attached communication
+   bandwidth, each on the type-compatible free tile that minimises the
+   bandwidth-weighted hop count to the already placed neighbours;
+2. pairwise swaps are then applied while they reduce the total
+   bandwidth × hops cost.
+
+This is intentionally a light-weight heuristic — the paper's reference [3]
+describes the full run-time mapper — but it produces feasible, near-minimal
+mappings for the application graphs of Section 3, which is all the NoC
+experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.kpn import Process, ProcessGraph
+from repro.common import MappingError
+from repro.noc.tile import TileGrid
+from repro.noc.topology import Position
+
+__all__ = ["Mapping", "SpatialMapper"]
+
+
+@dataclass
+class Mapping:
+    """Result of mapping one application onto the tile grid."""
+
+    application: str
+    placement: Dict[str, Position] = field(default_factory=dict)
+    cost_bandwidth_hops: float = 0.0
+
+    def position_of(self, process_name: str) -> Position:
+        """Tile position of *process_name*."""
+        try:
+            return self.placement[process_name]
+        except KeyError:
+            raise MappingError(
+                f"process {process_name!r} is not part of mapping {self.application!r}"
+            ) from None
+
+    @property
+    def tiles_used(self) -> int:
+        """Number of distinct tiles occupied by the application."""
+        return len(set(self.placement.values()))
+
+
+class SpatialMapper:
+    """Greedy + local-search mapper used by the CCN."""
+
+    def __init__(self, grid: TileGrid) -> None:
+        self.grid = grid
+        self.mesh = grid.mesh
+
+    # -- cost model ----------------------------------------------------------------
+
+    def _cost(self, graph: ProcessGraph, placement: Dict[str, Position]) -> float:
+        total = 0.0
+        for channel in graph.channels:
+            src = placement.get(channel.src)
+            dst = placement.get(channel.dst)
+            if src is None or dst is None:
+                continue
+            total += channel.bandwidth_mbps * self.mesh.manhattan_distance(src, dst)
+        return total
+
+    def _placement_order(self, graph: ProcessGraph) -> List[Process]:
+        def attached_bandwidth(process: Process) -> float:
+            return sum(c.bandwidth_mbps for c in graph.channels_of(process.name))
+
+        return sorted(graph.processes, key=attached_bandwidth, reverse=True)
+
+    # -- greedy construction --------------------------------------------------------------
+
+    def _greedy(self, graph: ProcessGraph) -> Dict[str, Position]:
+        placement: Dict[str, Position] = {}
+        for process in self._placement_order(graph):
+            candidates = self.grid.free_tiles_for(process)
+            candidates = [t for t in candidates if t.position not in placement.values()]
+            if not candidates:
+                raise MappingError(
+                    f"no free tile of a suitable type for process {process.name!r} "
+                    f"(needs one of {sorted(t.value for t in process.tile_types)})"
+                )
+            best_position: Optional[Position] = None
+            best_cost = float("inf")
+            for tile in candidates:
+                trial = dict(placement)
+                trial[process.name] = tile.position
+                cost = self._cost(graph, trial)
+                # Prefer central tiles for the first (highest-bandwidth) process.
+                if not placement:
+                    cx = (self.mesh.width - 1) / 2
+                    cy = (self.mesh.height - 1) / 2
+                    cost = abs(tile.position[0] - cx) + abs(tile.position[1] - cy)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_position = tile.position
+            assert best_position is not None
+            placement[process.name] = best_position
+        return placement
+
+    # -- local search ----------------------------------------------------------------------
+
+    def _improve(self, graph: ProcessGraph, placement: Dict[str, Position], max_rounds: int = 10) -> Dict[str, Position]:
+        names = list(placement)
+        best_cost = self._cost(graph, placement)
+        for _ in range(max_rounds):
+            improved = False
+            for i in range(len(names)):
+                for j in range(i + 1, len(names)):
+                    a, b = names[i], names[j]
+                    pa, pb = placement[a], placement[b]
+                    # Only swap when both processes tolerate the other's tile type.
+                    if not graph.process(a).can_run_on(self.grid.tile(pb).tile_type):
+                        continue
+                    if not graph.process(b).can_run_on(self.grid.tile(pa).tile_type):
+                        continue
+                    placement[a], placement[b] = pb, pa
+                    cost = self._cost(graph, placement)
+                    if cost < best_cost:
+                        best_cost = cost
+                        improved = True
+                    else:
+                        placement[a], placement[b] = pa, pb
+            if not improved:
+                break
+        return placement
+
+    # -- public API ----------------------------------------------------------------------------
+
+    def map(self, graph: ProcessGraph, improve: bool = True) -> Mapping:
+        """Produce a mapping and mark the chosen tiles as occupied."""
+        graph.validate()
+        if len(graph.processes) > self.mesh.size:
+            raise MappingError(
+                f"application {graph.name!r} has {len(graph.processes)} processes but the "
+                f"mesh only offers {self.mesh.size} tiles"
+            )
+        placement = self._greedy(graph)
+        if improve:
+            placement = self._improve(graph, placement)
+        mapping = Mapping(graph.name, placement, self._cost(graph, placement))
+        for process_name, position in placement.items():
+            self.grid.tile(position).assign(graph.process(process_name))
+        return mapping
+
+    def unmap(self, mapping: Mapping) -> None:
+        """Release the tiles held by a previously produced mapping."""
+        for position in mapping.placement.values():
+            self.grid.tile(position).release()

@@ -1,0 +1,243 @@
+"""The circuit-switched Network-on-Chip: a mesh of routers, links and tiles.
+
+This is the guaranteed-throughput network of Section 5 assembled from the
+building blocks of :mod:`repro.core`: one
+:class:`~repro.core.router.CircuitSwitchedRouter` per mesh position,
+:class:`~repro.core.lane.LaneLink` bundles between neighbours, and word-level
+stream endpoints at the tile interfaces.  The CCN configures circuits through
+:meth:`CircuitSwitchedNoC.apply_allocation`; application traffic is attached
+with :meth:`CircuitSwitchedNoC.add_stream`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common import ConfigurationError, Port
+from repro.core.lane import LaneLink
+from repro.core.router import CircuitSwitchedRouter
+from repro.core.testbench import TileStreamConsumer, TileStreamDriver
+from repro.energy.activity import ActivityCounters
+from repro.energy.power import PowerBreakdown, PowerModel
+from repro.energy.technology import TSMC_130NM_LVHP, Technology
+from repro.noc.path_allocation import CircuitAllocation, LaneCircuit
+from repro.noc.topology import Mesh2D, Position
+from repro.sim.engine import SimulationKernel
+
+__all__ = ["StreamEndpoints", "CircuitSwitchedNoC"]
+
+WordSource = Callable[[], int]
+
+
+@dataclass
+class StreamEndpoints:
+    """The injection and delivery endpoints created for one application stream."""
+
+    name: str
+    source: Optional[TileStreamDriver]
+    sink: Optional[TileStreamConsumer]
+    allocation: CircuitAllocation
+
+    @property
+    def words_sent(self) -> int:
+        """Words injected at the source tile."""
+        return self.source.words_sent if self.source is not None else 0
+
+    @property
+    def words_received(self) -> int:
+        """Words delivered at the destination tile."""
+        return self.sink.words_received if self.sink is not None else 0
+
+
+class CircuitSwitchedNoC:
+    """A complete circuit-switched mesh network."""
+
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        frequency_hz: float = 25e6,
+        lanes_per_port: int = 4,
+        lane_width: int = 4,
+        data_width: int = 16,
+        clock_gating: bool = False,
+        tech: Technology = TSMC_130NM_LVHP,
+    ) -> None:
+        self.mesh = mesh
+        self.frequency_hz = frequency_hz
+        self.lanes_per_port = lanes_per_port
+        self.lane_width = lane_width
+        self.data_width = data_width
+        self.tech = tech
+        self.kernel = SimulationKernel(frequency_hz)
+
+        self.routers: Dict[Position, CircuitSwitchedRouter] = {}
+        for position in mesh.positions():
+            router = CircuitSwitchedRouter(
+                mesh.router_name(position),
+                lanes_per_port=lanes_per_port,
+                lane_width=lane_width,
+                data_width=data_width,
+                position=position,
+                clock_gating=clock_gating,
+                tech=tech,
+            )
+            self.routers[position] = router
+
+        # One LaneLink per directed mesh link.
+        self.links: Dict[Tuple[Position, Position], LaneLink] = {}
+        for src, dst in mesh.directed_links():
+            self.links[(src, dst)] = LaneLink(
+                f"lane_{src[0]}_{src[1]}__{dst[0]}_{dst[1]}", lanes_per_port, lane_width
+            )
+
+        # Attach the links to the routers: the link (a -> b) is a's outgoing
+        # bundle on the port towards b, and b's incoming bundle on the
+        # opposite port.
+        for position, router in self.routers.items():
+            for port, neighbor in mesh.neighbors(position).items():
+                tx = self.links[(position, neighbor)]
+                rx = self.links[(neighbor, position)]
+                router.attach_link(port, rx, tx)
+
+        # Streams are appended to the kernel after the routers so that their
+        # pacing decisions see the routers' committed state of the same cycle.
+        for router in self.routers.values():
+            self.kernel.add(router)
+
+        self.streams: Dict[str, StreamEndpoints] = {}
+
+    # -- access ---------------------------------------------------------------------------
+
+    def router_at(self, position: Position) -> CircuitSwitchedRouter:
+        """The router at *position*."""
+        try:
+            return self.routers[position]
+        except KeyError:
+            raise ConfigurationError(f"no router at position {position}") from None
+
+    def link(self, src: Position, dst: Position) -> LaneLink:
+        """The directed lane bundle from *src* to *dst*."""
+        try:
+            return self.links[(src, dst)]
+        except KeyError:
+            raise ConfigurationError(f"no link from {src} to {dst}") from None
+
+    # -- configuration -----------------------------------------------------------------------
+
+    def apply_circuit(self, circuit: LaneCircuit) -> None:
+        """Write one lane circuit into the routers along its route."""
+        for hop in circuit.hops:
+            self.router_at(hop.position).configure(
+                hop.out_port, hop.out_lane, hop.in_port, hop.in_lane
+            )
+
+    def remove_circuit(self, circuit: LaneCircuit) -> None:
+        """Tear one lane circuit down again."""
+        for hop in circuit.hops:
+            self.router_at(hop.position).deconfigure(hop.out_port, hop.out_lane)
+
+    def apply_allocation(self, allocation: CircuitAllocation) -> None:
+        """Configure every lane circuit of a channel allocation."""
+        for circuit in allocation.circuits:
+            self.apply_circuit(circuit)
+
+    def remove_allocation(self, allocation: CircuitAllocation) -> None:
+        """Tear down every lane circuit of a channel allocation."""
+        for circuit in allocation.circuits:
+            self.remove_circuit(circuit)
+
+    def configured_circuits(self) -> int:
+        """Total number of active output lanes across all routers."""
+        return sum(router.active_circuits() for router in self.routers.values())
+
+    # -- traffic -----------------------------------------------------------------------------
+
+    def add_stream(
+        self,
+        name: str,
+        allocation: CircuitAllocation,
+        word_source: WordSource,
+        load: float = 1.0,
+        mark_blocks: Optional[int] = None,
+    ) -> StreamEndpoints:
+        """Attach a paced word stream to an allocated channel.
+
+        Tile-local channels (source and destination process on the same tile)
+        create no network endpoints; their traffic never enters the NoC.
+        """
+        if name in self.streams:
+            raise ConfigurationError(f"stream {name!r} already exists")
+        if allocation.is_local or not allocation.circuits:
+            endpoints = StreamEndpoints(name, None, None, allocation)
+            self.streams[name] = endpoints
+            return endpoints
+        circuit = allocation.circuits[0]
+        driver = TileStreamDriver(
+            f"{name}_src",
+            self.router_at(circuit.src),
+            circuit.source_tile_lane,
+            word_source,
+            load,
+            mark_blocks=mark_blocks,
+        )
+        sink = TileStreamConsumer(
+            f"{name}_dst", self.router_at(circuit.dst), circuit.destination_tile_lane
+        )
+        self.kernel.add(driver)
+        self.kernel.add(sink)
+        endpoints = StreamEndpoints(name, driver, sink, allocation)
+        self.streams[name] = endpoints
+        return endpoints
+
+    # -- execution ------------------------------------------------------------------------------
+
+    def run(self, cycles: int) -> int:
+        """Advance the whole network by *cycles* clock cycles."""
+        return self.kernel.run(cycles)
+
+    def run_for_time(self, seconds: float) -> int:
+        """Advance the whole network by *seconds* of simulated time."""
+        return self.kernel.run_for_time(seconds)
+
+    # -- reporting --------------------------------------------------------------------------------
+
+    def stream_statistics(self) -> Dict[str, Dict[str, int]]:
+        """Words sent / received per registered stream."""
+        return {
+            name: {"sent": ep.words_sent, "received": ep.words_received}
+            for name, ep in self.streams.items()
+        }
+
+    def total_power(self, frequency_hz: Optional[float] = None) -> PowerBreakdown:
+        """Aggregate power of all routers (links and tiles excluded, as in the paper)."""
+        frequency = frequency_hz if frequency_hz is not None else self.frequency_hz
+        return PowerBreakdown.total_of(
+            router.power(frequency) for router in self.routers.values()
+        )
+
+    def router_power(self, position: Position, frequency_hz: Optional[float] = None) -> PowerBreakdown:
+        """Power of the single router at *position*."""
+        frequency = frequency_hz if frequency_hz is not None else self.frequency_hz
+        return self.router_at(position).power(frequency)
+
+    def merged_activity(self) -> ActivityCounters:
+        """Activity counters of all routers folded together."""
+        return ActivityCounters.merged(
+            (router.activity for router in self.routers.values()), name="network"
+        )
+
+    def total_area_mm2(self) -> float:
+        """Total router area of the network (Table 4 per-router area × routers)."""
+        return sum(router.total_area_mm2 for router in self.routers.values())
+
+    def energy_per_delivered_bit_pj(self, frequency_hz: Optional[float] = None) -> float:
+        """Average network energy per delivered payload bit (mesh experiments)."""
+        frequency = frequency_hz if frequency_hz is not None else self.frequency_hz
+        delivered_bits = sum(ep.words_received for ep in self.streams.values()) * self.data_width
+        if delivered_bits == 0:
+            return float("inf")
+        cycles = self.kernel.cycle
+        duration_s = cycles / frequency
+        power = self.total_power(frequency)
+        return power.total_uw * duration_s * 1e6 / delivered_bits

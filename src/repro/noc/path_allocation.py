@@ -1,0 +1,309 @@
+"""Lane-level path allocation for the circuit-switched network (Sections 4/5).
+
+The CCN maps every guaranteed-throughput channel of an application onto a
+*circuit*: a concatenation of lanes from the source tile's router to the
+destination tile's router.  Because lanes are physically separate, an
+established circuit never collides with other traffic — which is exactly why
+the allocator only has to find lanes that are *free*, not to build a global
+time-slot schedule as the Æthereal/SoCBUS style routers must (Section 4).
+
+The allocator keeps track of the free lanes of every directed link and of the
+free tile-port lanes of every router, finds a shortest path with enough free
+lanes on every hop, and emits the per-router hop descriptions from which
+:func:`repro.core.configuration.commands_for_connection` builds the 10-bit
+configuration commands.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.common import AllocationError, Port, opposite_port
+from repro.core.header import phits_per_packet
+from repro.noc.topology import Mesh2D, Position
+
+__all__ = ["LaneHop", "LaneCircuit", "CircuitAllocation", "LaneAllocator"]
+
+
+@dataclass(frozen=True)
+class LaneHop:
+    """How a circuit traverses one router: input lane → output lane."""
+
+    position: Position
+    in_port: Port
+    in_lane: int
+    out_port: Port
+    out_lane: int
+
+    def as_tuple(self) -> Tuple[Port, int, Port, int]:
+        """The ``(in_port, in_lane, out_port, out_lane)`` tuple used for commands."""
+        return (self.in_port, self.in_lane, self.out_port, self.out_lane)
+
+
+@dataclass(frozen=True)
+class LaneCircuit:
+    """One physical lane-level circuit from a source tile to a destination tile."""
+
+    channel_name: str
+    index: int
+    src: Position
+    dst: Position
+    route: Tuple[Position, ...]
+    hops: Tuple[LaneHop, ...]
+
+    @property
+    def source_tile_lane(self) -> int:
+        """Tile-port lane used at the source router."""
+        return self.hops[0].in_lane
+
+    @property
+    def destination_tile_lane(self) -> int:
+        """Tile-port lane used at the destination router."""
+        return self.hops[-1].out_lane
+
+    @property
+    def hop_count(self) -> int:
+        """Number of routers the circuit passes through."""
+        return len(self.hops)
+
+
+@dataclass
+class CircuitAllocation:
+    """All circuits allocated for one application channel."""
+
+    channel_name: str
+    src: Position
+    dst: Position
+    bandwidth_mbps: float
+    circuits: List[LaneCircuit] = field(default_factory=list)
+
+    @property
+    def is_local(self) -> bool:
+        """True when source and destination share a tile (no network resources)."""
+        return self.src == self.dst
+
+    @property
+    def lanes_used(self) -> int:
+        """Number of parallel lane circuits allocated."""
+        return len(self.circuits)
+
+    @property
+    def hop_count(self) -> int:
+        """Router hops of the (common) route, 0 for tile-local channels."""
+        return self.circuits[0].hop_count if self.circuits else 0
+
+
+class LaneAllocator:
+    """Tracks free lanes and allocates circuits on a 2-D mesh."""
+
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        lanes_per_link: int = 4,
+        lane_width: int = 4,
+        data_width: int = 16,
+    ) -> None:
+        if lanes_per_link < 1:
+            raise ValueError("lanes_per_link must be positive")
+        self.mesh = mesh
+        self.lanes_per_link = lanes_per_link
+        self.lane_width = lane_width
+        self.data_width = data_width
+        all_lanes = set(range(lanes_per_link))
+        #: Free lanes of every directed router-to-router link.
+        self._free_link_lanes: Dict[Tuple[Position, Position], Set[int]] = {
+            link: set(all_lanes) for link in mesh.directed_links()
+        }
+        #: Free tile-port input lanes (tile → network) per router.
+        self._free_tile_tx: Dict[Position, Set[int]] = {
+            pos: set(all_lanes) for pos in mesh.positions()
+        }
+        #: Free tile-port output lanes (network → tile) per router.
+        self._free_tile_rx: Dict[Position, Set[int]] = {
+            pos: set(all_lanes) for pos in mesh.positions()
+        }
+        self._allocations: Dict[str, CircuitAllocation] = {}
+
+    # -- capacity arithmetic -----------------------------------------------------------
+
+    def lane_capacity_mbps(self, frequency_hz: float) -> float:
+        """Payload bandwidth of one lane at the given network clock.
+
+        One lane carries ``lane_width`` bits per cycle, of which the data word
+        occupies ``data_width`` out of every ``data_width + header`` bits
+        (e.g. 16 of 20: 80 Mbit/s at 25 MHz, 3.44 Gbit/s at 1075 MHz).
+        """
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        phits = phits_per_packet(self.data_width, self.lane_width)
+        efficiency = self.data_width / (phits * self.lane_width)
+        return self.lane_width * frequency_hz * efficiency / 1e6
+
+    def lanes_required(self, bandwidth_mbps: float, frequency_hz: float) -> int:
+        """Parallel lanes needed to carry *bandwidth_mbps* at *frequency_hz*."""
+        if bandwidth_mbps < 0:
+            raise ValueError("bandwidth must be non-negative")
+        if bandwidth_mbps == 0:
+            return 1
+        return max(1, math.ceil(bandwidth_mbps / self.lane_capacity_mbps(frequency_hz)))
+
+    # -- queries ---------------------------------------------------------------------------
+
+    def free_lanes(self, src: Position, dst: Position) -> int:
+        """Number of free lanes on the directed link from *src* to *dst*."""
+        try:
+            return len(self._free_link_lanes[(src, dst)])
+        except KeyError:
+            raise AllocationError(f"no link from {src} to {dst} in the mesh") from None
+
+    def allocation(self, channel_name: str) -> CircuitAllocation:
+        """The allocation previously made for *channel_name*."""
+        try:
+            return self._allocations[channel_name]
+        except KeyError:
+            raise AllocationError(f"no allocation for channel {channel_name!r}") from None
+
+    @property
+    def allocations(self) -> List[CircuitAllocation]:
+        """All current allocations in insertion order."""
+        return list(self._allocations.values())
+
+    def link_utilization(self) -> float:
+        """Fraction of all link lanes currently allocated."""
+        total = len(self._free_link_lanes) * self.lanes_per_link
+        free = sum(len(lanes) for lanes in self._free_link_lanes.values())
+        return (total - free) / total if total else 0.0
+
+    # -- allocation --------------------------------------------------------------------------
+
+    def _route(self, src: Position, dst: Position, lanes_needed: int) -> List[Position]:
+        graph = nx.DiGraph()
+        for position in self.mesh.positions():
+            graph.add_node(position)
+        for (a, b), free in self._free_link_lanes.items():
+            if len(free) >= lanes_needed:
+                graph.add_edge(a, b)
+        try:
+            return nx.shortest_path(graph, src, dst)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            raise AllocationError(
+                f"no route with {lanes_needed} free lane(s) from {src} to {dst}"
+            ) from None
+
+    def allocate(
+        self,
+        channel_name: str,
+        src: Position,
+        dst: Position,
+        bandwidth_mbps: float,
+        frequency_hz: float,
+    ) -> CircuitAllocation:
+        """Allocate the circuits for one channel; raises :class:`AllocationError`.
+
+        The allocation is transactional: if any resource along the chosen
+        route is unavailable the partial reservation is rolled back.
+        """
+        if channel_name in self._allocations:
+            raise AllocationError(f"channel {channel_name!r} is already allocated")
+        for position in (src, dst):
+            if not self.mesh.contains(position):
+                raise AllocationError(f"position {position} is outside the mesh")
+
+        allocation = CircuitAllocation(channel_name, src, dst, bandwidth_mbps)
+        if src == dst:
+            # Tile-local channel: nothing to allocate on the network.
+            self._allocations[channel_name] = allocation
+            return allocation
+
+        lanes_needed = self.lanes_required(bandwidth_mbps, frequency_hz)
+        route = self._route(src, dst, lanes_needed)
+
+        if len(self._free_tile_tx[src]) < lanes_needed:
+            raise AllocationError(
+                f"source tile at {src} has only {len(self._free_tile_tx[src])} free "
+                f"outgoing lane(s), {lanes_needed} needed for {channel_name!r}"
+            )
+        if len(self._free_tile_rx[dst]) < lanes_needed:
+            raise AllocationError(
+                f"destination tile at {dst} has only {len(self._free_tile_rx[dst])} free "
+                f"incoming lane(s), {lanes_needed} needed for {channel_name!r}"
+            )
+
+        reserved_links: List[Tuple[Tuple[Position, Position], int]] = []
+        reserved_tx: List[int] = []
+        reserved_rx: List[int] = []
+        try:
+            circuits: List[LaneCircuit] = []
+            for index in range(lanes_needed):
+                tile_tx_lane = min(self._free_tile_tx[src])
+                self._free_tile_tx[src].discard(tile_tx_lane)
+                reserved_tx.append(tile_tx_lane)
+                tile_rx_lane = min(self._free_tile_rx[dst])
+                self._free_tile_rx[dst].discard(tile_rx_lane)
+                reserved_rx.append(tile_rx_lane)
+
+                link_lanes: List[int] = []
+                for a, b in zip(route, route[1:]):
+                    free = self._free_link_lanes[(a, b)]
+                    if not free:
+                        raise AllocationError(
+                            f"link {a}->{b} ran out of lanes while allocating {channel_name!r}"
+                        )
+                    lane = min(free)
+                    free.discard(lane)
+                    reserved_links.append(((a, b), lane))
+                    link_lanes.append(lane)
+
+                hops: List[LaneHop] = []
+                for hop_index, position in enumerate(route):
+                    if hop_index == 0:
+                        in_port, in_lane = Port.TILE, tile_tx_lane
+                    else:
+                        previous = route[hop_index - 1]
+                        in_port = opposite_port(self.mesh.port_towards(previous, position))
+                        in_lane = link_lanes[hop_index - 1]
+                    if hop_index == len(route) - 1:
+                        out_port, out_lane = Port.TILE, tile_rx_lane
+                    else:
+                        following = route[hop_index + 1]
+                        out_port = self.mesh.port_towards(position, following)
+                        out_lane = link_lanes[hop_index]
+                    hops.append(LaneHop(position, in_port, in_lane, out_port, out_lane))
+
+                circuits.append(
+                    LaneCircuit(
+                        channel_name=channel_name,
+                        index=index,
+                        src=src,
+                        dst=dst,
+                        route=tuple(route),
+                        hops=tuple(hops),
+                    )
+                )
+        except AllocationError:
+            # Roll back every reservation made so far.
+            for (link, lane) in reserved_links:
+                self._free_link_lanes[link].add(lane)
+            for lane in reserved_tx:
+                self._free_tile_tx[src].add(lane)
+            for lane in reserved_rx:
+                self._free_tile_rx[dst].add(lane)
+            raise
+
+        allocation.circuits = circuits
+        self._allocations[channel_name] = allocation
+        return allocation
+
+    def release(self, channel_name: str) -> None:
+        """Free every resource held by *channel_name*."""
+        allocation = self.allocation(channel_name)
+        for circuit in allocation.circuits:
+            self._free_tile_tx[circuit.src].add(circuit.source_tile_lane)
+            self._free_tile_rx[circuit.dst].add(circuit.destination_tile_lane)
+            for a, b, hop in zip(circuit.route, circuit.route[1:], circuit.hops):
+                self._free_link_lanes[(a, b)].add(hop.out_lane)
+        del self._allocations[channel_name]

@@ -1,0 +1,113 @@
+"""2-D mesh topology of the Network-on-Chip (Section 1.1).
+
+"In this paper we assume a regular two dimensional mesh topology of the
+routers.  Every router is connected with its four neighboring routers via
+bidirectional point-to-point links and with a single processor tile via the
+tile interface."  This module provides the coordinate arithmetic and the
+NetworkX view of that mesh; it is shared by the circuit-switched network, the
+packet-switched network, the best-effort network and the CCN's allocators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+import networkx as nx
+
+from repro.common import NEIGHBOR_PORTS, Port, port_offset
+
+__all__ = ["Position", "Mesh2D"]
+
+Position = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Mesh2D:
+    """A ``width × height`` mesh of router positions.
+
+    Coordinates follow the convention of :mod:`repro.common`: ``x`` grows to
+    the east, ``y`` grows to the north, and ``(0, 0)`` is the south-west
+    corner.
+    """
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("mesh dimensions must be positive")
+
+    # -- membership -----------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of routers (= tiles) in the mesh."""
+        return self.width * self.height
+
+    def contains(self, position: Position) -> bool:
+        """True when *position* is a valid router coordinate."""
+        x, y = position
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def positions(self) -> Iterator[Position]:
+        """All router positions in row-major order (south row first)."""
+        for y in range(self.height):
+            for x in range(self.width):
+                yield (x, y)
+
+    def router_name(self, position: Position) -> str:
+        """Canonical component name of the router at *position*."""
+        if not self.contains(position):
+            raise ValueError(f"position {position} is outside the {self.width}x{self.height} mesh")
+        return f"router_{position[0]}_{position[1]}"
+
+    # -- neighbourhood -----------------------------------------------------------------
+
+    def neighbor(self, position: Position, port: Port) -> Position | None:
+        """The position behind *port*, or ``None`` at the mesh edge."""
+        if port not in NEIGHBOR_PORTS:
+            raise ValueError("only neighbour ports have a neighbouring position")
+        dx, dy = port_offset(port)
+        candidate = (position[0] + dx, position[1] + dy)
+        return candidate if self.contains(candidate) else None
+
+    def neighbors(self, position: Position) -> Dict[Port, Position]:
+        """All existing neighbours of *position*, keyed by port."""
+        result: Dict[Port, Position] = {}
+        for port in NEIGHBOR_PORTS:
+            neighbor = self.neighbor(position, port)
+            if neighbor is not None:
+                result[port] = neighbor
+        return result
+
+    def port_towards(self, src: Position, dst: Position) -> Port:
+        """The port of *src* that faces the adjacent position *dst*."""
+        dx, dy = dst[0] - src[0], dst[1] - src[1]
+        for port in NEIGHBOR_PORTS:
+            if port_offset(port) == (dx, dy):
+                return port
+        raise ValueError(f"{src} and {dst} are not adjacent in the mesh")
+
+    def manhattan_distance(self, a: Position, b: Position) -> int:
+        """Hop distance between two positions."""
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    # -- link enumeration --------------------------------------------------------------
+
+    def directed_links(self) -> List[Tuple[Position, Position]]:
+        """All directed router-to-router links ``(src, dst)`` of the mesh."""
+        links: List[Tuple[Position, Position]] = []
+        for position in self.positions():
+            for neighbor in self.neighbors(position).values():
+                links.append((position, neighbor))
+        return links
+
+    def to_networkx(self) -> "nx.DiGraph":
+        """Directed-graph view used by the allocators (one edge per link direction)."""
+        graph = nx.DiGraph()
+        for position in self.positions():
+            graph.add_node(position)
+        for src, dst in self.directed_links():
+            graph.add_edge(src, dst)
+        return graph

@@ -1,0 +1,35 @@
+"""Synchronous cycle-accurate simulation kernel.
+
+The routers of the paper are synchronous designs whose state only changes at
+clock edges (Section 5: "the tiles and NoC are synchronized by the same
+clock", and the crossbar output lanes are registered).  The kernel therefore
+uses a classic two-phase model:
+
+1. ``evaluate(cycle)`` — every component computes its next state from the
+   *committed* outputs of all components (the values latched at the previous
+   clock edge).  No component may observe another component's next state.
+2. ``commit(cycle)`` — every component latches its next state, which becomes
+   visible to everybody in the following cycle.
+
+Because ``evaluate`` only reads committed state, the order in which
+components are evaluated cannot change the result; this is asserted by the
+property-based tests.
+"""
+
+from repro.sim.engine import ClockedComponent, SimulationKernel
+from repro.sim.signals import Register, RegisterBank, Wire
+from repro.sim.stats import Counter, StatsCollector, Histogram
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "ClockedComponent",
+    "SimulationKernel",
+    "Register",
+    "RegisterBank",
+    "Wire",
+    "Counter",
+    "StatsCollector",
+    "Histogram",
+    "TraceEvent",
+    "TraceRecorder",
+]

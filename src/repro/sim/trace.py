@@ -1,0 +1,107 @@
+"""Lightweight event tracing for debugging and the examples.
+
+The tracer records ``(cycle, component, signal, value)`` tuples and can render
+them either as a chronological log or as a per-signal waveform-style listing
+(a poor man's VCD).  Tracing is opt-in and costs nothing when disabled, so it
+is safe to leave hooks in the router models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single recorded signal change."""
+
+    cycle: int
+    component: str
+    signal: str
+    value: int
+
+    def format(self) -> str:
+        """Human-readable single-line rendering."""
+        return f"[{self.cycle:>8}] {self.component}.{self.signal} = {self.value:#x}"
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects during a simulation run.
+
+    Parameters
+    ----------
+    enabled:
+        When false, :meth:`record` is a no-op; this is the default so that
+        the power benchmarks never pay for tracing.
+    capacity:
+        Optional bound on the number of stored events; the oldest events are
+        dropped once it is exceeded (simple ring-buffer behaviour).
+    """
+
+    def __init__(self, enabled: bool = False, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive when given")
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+        self._dropped = 0
+
+    def record(self, cycle: int, component: str, signal: str, value: int) -> None:
+        """Store one event (no-op when the recorder is disabled)."""
+        if not self.enabled:
+            return
+        self._events.append(TraceEvent(cycle, component, signal, value))
+        if self.capacity is not None and len(self._events) > self.capacity:
+            overflow = len(self._events) - self.capacity
+            del self._events[:overflow]
+            self._dropped += overflow
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        """All retained events in chronological order."""
+        return tuple(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Number of events discarded because of the capacity bound."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def clear(self) -> None:
+        """Drop all stored events."""
+        self._events.clear()
+        self._dropped = 0
+
+    def filter(self, component: str | None = None, signal: str | None = None) -> list[TraceEvent]:
+        """Return events matching the given component and/or signal name."""
+        result = []
+        for event in self._events:
+            if component is not None and event.component != component:
+                continue
+            if signal is not None and event.signal != signal:
+                continue
+            result.append(event)
+        return result
+
+    def format_log(self, events: Iterable[TraceEvent] | None = None) -> str:
+        """Render events (default: all) as a chronological log."""
+        selected = list(events) if events is not None else self._events
+        if not selected:
+            return "(no trace events)"
+        return "\n".join(event.format() for event in selected)
+
+    def format_waveform(self, component: str, signal: str) -> str:
+        """Render the history of one signal as ``cycle:value`` pairs."""
+        events = self.filter(component, signal)
+        if not events:
+            return f"{component}.{signal}: (no events)"
+        history = " ".join(f"{event.cycle}:{event.value:#x}" for event in events)
+        return f"{component}.{signal}: {history}"

@@ -1,0 +1,60 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common import NEIGHBOR_PORTS, Port
+from repro.core.lane import LaneLink
+from repro.core.router import CircuitSwitchedRouter
+from repro.baseline.link import PacketLink
+from repro.baseline.router import PacketSwitchedRouter
+from repro.sim.engine import SimulationKernel
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic random generator for tests that need arbitrary words."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def cs_router_with_links():
+    """A circuit-switched router with lane links attached on all four sides."""
+    router = CircuitSwitchedRouter("dut")
+    links = {}
+    for port in NEIGHBOR_PORTS:
+        rx = LaneLink(f"rx_{port.short_name}")
+        tx = LaneLink(f"tx_{port.short_name}")
+        router.attach_link(port, rx, tx)
+        links[port] = (rx, tx)
+    return router, links
+
+
+@pytest.fixture
+def ps_router_with_links():
+    """A packet-switched router (at (1, 1)) with packet links on all four sides."""
+    router = PacketSwitchedRouter("dut", position=(1, 1))
+    links = {}
+    for port in NEIGHBOR_PORTS:
+        rx = PacketLink(f"rx_{port.short_name}", router.num_vcs)
+        tx = PacketLink(f"tx_{port.short_name}", router.num_vcs)
+        router.attach_link(port, rx, tx)
+        links[port] = (rx, tx)
+    return router, links
+
+
+@pytest.fixture
+def kernel_25mhz() -> SimulationKernel:
+    """A simulation kernel at the paper's 25 MHz power-experiment clock."""
+    return SimulationKernel(25e6)
+
+
+def neighbor_of(position: tuple[int, int], port: Port) -> tuple[int, int]:
+    """Mesh coordinate behind *port* of *position* (helper for routing tests)."""
+    from repro.common import port_offset
+
+    dx, dy = port_offset(port)
+    return (position[0] + dx, position[1] + dy)

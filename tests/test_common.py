@@ -1,0 +1,152 @@
+"""Tests for repro.common: ports, bit utilities and exceptions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import (
+    ALL_PORTS,
+    NEIGHBOR_PORTS,
+    Port,
+    bit_mask,
+    check_field,
+    hamming_distance,
+    iter_bits,
+    join_bits,
+    opposite_port,
+    popcount,
+    port_offset,
+    split_bits,
+    toggle_count,
+)
+
+
+class TestPort:
+    def test_port_values_are_dense_indices(self):
+        assert [int(p) for p in ALL_PORTS] == [0, 1, 2, 3, 4]
+
+    def test_tile_port_properties(self):
+        assert Port.TILE.is_tile
+        assert not Port.TILE.is_neighbor
+
+    def test_neighbor_port_properties(self):
+        for port in NEIGHBOR_PORTS:
+            assert port.is_neighbor
+            assert not port.is_tile
+
+    def test_short_names_are_unique(self):
+        names = {p.short_name for p in ALL_PORTS}
+        assert names == {"T", "N", "E", "S", "W"}
+
+    def test_opposites_are_symmetric(self):
+        for port in NEIGHBOR_PORTS:
+            assert opposite_port(opposite_port(port)) == port
+
+    def test_opposite_pairs(self):
+        assert opposite_port(Port.NORTH) == Port.SOUTH
+        assert opposite_port(Port.EAST) == Port.WEST
+
+    def test_tile_has_no_opposite(self):
+        with pytest.raises(ValueError):
+            opposite_port(Port.TILE)
+
+    def test_port_offsets_are_unit_steps(self):
+        for port in NEIGHBOR_PORTS:
+            dx, dy = port_offset(port)
+            assert abs(dx) + abs(dy) == 1
+
+    def test_offsets_of_opposites_cancel(self):
+        for port in NEIGHBOR_PORTS:
+            dx, dy = port_offset(port)
+            ox, oy = port_offset(opposite_port(port))
+            assert (dx + ox, dy + oy) == (0, 0)
+
+    def test_tile_port_has_no_offset(self):
+        with pytest.raises(ValueError):
+            port_offset(Port.TILE)
+
+
+class TestBitUtilities:
+    def test_bit_mask(self):
+        assert bit_mask(0) == 0
+        assert bit_mask(4) == 0xF
+        assert bit_mask(16) == 0xFFFF
+
+    def test_bit_mask_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bit_mask(-1)
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_popcount_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-3)
+
+    def test_hamming_distance(self):
+        assert hamming_distance(0b1010, 0b0101) == 4
+        assert hamming_distance(7, 7) == 0
+
+    def test_toggle_count_respects_width(self):
+        # Only the 4 LSBs are compared when width=4.
+        assert toggle_count(0xF0, 0x0F, width=4) == 4
+        assert toggle_count(0xF0, 0xF0) == 0
+
+    def test_split_and_join_known_value(self):
+        phits = split_bits(0xABCD, 4, 4)
+        assert phits == [0xA, 0xB, 0xC, 0xD]
+        assert join_bits(phits, 4) == 0xABCD
+
+    def test_split_bits_lsb_first(self):
+        assert split_bits(0xABCD, 4, 4, msb_first=False) == [0xD, 0xC, 0xB, 0xA]
+
+    def test_split_bits_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            split_bits(0x1FFFF, 4, 4)
+
+    def test_join_bits_rejects_oversized_chunk(self):
+        with pytest.raises(ValueError):
+            join_bits([0x1F], 4)
+
+    def test_check_field_accepts_in_range(self):
+        assert check_field(15, 4, "x") == 15
+
+    def test_check_field_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_field(16, 4, "x")
+
+    def test_check_field_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            check_field(1.5, 4, "x")  # type: ignore[arg-type]
+
+    def test_iter_bits(self):
+        assert list(iter_bits(0b1011, 4)) == [1, 1, 0, 1]
+
+
+class TestBitProperties:
+    @given(st.integers(min_value=0, max_value=(1 << 20) - 1))
+    def test_split_join_roundtrip(self, value):
+        chunks = split_bits(value, 4, 5)
+        assert join_bits(chunks, 4) == value
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_hamming_is_symmetric(self, a, b):
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_hamming_identity(self, a):
+        assert hamming_distance(a, a) == 0
+
+    @given(
+        st.integers(min_value=0, max_value=2**16 - 1),
+        st.integers(min_value=0, max_value=2**16 - 1),
+        st.integers(min_value=0, max_value=2**16 - 1),
+    )
+    def test_hamming_triangle_inequality(self, a, b, c):
+        assert hamming_distance(a, c) <= hamming_distance(a, b) + hamming_distance(b, c)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_popcount_matches_bin(self, value):
+        assert popcount(value) == bin(value).count("1")

@@ -1,0 +1,173 @@
+"""Tests for the configuration memory and the 10-bit configuration commands."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import ConfigurationError, Port
+from repro.core.config_memory import ConfigurationMemory, LaneConfig
+from repro.core.configuration import (
+    COMMAND_BITS,
+    ConfigurationCommand,
+    commands_for_connection,
+    decode_command,
+    encode_command,
+)
+
+
+class TestConfigurationMemory:
+    def setup_method(self):
+        self.memory = ConfigurationMemory()
+
+    def test_paper_geometry(self):
+        assert self.memory.total_lanes == 20
+        assert self.memory.selectable_inputs == 16
+        assert self.memory.select_bits == 4
+        assert self.memory.entry_bits == 5
+        assert self.memory.memory_bits == 100  # "5x20 = 100 bits"
+
+    def test_default_entries_inactive(self):
+        for port, lane in self.memory.iter_lanes():
+            assert not self.memory.get(port, lane).active
+
+    def test_set_and_get_entry(self):
+        self.memory.set_entry(Port.EAST, 1, LaneConfig(True, Port.TILE, 0))
+        entry = self.memory.get(Port.EAST, 1)
+        assert entry.active
+        assert entry.source_port == Port.TILE
+        assert entry.source_lane == 0
+        assert self.memory.active_lane_count() == 1
+
+    def test_clear_entry_with_none(self):
+        self.memory.set_entry(Port.EAST, 1, LaneConfig(True, Port.TILE, 0))
+        self.memory.set_entry(Port.EAST, 1, None)
+        assert not self.memory.get(Port.EAST, 1).active
+
+    def test_own_port_loopback_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.memory.set_entry(Port.EAST, 0, LaneConfig(True, Port.EAST, 1))
+
+    def test_out_of_range_lane_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.memory.set_entry(Port.EAST, 4, LaneConfig(True, Port.TILE, 0))
+        with pytest.raises(ConfigurationError):
+            self.memory.get(Port.NORTH, -1)
+
+    def test_version_counter_tracks_changes(self):
+        version = self.memory.version
+        self.memory.set_entry(Port.EAST, 0, LaneConfig(True, Port.TILE, 0))
+        assert self.memory.version == version + 1
+        self.memory.clear()
+        assert self.memory.version == version + 2
+        # Clearing an already empty memory does not bump the version.
+        self.memory.clear()
+        assert self.memory.version == version + 2
+
+    def test_sources_feeding_reverse_lookup(self):
+        self.memory.set_entry(Port.EAST, 0, LaneConfig(True, Port.WEST, 2))
+        self.memory.set_entry(Port.NORTH, 3, LaneConfig(True, Port.WEST, 2))
+        outputs = set(self.memory.sources_feeding(Port.WEST, 2))
+        assert outputs == {(Port.EAST, 0), (Port.NORTH, 3)}
+        assert self.memory.sources_feeding(Port.WEST, 0) == []
+
+    def test_lane_index_roundtrip(self):
+        for port, lane in self.memory.iter_lanes():
+            index = self.memory.lane_index(port, lane)
+            assert self.memory.lane_from_index(index) == (port, lane)
+        with pytest.raises(ConfigurationError):
+            self.memory.lane_from_index(20)
+
+    def test_select_encoding_skips_own_port(self):
+        # Output at EAST selects among TILE, NORTH, SOUTH, WEST lanes (16 total).
+        values = set()
+        for port in (Port.TILE, Port.NORTH, Port.SOUTH, Port.WEST):
+            for lane in range(4):
+                values.add(self.memory.encode_select(Port.EAST, port, lane))
+        assert values == set(range(16))
+
+    def test_select_encoding_rejects_own_port(self):
+        with pytest.raises(ConfigurationError):
+            self.memory.encode_select(Port.EAST, Port.EAST, 0)
+
+    def test_decode_select_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            self.memory.decode_select(Port.EAST, 16)
+
+    def test_active_entries_sorted(self):
+        self.memory.set_entry(Port.WEST, 1, LaneConfig(True, Port.TILE, 1))
+        self.memory.set_entry(Port.NORTH, 0, LaneConfig(True, Port.TILE, 0))
+        entries = self.memory.active_entries()
+        assert [(p, l) for p, l, _ in entries] == [(Port.NORTH, 0), (Port.WEST, 1)]
+
+    @given(
+        st.sampled_from(list(Port)),
+        st.sampled_from(list(Port)),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_select_roundtrip_property(self, out_port, in_port, in_lane):
+        memory = ConfigurationMemory()
+        if in_port == out_port:
+            with pytest.raises(ConfigurationError):
+                memory.encode_select(out_port, in_port, in_lane)
+        else:
+            select = memory.encode_select(out_port, in_port, in_lane)
+            assert 0 <= select < 16
+            assert memory.decode_select(out_port, select) == (in_port, in_lane)
+
+
+class TestConfigurationCommands:
+    def setup_method(self):
+        self.memory = ConfigurationMemory()
+
+    def test_command_is_ten_bits(self):
+        command = ConfigurationCommand(Port.EAST, 2, True, Port.TILE, 1)
+        word = encode_command(command, self.memory)
+        assert 0 <= word < (1 << COMMAND_BITS)
+
+    def test_encode_decode_roundtrip(self):
+        command = ConfigurationCommand(Port.NORTH, 3, True, Port.WEST, 2)
+        assert decode_command(encode_command(command, self.memory), self.memory) == command
+
+    def test_deactivation_roundtrip(self):
+        command = ConfigurationCommand(Port.SOUTH, 1, False)
+        decoded = decode_command(encode_command(command, self.memory), self.memory)
+        assert not decoded.active
+        assert (decoded.out_port, decoded.out_lane) == (Port.SOUTH, 1)
+
+    def test_apply_writes_memory(self):
+        ConfigurationCommand(Port.EAST, 0, True, Port.TILE, 0).apply(self.memory)
+        assert self.memory.get(Port.EAST, 0).active
+        ConfigurationCommand(Port.EAST, 0, False).apply(self.memory)
+        assert not self.memory.get(Port.EAST, 0).active
+
+    def test_commands_for_connection(self):
+        hops = [
+            (Port.TILE, 0, Port.EAST, 1),
+            (Port.WEST, 1, Port.EAST, 2),
+            (Port.WEST, 2, Port.TILE, 3),
+        ]
+        commands = commands_for_connection(hops)
+        assert len(commands) == 3
+        assert all(c.active for c in commands)
+        teardown = commands_for_connection(hops, activate=False)
+        assert all(not c.active for c in teardown)
+
+    def test_decode_range_checked(self):
+        with pytest.raises(ValueError):
+            decode_command(1 << COMMAND_BITS, self.memory)
+
+    @given(
+        st.sampled_from(list(Port)),
+        st.integers(min_value=0, max_value=3),
+        st.sampled_from(list(Port)),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_command_roundtrip_property(self, out_port, out_lane, in_port, in_lane):
+        memory = ConfigurationMemory()
+        command = ConfigurationCommand(out_port, out_lane, True, in_port, in_lane)
+        if in_port == out_port:
+            with pytest.raises(ConfigurationError):
+                encode_command(command, memory)
+        else:
+            assert decode_command(encode_command(command, memory), memory) == command

@@ -1,0 +1,135 @@
+"""Tests for the lane crossbar (forwarding, acknowledge routing, activity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import Port
+from repro.core.config_memory import ConfigurationMemory, LaneConfig
+from repro.core.crossbar import Crossbar
+from repro.energy.activity import ActivityCounters, ActivityKeys
+
+
+def make_crossbar():
+    memory = ConfigurationMemory()
+    activity = ActivityCounters("xbar")
+    return Crossbar(memory, activity=activity), memory, activity
+
+
+class TestCrossbarForwarding:
+    def test_unconfigured_outputs_stay_idle(self):
+        crossbar, _, _ = make_crossbar()
+        crossbar.evaluate({(Port.TILE, 0): 0xF}, {})
+        crossbar.commit()
+        for port in Port:
+            for lane in range(4):
+                assert crossbar.output(port, lane) == 0
+
+    def test_configured_output_follows_input_with_one_cycle_delay(self):
+        crossbar, memory, _ = make_crossbar()
+        memory.set_entry(Port.EAST, 0, LaneConfig(True, Port.TILE, 0))
+        crossbar.evaluate({(Port.TILE, 0): 0xA}, {})
+        assert crossbar.output(Port.EAST, 0) == 0  # not yet latched
+        crossbar.commit()
+        assert crossbar.output(Port.EAST, 0) == 0xA
+
+    def test_missing_input_reads_as_idle(self):
+        crossbar, memory, _ = make_crossbar()
+        memory.set_entry(Port.EAST, 0, LaneConfig(True, Port.WEST, 3))
+        crossbar.evaluate({}, {})
+        crossbar.commit()
+        assert crossbar.output(Port.EAST, 0) == 0
+
+    def test_multicast_same_input_to_two_outputs(self):
+        crossbar, memory, _ = make_crossbar()
+        memory.set_entry(Port.EAST, 0, LaneConfig(True, Port.TILE, 0))
+        memory.set_entry(Port.NORTH, 2, LaneConfig(True, Port.TILE, 0))
+        crossbar.evaluate({(Port.TILE, 0): 0x9}, {})
+        crossbar.commit()
+        assert crossbar.output(Port.EAST, 0) == 0x9
+        assert crossbar.output(Port.NORTH, 2) == 0x9
+
+    def test_outputs_for_port(self):
+        crossbar, memory, _ = make_crossbar()
+        memory.set_entry(Port.EAST, 1, LaneConfig(True, Port.TILE, 0))
+        crossbar.evaluate({(Port.TILE, 0): 0x7}, {})
+        crossbar.commit()
+        assert crossbar.outputs_for_port(Port.EAST) == [0, 0x7, 0, 0]
+
+    def test_reconfiguration_takes_effect(self):
+        crossbar, memory, _ = make_crossbar()
+        memory.set_entry(Port.EAST, 0, LaneConfig(True, Port.TILE, 0))
+        crossbar.evaluate({(Port.TILE, 0): 0x3, (Port.WEST, 1): 0xC}, {})
+        crossbar.commit()
+        assert crossbar.output(Port.EAST, 0) == 0x3
+        memory.set_entry(Port.EAST, 0, LaneConfig(True, Port.WEST, 1))
+        crossbar.evaluate({(Port.TILE, 0): 0x3, (Port.WEST, 1): 0xC}, {})
+        crossbar.commit()
+        assert crossbar.output(Port.EAST, 0) == 0xC
+
+    def test_reset_clears_registers(self):
+        crossbar, memory, _ = make_crossbar()
+        memory.set_entry(Port.EAST, 0, LaneConfig(True, Port.TILE, 0))
+        crossbar.evaluate({(Port.TILE, 0): 0xF}, {})
+        crossbar.commit()
+        crossbar.reset()
+        assert crossbar.output(Port.EAST, 0) == 0
+
+
+class TestCrossbarAckPath:
+    def test_ack_routed_back_to_configured_input(self):
+        crossbar, memory, _ = make_crossbar()
+        memory.set_entry(Port.EAST, 0, LaneConfig(True, Port.TILE, 1))
+        crossbar.evaluate({}, {(Port.EAST, 0): True})
+        crossbar.commit()
+        assert crossbar.ack_output(Port.TILE, 1) is True
+        assert crossbar.ack_output(Port.TILE, 0) is False
+
+    def test_ack_is_or_of_all_downstream_outputs(self):
+        crossbar, memory, _ = make_crossbar()
+        memory.set_entry(Port.EAST, 0, LaneConfig(True, Port.TILE, 0))
+        memory.set_entry(Port.NORTH, 0, LaneConfig(True, Port.TILE, 0))
+        crossbar.evaluate({}, {(Port.EAST, 0): False, (Port.NORTH, 0): True})
+        crossbar.commit()
+        assert crossbar.ack_output(Port.TILE, 0) is True
+
+    def test_ack_for_unconfigured_input_is_false(self):
+        crossbar, _, _ = make_crossbar()
+        crossbar.evaluate({}, {(Port.EAST, 0): True})
+        crossbar.commit()
+        assert crossbar.ack_output(Port.TILE, 0) is False
+
+
+class TestCrossbarActivity:
+    def test_toggles_counted_on_value_change(self):
+        crossbar, memory, activity = make_crossbar()
+        memory.set_entry(Port.EAST, 0, LaneConfig(True, Port.TILE, 0))
+        crossbar.evaluate({(Port.TILE, 0): 0xF}, {})
+        crossbar.commit()
+        assert activity.get(ActivityKeys.XBAR_TOGGLE_BITS) == 4
+        assert activity.get(ActivityKeys.REG_TOGGLE_BITS) == 4
+        crossbar.evaluate({(Port.TILE, 0): 0xF}, {})
+        crossbar.commit()
+        # Constant input: no further toggles.
+        assert activity.get(ActivityKeys.XBAR_TOGGLE_BITS) == 4
+
+    def test_all_lanes_clocked_without_gating(self):
+        crossbar, _, activity = make_crossbar()
+        crossbar.evaluate({}, {})
+        crossbar.commit(clock_gating=False)
+        # 20 lanes x (4 data bits + 1 acknowledge bit).
+        assert activity.get(ActivityKeys.REG_CLOCKED_BITS) == 100
+        assert activity.get(ActivityKeys.REG_GATED_BITS) == 0
+
+    def test_clock_gating_gates_inactive_lanes(self):
+        crossbar, memory, activity = make_crossbar()
+        memory.set_entry(Port.EAST, 0, LaneConfig(True, Port.TILE, 0))
+        crossbar.evaluate({(Port.TILE, 0): 0x5}, {})
+        crossbar.commit(clock_gating=True)
+        assert activity.get(ActivityKeys.REG_CLOCKED_BITS) == 5  # one active lane
+        assert activity.get(ActivityKeys.REG_GATED_BITS) == 95
+        assert crossbar.output(Port.EAST, 0) == 0x5
+
+    def test_invalid_lane_width(self):
+        with pytest.raises(ValueError):
+            Crossbar(ConfigurationMemory(), lane_width=0)

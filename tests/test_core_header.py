@@ -1,0 +1,118 @@
+"""Tests for the 20-bit lane packet format (header + data word)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import ProtocolError
+from repro.core.header import HEADER_WIDTH, LaneHeader, LanePacket, phits_per_packet
+
+
+class TestLaneHeader:
+    def test_encode_decode_roundtrip_all_combinations(self):
+        for valid in (False, True):
+            for sob in (False, True):
+                for eob in (False, True):
+                    for user in (False, True):
+                        header = LaneHeader(valid, sob, eob, user)
+                        assert LaneHeader.decode(header.encode()) == header
+
+    def test_idle_header_is_all_zero(self):
+        assert LaneHeader.idle().encode() == 0
+        assert not LaneHeader.idle().valid
+
+    def test_valid_bit_is_msb(self):
+        assert LaneHeader(valid=True).encode() & 0b1000
+        assert not LaneHeader(valid=False, sob=True).encode() & 0b1000
+
+    def test_decode_range_checked(self):
+        with pytest.raises(ValueError):
+            LaneHeader.decode(16)
+
+
+class TestPhitsPerPacket:
+    def test_default_is_five(self):
+        assert phits_per_packet() == 5
+        assert phits_per_packet(16, 4) == 5
+
+    def test_wider_lane_needs_fewer_phits(self):
+        assert phits_per_packet(16, 8) == 3
+        assert phits_per_packet(16, 16) == 2
+
+    def test_lane_narrower_than_header_rejected(self):
+        with pytest.raises(ValueError):
+            phits_per_packet(16, 2)
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            phits_per_packet(0, 4)
+
+
+class TestLanePacket:
+    def test_total_bits_is_twenty(self):
+        assert LanePacket(0xBEEF).total_bits == 20
+
+    def test_data_range_checked(self):
+        with pytest.raises(ValueError):
+            LanePacket(0x10000)
+
+    def test_encode_places_header_in_msbs(self):
+        packet = LanePacket(0xABCD, LaneHeader(valid=True, sob=True))
+        encoded = packet.encode()
+        assert encoded & 0xFFFF == 0xABCD
+        assert encoded >> 16 == packet.header.encode()
+
+    def test_to_phits_header_first_then_msb_data(self):
+        packet = LanePacket(0xABCD)
+        phits = packet.to_phits()
+        assert len(phits) == 5
+        assert phits[0] == packet.header.encode()
+        assert phits[1:] == [0xA, 0xB, 0xC, 0xD]
+
+    def test_from_phits_roundtrip(self):
+        packet = LanePacket(0x1234, LaneHeader(valid=True, eob=True))
+        assert LanePacket.from_phits(packet.to_phits()) == packet
+
+    def test_from_phits_wrong_count_rejected(self):
+        with pytest.raises(ProtocolError):
+            LanePacket.from_phits([0x8, 0x1, 0x2])
+
+    def test_from_phits_oversized_phit_rejected(self):
+        with pytest.raises(ProtocolError):
+            LanePacket.from_phits([0x8, 0x1, 0x2, 0x3, 0x10])
+
+    def test_from_phits_requires_valid_header(self):
+        phits = [0x0, 0x1, 0x2, 0x3, 0x4]  # header nibble without the VALID bit
+        with pytest.raises(ProtocolError):
+            LanePacket.from_phits(phits)
+
+    def test_wider_lane_roundtrip(self):
+        packet = LanePacket(0xFACE)
+        phits = packet.to_phits(lane_width=8)
+        assert len(phits) == 3
+        assert LanePacket.from_phits(phits, lane_width=8) == packet
+
+
+class TestLanePacketProperties:
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.booleans(),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_roundtrip_property(self, data, sob, eob, user):
+        packet = LanePacket(data, LaneHeader(True, sob, eob, user))
+        assert LanePacket.from_phits(packet.to_phits()) == packet
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_phits_fit_in_lane_width(self, data):
+        for phit in LanePacket(data).to_phits():
+            assert 0 <= phit <= 0xF
+
+    @given(st.integers(min_value=0, max_value=0xFFFF), st.sampled_from([4, 8, 16]))
+    def test_roundtrip_for_all_lane_widths(self, data, lane_width):
+        packet = LanePacket(data)
+        phits = packet.to_phits(lane_width=lane_width)
+        assert len(phits) == phits_per_packet(16, lane_width)
+        assert LanePacket.from_phits(phits, lane_width=lane_width).data == data

@@ -1,0 +1,197 @@
+"""Tests for lane links and the window-counter flow control."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import CapacityError
+from repro.core.flow_control import AckGenerator, FlowControlConfig, WindowCounterSource
+from repro.core.lane import LaneLink, link_width_bits
+
+
+class TestLaneLink:
+    def test_default_geometry_matches_paper(self):
+        link = LaneLink("l")
+        assert link.num_lanes == 4
+        assert link.lane_width == 4
+        assert link.width_bits == 16
+
+    def test_link_width_bits(self):
+        assert link_width_bits(4, 4) == 16
+        with pytest.raises(ValueError):
+            link_width_bits(0, 4)
+
+    def test_drive_and_read_forward(self):
+        link = LaneLink("l")
+        link.drive_forward(2, 0xA)
+        assert link.read_forward(2) == 0xA
+        assert link.read_forward(0) == 0
+
+    def test_forward_value_range_checked(self):
+        link = LaneLink("l")
+        with pytest.raises(ValueError):
+            link.drive_forward(0, 0x10)
+
+    def test_lane_index_range_checked(self):
+        link = LaneLink("l")
+        with pytest.raises(IndexError):
+            link.drive_forward(4, 0)
+        with pytest.raises(IndexError):
+            link.read_ack(-1)
+
+    def test_ack_wires(self):
+        link = LaneLink("l")
+        link.drive_ack(1, True)
+        assert link.read_ack(1) is True
+        assert link.read_ack(0) is False
+
+    def test_idle_and_reset(self):
+        link = LaneLink("l")
+        assert link.idle()
+        link.drive_forward(0, 0x5)
+        link.drive_ack(0, True)
+        assert not link.idle()
+        link.reset()
+        assert link.idle()
+        assert link.read_ack(0) is False
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            LaneLink("l", num_lanes=0)
+        with pytest.raises(ValueError):
+            LaneLink("l", lane_width=0)
+
+
+class TestFlowControlConfig:
+    def test_defaults(self):
+        config = FlowControlConfig()
+        assert config.window_size == 8
+        assert config.credit_per_ack == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowControlConfig(window_size=0)
+        with pytest.raises(ValueError):
+            FlowControlConfig(credit_per_ack=0)
+        with pytest.raises(ValueError):
+            FlowControlConfig(window_size=2, credit_per_ack=4)
+
+    def test_disabled_flow_control(self):
+        config = FlowControlConfig(window_size=None)
+        assert config.window_size is None
+
+
+class TestWindowCounterSource:
+    def test_send_consumes_credits(self):
+        source = WindowCounterSource(FlowControlConfig(window_size=2))
+        assert source.can_send()
+        source.on_send()
+        source.on_send()
+        assert not source.can_send()
+        assert source.packets_sent == 2
+
+    def test_send_without_credit_raises(self):
+        source = WindowCounterSource(FlowControlConfig(window_size=1))
+        source.on_send()
+        with pytest.raises(CapacityError):
+            source.on_send()
+
+    def test_ack_returns_credits(self):
+        source = WindowCounterSource(FlowControlConfig(window_size=2, credit_per_ack=2))
+        source.on_send()
+        source.on_send()
+        source.on_ack()
+        assert source.credits == 2
+        assert source.acks_received == 1
+
+    def test_excess_credit_detected(self):
+        source = WindowCounterSource(FlowControlConfig(window_size=2))
+        with pytest.raises(CapacityError):
+            source.on_ack(pulses=3)
+
+    def test_disabled_window_never_blocks(self):
+        source = WindowCounterSource(FlowControlConfig(window_size=None))
+        for _ in range(1000):
+            assert source.can_send()
+            source.on_send()
+        source.on_ack(5)
+        assert source.credits is None
+
+    def test_reset(self):
+        source = WindowCounterSource(FlowControlConfig(window_size=4))
+        source.on_send()
+        source.reset()
+        assert source.credits == 4
+        assert source.packets_sent == 0
+
+    def test_zero_pulse_ack_is_noop(self):
+        source = WindowCounterSource()
+        source.on_ack(0)
+        assert source.acks_received == 0
+
+    def test_negative_pulses_rejected(self):
+        with pytest.raises(ValueError):
+            WindowCounterSource().on_ack(-1)
+
+
+class TestAckGenerator:
+    def test_pulse_every_x_packets(self):
+        generator = AckGenerator(FlowControlConfig(window_size=8, credit_per_ack=4))
+        assert generator.on_consumed(3) == 0
+        assert generator.pending == 3
+        assert generator.on_consumed(1) == 1
+        assert generator.pending == 0
+        assert generator.acks_sent == 1
+
+    def test_bulk_consumption_emits_multiple_pulses(self):
+        generator = AckGenerator(FlowControlConfig(window_size=8, credit_per_ack=2))
+        assert generator.on_consumed(7) == 3
+        assert generator.pending == 1
+
+    def test_disabled_flow_control_never_acks(self):
+        generator = AckGenerator(FlowControlConfig(window_size=None))
+        assert generator.on_consumed(100) == 0
+        assert generator.total_consumed == 100
+
+    def test_reset(self):
+        generator = AckGenerator(FlowControlConfig(window_size=4, credit_per_ack=2))
+        generator.on_consumed(3)
+        generator.reset()
+        assert generator.pending == 0
+        assert generator.total_consumed == 0
+
+    def test_negative_packets_rejected(self):
+        with pytest.raises(ValueError):
+            AckGenerator().on_consumed(-1)
+
+
+class TestFlowControlProperties:
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=4),
+        st.lists(st.booleans(), min_size=1, max_size=200),
+    )
+    def test_source_destination_invariants(self, window, credit, schedule):
+        """Simulate an abstract source/destination pair driven by a random
+        schedule and check the paper's invariant: the destination buffer never
+        holds more packets than the window size."""
+        credit = min(credit, window)
+        config = FlowControlConfig(window_size=window, credit_per_ack=credit)
+        source = WindowCounterSource(config)
+        destination = AckGenerator(config)
+        in_flight_or_buffered = 0
+
+        for consume in schedule:
+            if consume and in_flight_or_buffered > 0:
+                pulses = destination.on_consumed(1)
+                in_flight_or_buffered -= 1
+                if pulses:
+                    source.on_ack(pulses)
+            elif source.can_send():
+                source.on_send()
+                in_flight_or_buffered += 1
+            # Invariant: un-acknowledged packets never exceed the window.
+            assert in_flight_or_buffered <= window
+            if source.credits is not None:
+                assert 0 <= source.credits <= window

@@ -1,0 +1,125 @@
+"""Tests for the technology constants and the gate library."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy.gates import DEFAULT_GATES, GateLibrary
+from repro.energy.technology import TSMC_130NM_LVHP, Technology, scale_technology
+
+
+class TestTechnology:
+    def test_default_is_130nm(self):
+        assert TSMC_130NM_LVHP.feature_size_nm == 130.0
+
+    def test_invalid_constants_rejected(self):
+        with pytest.raises(ValueError):
+            Technology(ge_area_um2=0)
+        with pytest.raises(ValueError):
+            Technology(fo4_delay_ps=-1)
+
+    def test_ge_to_mm2_scales_linearly(self):
+        tech = TSMC_130NM_LVHP
+        one = tech.ge_to_mm2(1000)
+        two = tech.ge_to_mm2(2000)
+        assert two == pytest.approx(2 * one)
+
+    def test_ge_to_mm2_wiring_factor(self):
+        tech = TSMC_130NM_LVHP
+        assert tech.ge_to_mm2(1000, wiring_factor=2.0) == pytest.approx(2 * tech.ge_to_mm2(1000))
+
+    def test_ge_to_mm2_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            TSMC_130NM_LVHP.ge_to_mm2(-1)
+        with pytest.raises(ValueError):
+            TSMC_130NM_LVHP.ge_to_mm2(1, wiring_factor=0)
+
+    def test_fo4_conversion(self):
+        assert TSMC_130NM_LVHP.fo4_to_ns(10) == pytest.approx(0.45)
+
+    def test_max_frequency_includes_margin(self):
+        tech = TSMC_130NM_LVHP
+        without_margin = 1e3 / tech.fo4_to_ns(20)
+        assert tech.max_frequency_mhz(20) < without_margin
+
+    def test_max_frequency_rejects_nonpositive_path(self):
+        with pytest.raises(ValueError):
+            TSMC_130NM_LVHP.max_frequency_mhz(0)
+
+
+class TestTechnologyScaling:
+    def test_scaling_down_shrinks_area_and_delay(self):
+        scaled = scale_technology(TSMC_130NM_LVHP, 65)
+        assert scaled.ge_area_um2 < TSMC_130NM_LVHP.ge_area_um2
+        assert scaled.fo4_delay_ps < TSMC_130NM_LVHP.fo4_delay_ps
+
+    def test_scaling_down_reduces_dynamic_energy(self):
+        scaled = scale_technology(TSMC_130NM_LVHP, 90)
+        assert scaled.e_reg_toggle_switching_fj < TSMC_130NM_LVHP.e_reg_toggle_switching_fj
+
+    def test_scaling_down_increases_leakage_density(self):
+        scaled = scale_technology(TSMC_130NM_LVHP, 65)
+        assert scaled.leakage_uw_per_mm2 > TSMC_130NM_LVHP.leakage_uw_per_mm2
+
+    def test_identity_scaling_preserves_node(self):
+        scaled = scale_technology(TSMC_130NM_LVHP, 130)
+        assert scaled.ge_area_um2 == pytest.approx(TSMC_130NM_LVHP.ge_area_um2)
+
+    def test_invalid_feature_size(self):
+        with pytest.raises(ValueError):
+            scale_technology(TSMC_130NM_LVHP, 0)
+
+
+class TestGateLibrary:
+    def test_mux_tree_needs_n_minus_one_mux2(self):
+        gates = DEFAULT_GATES
+        assert gates.mux_tree_ge(16, 1) == pytest.approx(15 * gates.ge_mux2)
+        assert gates.mux_tree_ge(16, 4) == pytest.approx(4 * 15 * gates.ge_mux2)
+
+    def test_mux_tree_levels(self):
+        assert GateLibrary.mux_tree_levels(16) == 4
+        assert GateLibrary.mux_tree_levels(20) == 5
+        assert GateLibrary.mux_tree_levels(1) == 0
+
+    def test_register_ge_linear_in_bits(self):
+        gates = DEFAULT_GATES
+        assert gates.register_ge(10) == pytest.approx(10 * gates.ge_dff)
+
+    def test_fifo_ge_grows_with_depth_and_width(self):
+        gates = DEFAULT_GATES
+        base = gates.fifo_ge(4, 16)
+        assert gates.fifo_ge(8, 16) > base
+        assert gates.fifo_ge(4, 32) > base
+
+    def test_counter_and_adder_and_comparator(self):
+        gates = DEFAULT_GATES
+        assert gates.counter_ge(4) > gates.register_ge(4)
+        assert gates.adder_ge(8) == pytest.approx(8 * gates.ge_full_adder)
+        assert gates.comparator_ge(8) > 0
+
+    def test_memory_flavours(self):
+        gates = DEFAULT_GATES
+        assert gates.memory_ge(100) > gates.memory_ge(100, flip_flop_based=False)
+
+    def test_invalid_inputs_rejected(self):
+        gates = DEFAULT_GATES
+        with pytest.raises(ValueError):
+            gates.mux_tree_ge(0)
+        with pytest.raises(ValueError):
+            gates.fifo_ge(0, 16)
+        with pytest.raises(ValueError):
+            gates.rr_arbiter_ge(0)
+        with pytest.raises(ValueError):
+            gates.decoder_ge(0)
+
+    @given(st.integers(min_value=2, max_value=64))
+    def test_mux_levels_match_log2(self, inputs):
+        assert GateLibrary.mux_tree_levels(inputs) == math.ceil(math.log2(inputs))
+
+    @given(st.integers(min_value=1, max_value=32), st.integers(min_value=1, max_value=32))
+    def test_fifo_ge_monotone_in_depth(self, depth, width):
+        gates = DEFAULT_GATES
+        assert gates.fifo_ge(depth + 1, width) > gates.fifo_ge(depth, width)

@@ -1,0 +1,112 @@
+"""Tests for the ablation studies (clock gating, lane geometry, window counter)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock_gating import estimate_gated_offset
+from repro.experiments.ablations import (
+    clock_gating_ablation,
+    lane_parameter_sweep,
+    window_counter_sweep,
+)
+
+
+class TestClockGatingAnalytic:
+    def test_idle_router_offset_collapses_to_fixed_part(self):
+        estimate = estimate_gated_offset(active_lanes=0)
+        assert estimate.offset_uw_per_mhz_gated < estimate.offset_uw_per_mhz_ungated
+        assert estimate.savings_fraction > 0.5
+        assert estimate.reduction_factor > 2.0
+
+    def test_fully_active_router_saves_nothing(self):
+        estimate = estimate_gated_offset(active_lanes=20)
+        assert estimate.offset_uw_per_mhz_gated == pytest.approx(
+            estimate.offset_uw_per_mhz_ungated
+        )
+        assert estimate.savings_fraction == pytest.approx(0.0, abs=1e-9)
+
+    def test_savings_monotone_in_activity(self):
+        savings = [estimate_gated_offset(n).savings_fraction for n in range(0, 21, 5)]
+        assert savings == sorted(savings, reverse=True)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            estimate_gated_offset(active_lanes=21)
+
+
+class TestClockGatingAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return clock_gating_ablation(cycles=1200)
+
+    def test_all_scenarios_present(self, rows):
+        assert [row["scenario"] for row in rows] == ["I", "II", "III", "IV"]
+
+    def test_gating_always_reduces_power(self, rows):
+        for row in rows:
+            assert row["total_uw_gated"] < row["total_uw_ungated"], row["scenario"]
+            assert row["dynamic_reduction_pct"] > 0
+
+    def test_savings_shrink_as_streams_are_added(self, rows):
+        reductions = [row["dynamic_reduction_pct"] for row in rows]
+        assert reductions[0] > reductions[-1]
+
+    def test_simulation_agrees_with_analytic_direction(self, rows):
+        for row in rows:
+            assert row["analytic_offset_uw_per_mhz_gated"] <= row[
+                "analytic_offset_uw_per_mhz_ungated"
+            ]
+
+
+class TestLaneParameterSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return lane_parameter_sweep()
+
+    def test_sweep_covers_grid(self, rows):
+        assert len(rows) == 9
+        assert {(r["lanes_per_port"], r["lane_width_bits"]) for r in rows} == {
+            (l, w) for l in (2, 4, 8) for w in (2, 4, 8)
+        }
+
+    def test_paper_design_point_present(self, rows):
+        default = [r for r in rows if r["lanes_per_port"] == 4 and r["lane_width_bits"] == 4][0]
+        assert default["total_area_mm2"] == pytest.approx(0.0506, rel=0.05)
+        assert default["config_memory_bits"] == 100
+
+    def test_area_grows_with_lanes_and_width(self, rows):
+        def area(lanes, width):
+            return [r for r in rows if r["lanes_per_port"] == lanes and r["lane_width_bits"] == width][0][
+                "total_area_mm2"
+            ]
+
+        assert area(8, 4) > area(4, 4) > area(2, 4)
+        assert area(4, 8) > area(4, 4) > area(4, 2)
+
+    def test_more_lanes_lower_clock_but_more_streams(self, rows):
+        def row(lanes, width):
+            return [r for r in rows if r["lanes_per_port"] == lanes and r["lane_width_bits"] == width][0]
+
+        assert row(8, 4)["max_frequency_mhz"] < row(2, 4)["max_frequency_mhz"]
+        assert row(8, 4)["concurrent_streams_per_link"] > row(2, 4)["concurrent_streams_per_link"]
+
+
+class TestWindowCounterSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return window_counter_sweep(window_sizes=(1, 2, 4, 8), cycles=1500)
+
+    def test_throughput_monotone_in_window_size(self, rows):
+        throughputs = [row["throughput_fraction_of_lane"] for row in rows]
+        assert all(b >= a - 1e-9 for a, b in zip(throughputs, throughputs[1:]))
+
+    def test_small_window_throttles_the_stream(self, rows):
+        assert rows[0]["throughput_fraction_of_lane"] < 0.9
+
+    def test_large_window_saturates_the_lane(self, rows):
+        assert rows[-1]["throughput_fraction_of_lane"] > 0.9
+
+    def test_words_are_never_lost(self, rows):
+        for row in rows:
+            assert row["words_delivered"] <= row["offered_words"]

@@ -1,0 +1,142 @@
+"""Tests for the table reproductions (Tables 1, 2, 3, 4) and the report helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import report, scenarios, table1, table2, table4
+from repro.experiments.paper_data import (
+    TABLE1_PAPER_MBPS,
+    TABLE2_PAPER_MBPS,
+    TABLE2_PAPER_TOTAL_MBPS,
+    TABLE4_PAPER,
+)
+from repro.experiments.report import (
+    comparison_rows,
+    format_comparison,
+    format_table,
+    max_absolute_error_pct,
+    relative_error,
+    rows_to_csv,
+)
+
+
+class TestReportHelpers:
+    def test_format_table_alignment_and_separator(self):
+        rows = [{"a": 1.0, "b": "x"}, {"a": 2.5, "b": "yy"}]
+        text = format_table(rows, precision=1)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert lines[0].count("|") == lines[2].count("|")
+        assert "2.5" in text
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(1, 0) == float("inf")
+
+    def test_comparison_rows_handle_missing_keys(self):
+        rows = comparison_rows({"a": 1.0}, {"a": 1.0, "b": 2.0})
+        missing = [row for row in rows if row["quantity"] == "b"][0]
+        assert missing["measured"] == "n/a"
+
+    def test_format_comparison_smoke(self):
+        text = format_comparison({"a": 1.0}, {"a": 2.0})
+        assert "a" in text and "paper" in text
+
+    def test_max_absolute_error(self):
+        assert max_absolute_error_pct({"a": 105.0}, {"a": 100.0}) == pytest.approx(5.0)
+
+    def test_rows_to_csv(self):
+        csv = rows_to_csv([{"a": 1, "b": 2}])
+        assert csv.splitlines() == ["a,b", "1,2"]
+        assert rows_to_csv([]) == ""
+
+
+class TestTable1:
+    def test_exact_reproduction(self):
+        measured = table1.measured_values()
+        for key, value in TABLE1_PAPER_MBPS.items():
+            assert measured[key] == pytest.approx(value), key
+
+    def test_comparison_rows_all_zero_error(self):
+        for row in table1.reproduce_table1():
+            assert abs(row["error_pct"]) < 1e-9
+
+    def test_report_renders(self):
+        text = table1.format_report()
+        assert "Table 1" in text and "640" in text
+
+
+class TestTable2:
+    def test_exact_reproduction(self):
+        measured = table2.measured_values()
+        for key, value in TABLE2_PAPER_MBPS.items():
+            assert measured[key] == pytest.approx(value), key
+
+    def test_total_close_to_paper_example(self):
+        assert table2.measured_total_mbps() == pytest.approx(TABLE2_PAPER_TOTAL_MBPS, rel=0.02)
+
+    def test_report_renders(self):
+        text = table2.format_report()
+        assert "61.44" in text and "320" in text
+
+
+class TestTable3Scenarios:
+    def test_table3_rows(self):
+        rows = scenarios.table3_rows()
+        assert len(rows) == 3
+        assert rows[0]["input_port"] == "Tile"
+        assert rows[2]["output_port"] == "Router (East)"
+
+    def test_scenario_rows(self):
+        rows = scenarios.scenario_rows()
+        assert [row["scenario"] for row in rows] == ["I", "II", "III", "IV"]
+        assert rows[3]["concurrent_streams"] == 3
+
+    def test_collision_analysis_marks_scenario_iv(self):
+        rows = {row["scenario"]: row for row in scenarios.collision_analysis()}
+        assert rows["IV"]["streams_on_busiest_port"] == 2
+        assert rows["III"]["colliding_output_ports"] == "-"
+
+    def test_verify_scenarios_deliver_traffic(self):
+        results = scenarios.verify_scenarios(cycles=800)
+        for kind, per_scenario in results.items():
+            assert all(per_scenario.values()), (kind, per_scenario)
+
+    def test_report_renders(self):
+        assert "Table 3" in scenarios.format_report()
+
+
+class TestTable4:
+    def test_total_areas_within_five_percent(self):
+        measured = table4.measured_values()
+        for router, reference in TABLE4_PAPER.items():
+            assert measured[router]["total_area_mm2"] == pytest.approx(
+                reference["total_area_mm2"], rel=0.05
+            ), router
+
+    def test_frequencies_within_five_percent(self):
+        measured = table4.measured_values()
+        for router, reference in TABLE4_PAPER.items():
+            assert measured[router]["max_frequency_mhz"] == pytest.approx(
+                reference["max_frequency_mhz"], rel=0.05
+            ), router
+
+    def test_component_areas_within_tolerance(self):
+        measured = table4.measured_values()
+        for router, reference in TABLE4_PAPER.items():
+            for key, value in reference.items():
+                if not key.startswith("area_"):
+                    continue
+                assert measured[router][key] == pytest.approx(value, rel=0.16), (router, key)
+
+    def test_area_ratio_headline(self):
+        assert table4.measured_area_ratio() == pytest.approx(3.56, abs=0.4)
+
+    def test_report_renders(self):
+        text = table4.format_report()
+        assert "circuit_switched" in text and "Area ratio" in text

@@ -1,0 +1,146 @@
+"""End-to-end integration tests: CCN + mesh networks + application traffic.
+
+These tests exercise the whole stack the way the paper's system would be used:
+the CCN admits a wireless application onto a heterogeneous 4×4 SoC, configures
+the circuit-switched NoC over the best-effort network model, application
+traffic flows end to end, and the energy accounting compares the
+circuit-switched network against the packet-switched alternative.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import hiperlan2, umts
+from repro.apps.kpn import TrafficClass
+from repro.apps.traffic import BitFlipPattern, word_generator
+from repro.noc.ccn import CentralCoordinationNode
+from repro.noc.network import CircuitSwitchedNoC
+from repro.noc.packet_network import PacketSwitchedNoC
+from repro.noc.topology import Mesh2D
+
+MESH = (4, 4)
+FREQUENCY_HZ = 100e6
+CYCLES = 1200
+
+
+def _admit_with_streams(graph, load=0.6, seed=0):
+    """Admit *graph* onto a fresh circuit-switched SoC and attach its streams."""
+    mesh = Mesh2D(*MESH)
+    ccn = CentralCoordinationNode(mesh, network_frequency_hz=FREQUENCY_HZ)
+    network = CircuitSwitchedNoC(mesh, frequency_hz=FREQUENCY_HZ)
+    admission = ccn.admit(graph, network)
+    generator = word_generator(BitFlipPattern.TYPICAL, seed=seed)
+    for allocation in admission.allocations:
+        network.add_stream(allocation.channel_name, allocation, generator, load=load)
+    return ccn, network, admission
+
+
+class TestHiperlan2OnCircuitSwitchedSoC:
+    @pytest.fixture(scope="class")
+    def system(self):
+        ccn, network, admission = _admit_with_streams(hiperlan2.build_process_graph())
+        network.run(CYCLES)
+        return ccn, network, admission
+
+    def test_every_gt_channel_gets_a_circuit(self, system):
+        _, _, admission = system
+        graph = hiperlan2.build_process_graph()
+        gt_channels = [
+            c for c in graph.channels if c.traffic_class == TrafficClass.GUARANTEED_THROUGHPUT
+        ]
+        non_local = [a for a in admission.allocations if not a.is_local]
+        assert len(admission.allocations) == len(gt_channels)
+        assert all(a.lanes_used >= 1 for a in non_local)
+
+    def test_configuration_fits_paper_time_budget(self, system):
+        _, _, admission = system
+        assert admission.delivery.meets_paper_targets()
+        assert admission.reconfiguration_time_s < 20e-3
+
+    def test_all_streams_deliver_their_words(self, system):
+        _, network, admission = system
+        stats = network.stream_statistics()
+        for allocation in admission.allocations:
+            if allocation.is_local:
+                continue
+            stream = stats[allocation.channel_name]
+            assert stream["sent"] > 0
+            missing = stream["sent"] - stream["received"]
+            assert missing <= 3 * allocation.hop_count + 8, allocation.channel_name
+
+    def test_only_configured_routers_show_traffic_activity(self, system):
+        _, network, admission = system
+        busy_positions = set()
+        for allocation in admission.allocations:
+            for circuit in allocation.circuits:
+                busy_positions.update(hop.position for hop in circuit.hops)
+        for position, router in network.routers.items():
+            toggles = router.activity.get("crossbar.toggle_bits")
+            if position in busy_positions:
+                assert toggles > 0, position
+            else:
+                assert toggles == 0, position
+
+    def test_network_energy_accounting(self, system):
+        _, network, _ = system
+        power = network.total_power()
+        assert power.total_uw > 0
+        energy_per_bit = network.energy_per_delivered_bit_pj()
+        assert 0 < energy_per_bit < 1e6
+
+
+class TestCircuitVersusPacketNetworks:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        """Run the same UMTS traffic over both network types."""
+        graph = umts.build_process_graph()
+        ccn, cs_network, admission = _admit_with_streams(graph, load=0.5, seed=7)
+
+        ps_network = PacketSwitchedNoC(Mesh2D(*MESH), frequency_hz=FREQUENCY_HZ)
+        generator = word_generator(BitFlipPattern.TYPICAL, seed=7)
+        for allocation in admission.allocations:
+            if allocation.is_local:
+                continue
+            ps_network.add_stream(
+                allocation.channel_name, allocation.src, allocation.dst, generator, load=0.5
+            )
+        cs_network.run(CYCLES)
+        ps_network.run(CYCLES)
+        return cs_network, ps_network
+
+    def test_both_networks_deliver_traffic(self, comparison):
+        cs_network, ps_network = comparison
+        assert sum(s["received"] for s in cs_network.stream_statistics().values()) > 0
+        assert sum(s["received"] for s in ps_network.stream_statistics().values()) > 0
+
+    def test_circuit_network_uses_less_area_and_power(self, comparison):
+        cs_network, ps_network = comparison
+        assert ps_network.total_area_mm2() / cs_network.total_area_mm2() == pytest.approx(
+            3.55, abs=0.5
+        )
+        ratio = ps_network.total_power().total_uw / cs_network.total_power().total_uw
+        assert ratio > 2.5
+
+    def test_circuit_network_uses_less_energy_per_bit(self, comparison):
+        cs_network, ps_network = comparison
+        assert cs_network.energy_per_delivered_bit_pj() < ps_network.energy_per_delivered_bit_pj()
+
+
+class TestMultiModeTerminal:
+    def test_admit_release_readmit_cycle(self):
+        """Reconfigurability (Section 1): the SoC switches between standards at
+        run time by releasing one application and admitting another."""
+        mesh = Mesh2D(*MESH)
+        ccn = CentralCoordinationNode(mesh, network_frequency_hz=FREQUENCY_HZ)
+        network = CircuitSwitchedNoC(mesh, frequency_hz=FREQUENCY_HZ)
+
+        first = ccn.admit(hiperlan2.build_process_graph(), network)
+        assert network.configured_circuits() > 0
+        ccn.release(first.application, network)
+        assert network.configured_circuits() == 0
+        assert ccn.allocator.link_utilization() == 0.0
+
+        second = ccn.admit(umts.build_process_graph(), network)
+        assert network.configured_circuits() > 0
+        assert second.delivery.meets_paper_targets()

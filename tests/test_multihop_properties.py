@@ -1,0 +1,114 @@
+"""Property-based end-to-end checks on multi-hop circuit-switched paths.
+
+These tests build small chains/meshes of circuit-switched routers, stream
+arbitrary word sequences through CCN-style lane circuits and assert the
+invariants the architecture promises:
+
+* **lossless, in-order delivery** — a configured circuit behaves like a wire
+  with latency: every injected word arrives exactly once, in order, unmodified;
+* **per-hop latency** — each router adds a bounded, constant number of cycles
+  (registered crossbar output plus the serialiser/deserialiser at the ends);
+* **isolation** — traffic on one circuit never perturbs the words carried by a
+  physically separate circuit sharing the same routers.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.traffic import BitFlipPattern, word_generator
+from repro.noc.network import CircuitSwitchedNoC
+from repro.noc.path_allocation import LaneAllocator
+from repro.noc.topology import Mesh2D
+
+
+def _build_line_network(length: int, frequency_hz: float = 100e6):
+    mesh = Mesh2D(length, 1)
+    network = CircuitSwitchedNoC(mesh, frequency_hz=frequency_hz)
+    allocator = LaneAllocator(mesh)
+    return mesh, network, allocator
+
+
+class TestMultiHopDelivery:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.lists(st.integers(min_value=0, max_value=0xFFFF), min_size=5, max_size=40),
+    )
+    def test_lossless_in_order_delivery_over_a_line(self, length, words):
+        """Any word sequence crosses a 2–4 hop circuit unchanged and in order."""
+        _, network, allocator = _build_line_network(length)
+        allocation = allocator.allocate("chain", (0, 0), (length - 1, 0), 100.0, 100e6)
+        network.apply_allocation(allocation)
+
+        sequence = iter(words)
+        sent: list[int] = []
+
+        def source() -> int:
+            # After the test sequence is exhausted the stream keeps running
+            # with filler words; they are recorded too, so the order/content
+            # comparison below stays exact.
+            value = next(sequence, 0xFFFF)
+            sent.append(value)
+            return value
+
+        endpoints = network.add_stream("chain", allocation, source, load=1.0)
+        # Enough cycles for every word (5 per word) plus pipeline drain.
+        network.run(5 * len(words) + 20 * length + 50)
+
+        received = [word.data for word in endpoints.sink.received]
+        assert received == sent[: len(received)]
+        assert len(received) >= len(words) - 2  # at most the in-flight tail missing
+
+    def test_per_hop_latency_is_one_cycle_plus_conversion(self):
+        """Latency grows by exactly one cycle per extra router on the path."""
+        latencies = {}
+        for length in (2, 3, 4):
+            _, network, allocator = _build_line_network(length)
+            allocation = allocator.allocate("lat", (0, 0), (length - 1, 0), 100.0, 100e6)
+            network.apply_allocation(allocation)
+            endpoints = network.add_stream("lat", allocation, lambda: 0x5A5A, load=1.0)
+            network.run(100)
+            first = endpoints.sink.received[0]
+            latencies[length] = first.cycle
+        assert latencies[3] - latencies[2] == 1
+        assert latencies[4] - latencies[3] == 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=0xFFFF), st.integers(min_value=0, max_value=0xFFFF))
+    def test_isolation_of_two_circuits_through_shared_routers(self, word_a, word_b):
+        """Two circuits crossing the same routers never mix their payloads."""
+        mesh = Mesh2D(3, 3)
+        network = CircuitSwitchedNoC(mesh, frequency_hz=100e6)
+        allocator = LaneAllocator(mesh)
+        first = allocator.allocate("a", (0, 0), (2, 0), 100.0, 100e6)
+        second = allocator.allocate("b", (0, 1), (2, 1), 100.0, 100e6)
+        network.apply_allocation(first)
+        network.apply_allocation(second)
+        ep_a = network.add_stream("a", first, lambda: word_a, load=1.0)
+        ep_b = network.add_stream("b", second, lambda: word_b, load=1.0)
+        network.run(300)
+        assert ep_a.words_received > 0 and ep_b.words_received > 0
+        assert {w.data for w in ep_a.sink.received} == {word_a}
+        assert {w.data for w in ep_b.sink.received} == {word_b}
+
+    def test_crossing_streams_through_one_center_router(self):
+        """Four streams through the centre router of a 3x3 mesh (one per
+        direction pair) all deliver concurrently — lane-division multiplexing
+        at the system level."""
+        mesh = Mesh2D(3, 3)
+        network = CircuitSwitchedNoC(mesh, frequency_hz=100e6)
+        allocator = LaneAllocator(mesh)
+        endpoints = []
+        pairs = [((0, 1), (2, 1)), ((2, 1), (0, 1)), ((1, 0), (1, 2)), ((1, 2), (1, 0))]
+        for index, (src, dst) in enumerate(pairs):
+            name = f"s{index}"
+            allocation = allocator.allocate(name, src, dst, 100.0, 100e6)
+            network.apply_allocation(allocation)
+            generator = word_generator(BitFlipPattern.TYPICAL, seed=index)
+            endpoints.append(network.add_stream(name, allocation, generator, load=1.0))
+        network.run(400)
+        center = network.router_at((1, 1))
+        assert center.active_circuits() >= 4
+        for endpoint in endpoints:
+            assert endpoint.words_received >= endpoint.words_sent - 12

@@ -1,0 +1,240 @@
+"""Tests for lane allocation, spatial mapping and the best-effort network."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import hiperlan2, umts
+from repro.apps.kpn import Channel, Process, ProcessGraph, TileType
+from repro.common import AllocationError, MappingError, Port
+from repro.noc.be_network import BestEffortNetwork, BestEffortParameters
+from repro.noc.mapping import SpatialMapper
+from repro.noc.path_allocation import LaneAllocator
+from repro.noc.tile import TileGrid
+from repro.noc.topology import Mesh2D
+
+
+class TestLaneAllocatorCapacity:
+    def setup_method(self):
+        self.mesh = Mesh2D(4, 4)
+        self.allocator = LaneAllocator(self.mesh)
+
+    def test_lane_capacity_at_paper_frequencies(self):
+        # 25 MHz: 16 payload bits of every 20 lane bits -> 80 Mbit/s.
+        assert self.allocator.lane_capacity_mbps(25e6) == pytest.approx(80.0)
+        # 1075 MHz: 3.44 Gbit/s payload per lane.
+        assert self.allocator.lane_capacity_mbps(1075e6) == pytest.approx(3440.0)
+
+    def test_lanes_required(self):
+        assert self.allocator.lanes_required(640.0, 1075e6) == 1
+        assert self.allocator.lanes_required(640.0, 25e6) == 8
+        assert self.allocator.lanes_required(0.0, 25e6) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            self.allocator.lane_capacity_mbps(0)
+        with pytest.raises(ValueError):
+            self.allocator.lanes_required(-1.0, 25e6)
+
+
+class TestLaneAllocatorAllocation:
+    def setup_method(self):
+        self.mesh = Mesh2D(4, 4)
+        self.allocator = LaneAllocator(self.mesh)
+
+    def test_simple_allocation_structure(self):
+        allocation = self.allocator.allocate("ch", (0, 0), (2, 1), 100.0, 1075e6)
+        assert allocation.lanes_used == 1
+        circuit = allocation.circuits[0]
+        assert circuit.route[0] == (0, 0) and circuit.route[-1] == (2, 1)
+        assert circuit.hops[0].in_port == Port.TILE
+        assert circuit.hops[-1].out_port == Port.TILE
+        assert circuit.hop_count == len(circuit.route)
+        # Consecutive hops agree: the output port of one router faces the next.
+        for a, b, hop in zip(circuit.route, circuit.route[1:], circuit.hops):
+            assert self.mesh.port_towards(a, b) == hop.out_port
+
+    def test_local_channel_uses_no_resources(self):
+        allocation = self.allocator.allocate("local", (1, 1), (1, 1), 100.0, 1075e6)
+        assert allocation.is_local
+        assert allocation.lanes_used == 0
+        assert self.allocator.link_utilization() == 0.0
+
+    def test_duplicate_channel_rejected(self):
+        self.allocator.allocate("ch", (0, 0), (1, 0), 10.0, 1075e6)
+        with pytest.raises(AllocationError):
+            self.allocator.allocate("ch", (0, 0), (1, 0), 10.0, 1075e6)
+
+    def test_outside_mesh_rejected(self):
+        with pytest.raises(AllocationError):
+            self.allocator.allocate("ch", (0, 0), (9, 9), 10.0, 1075e6)
+
+    def test_lane_exhaustion_and_rerouting(self):
+        # Fill all four lanes of the direct (0,0)->(1,0) link.
+        for index in range(4):
+            self.allocator.allocate(f"ch{index}", (0, 0), (1, 0), 10.0, 1075e6)
+        assert self.allocator.free_lanes((0, 0), (1, 0)) == 0
+        # The tile at (0,0) has no outgoing tile lanes left either.
+        with pytest.raises(AllocationError):
+            self.allocator.allocate("ch4", (0, 0), (1, 0), 10.0, 1075e6)
+
+    def test_release_restores_resources(self):
+        self.allocator.allocate("ch", (0, 0), (3, 3), 10.0, 1075e6)
+        used_before = self.allocator.link_utilization()
+        assert used_before > 0
+        self.allocator.release("ch")
+        assert self.allocator.link_utilization() == 0.0
+        with pytest.raises(AllocationError):
+            self.allocator.release("ch")
+
+    def test_multi_lane_allocation_for_high_bandwidth(self):
+        # 200 Mbit/s at 100 MHz (320 Mbit/s per lane) -> 1 lane; at 25 MHz -> 3 lanes.
+        allocation = self.allocator.allocate("wide", (0, 0), (1, 0), 200.0, 25e6)
+        assert allocation.lanes_used == 3
+        assert self.allocator.free_lanes((0, 0), (1, 0)) == 1
+        # Each circuit uses a distinct lane on the shared link.
+        lanes = {c.hops[0].out_lane for c in allocation.circuits}
+        assert len(lanes) == 3
+
+    def test_allocations_listing(self):
+        self.allocator.allocate("a", (0, 0), (1, 0), 10.0, 1075e6)
+        self.allocator.allocate("b", (0, 1), (2, 1), 10.0, 1075e6)
+        assert {a.channel_name for a in self.allocator.allocations} == {"a", "b"}
+        assert self.allocator.allocation("a").channel_name == "a"
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                st.tuples(st.integers(0, 3), st.integers(0, 3)),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_no_lane_is_double_booked(self, endpoints):
+        """Property: across all successful allocations, every (link, lane) pair
+        is used by at most one circuit — the physical-separation guarantee that
+        motivates circuit switching in the paper."""
+        allocator = LaneAllocator(Mesh2D(4, 4))
+        used: dict[tuple, str] = {}
+        for index, (src, dst) in enumerate(endpoints):
+            name = f"ch{index}"
+            try:
+                allocation = allocator.allocate(name, src, dst, 100.0, 1075e6)
+            except AllocationError:
+                continue
+            for circuit in allocation.circuits:
+                for a, b, hop in zip(circuit.route, circuit.route[1:], circuit.hops):
+                    key = (a, b, hop.out_lane)
+                    assert key not in used, f"lane {key} shared by {used[key]} and {name}"
+                    used[key] = name
+
+
+class TestSpatialMapper:
+    def test_maps_hiperlan2_onto_4x4_mesh(self):
+        grid = TileGrid(Mesh2D(4, 4))
+        mapper = SpatialMapper(grid)
+        graph = hiperlan2.build_process_graph()
+        mapping = mapper.map(graph)
+        assert len(mapping.placement) == len(graph.processes)
+        assert mapping.tiles_used == len(graph.processes)
+        # Type constraints respected.
+        for process_name, position in mapping.placement.items():
+            assert graph.process(process_name).can_run_on(grid.tile(position).tile_type)
+        # High-bandwidth neighbours should end up close: cost is bounded well
+        # below the worst case (every channel spanning the mesh diameter).
+        worst = sum(c.bandwidth_mbps for c in graph.channels) * 6
+        assert mapping.cost_bandwidth_hops < 0.5 * worst
+
+    def test_unmap_releases_tiles(self):
+        grid = TileGrid(Mesh2D(4, 4))
+        mapper = SpatialMapper(grid)
+        mapping = mapper.map(umts.build_process_graph())
+        assert grid.occupancy() > 0
+        mapper.unmap(mapping)
+        assert grid.occupancy() == 0.0
+
+    def test_too_many_processes_rejected(self):
+        graph = ProcessGraph("big")
+        previous = None
+        for index in range(5):
+            graph.add_process(Process(f"p{index}"))
+            if previous is not None:
+                graph.add_channel(Channel(f"c{index}", previous, f"p{index}", 1.0))
+            previous = f"p{index}"
+        grid = TileGrid(Mesh2D(2, 2))
+        with pytest.raises(MappingError):
+            SpatialMapper(grid).map(graph)
+
+    def test_type_infeasibility_detected(self):
+        graph = ProcessGraph("fpga_only")
+        graph.add_process(Process("a", frozenset({TileType.FPGA})))
+        graph.add_process(Process("b", frozenset({TileType.FPGA})))
+        graph.add_channel(Channel("ab", "a", "b", 1.0))
+        grid = TileGrid(Mesh2D(2, 1), pattern=[TileType.GPP])
+        with pytest.raises(MappingError):
+            SpatialMapper(grid).map(graph)
+
+    def test_improvement_never_hurts(self):
+        grid_a = TileGrid(Mesh2D(4, 4))
+        grid_b = TileGrid(Mesh2D(4, 4))
+        graph = hiperlan2.build_process_graph()
+        greedy = SpatialMapper(grid_a).map(graph, improve=False)
+        improved = SpatialMapper(grid_b).map(graph, improve=True)
+        assert improved.cost_bandwidth_hops <= greedy.cost_bandwidth_hops
+
+    def test_mapping_position_lookup(self):
+        grid = TileGrid(Mesh2D(4, 4))
+        mapping = SpatialMapper(grid).map(hiperlan2.build_process_graph())
+        assert mapping.position_of("fft") in grid.mesh.positions()
+        with pytest.raises(MappingError):
+            mapping.position_of("missing")
+
+
+class TestBestEffortNetwork:
+    def setup_method(self):
+        self.mesh = Mesh2D(4, 4)
+        self.network = BestEffortNetwork(self.mesh, ccn_position=(0, 0))
+
+    def test_command_packet_and_serialization(self):
+        assert self.network.command_packet_bits() == 42  # 32-bit header + 10-bit command
+        assert self.network.serialization_cycles() == 6  # at 8-bit links
+
+    def test_latency_grows_with_distance(self):
+        near = self.network.command_latency_s((1, 0))
+        far = self.network.command_latency_s((3, 3))
+        assert far > near
+
+    def test_single_lane_configuration_below_1ms(self):
+        for position in self.mesh.positions():
+            assert self.network.command_latency_s(position) < 1e-3
+
+    def test_full_router_reconfiguration_below_20ms(self):
+        assert self.network.full_router_reconfiguration_s(lanes=20) < 20e-3
+
+    def test_deliver_report(self):
+        delivery = self.network.deliver({(3, 3): 20, (1, 0): 2})
+        assert delivery.commands == 22
+        assert delivery.per_router_commands[(3, 3)] == 20
+        assert delivery.worst_command_latency_s < 1e-3
+        assert delivery.meets_paper_targets()
+        assert delivery.total_time_s >= 20 * self.network.command_latency_s((3, 3))
+
+    def test_deliver_validation(self):
+        with pytest.raises(ValueError):
+            self.network.deliver({(9, 9): 1})
+        with pytest.raises(ValueError):
+            self.network.deliver({(0, 0): -1})
+
+    def test_invalid_ccn_position(self):
+        with pytest.raises(ValueError):
+            BestEffortNetwork(self.mesh, ccn_position=(8, 8))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BestEffortParameters(frequency_hz=0)
+        with pytest.raises(ValueError):
+            BestEffortParameters(router_latency_cycles=-1)

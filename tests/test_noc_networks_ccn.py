@@ -1,0 +1,196 @@
+"""Tests for the full networks (circuit- and packet-switched) and the CCN."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import drm, hiperlan2, umts
+from repro.apps.kpn import Channel, Process, ProcessGraph
+from repro.apps.traffic import BitFlipPattern, word_generator
+from repro.common import ConfigurationError, MappingError
+from repro.noc.ccn import CentralCoordinationNode
+from repro.noc.network import CircuitSwitchedNoC
+from repro.noc.packet_network import PacketSwitchedNoC
+from repro.noc.path_allocation import LaneAllocator
+from repro.noc.topology import Mesh2D
+
+
+class TestCircuitSwitchedNoC:
+    def setup_method(self):
+        self.mesh = Mesh2D(3, 3)
+        self.network = CircuitSwitchedNoC(self.mesh, frequency_hz=100e6)
+        self.allocator = LaneAllocator(self.mesh)
+
+    def test_construction(self):
+        assert len(self.network.routers) == 9
+        assert len(self.network.links) == len(self.mesh.directed_links())
+        assert self.network.router_at((1, 1)).name == "router_1_1"
+        with pytest.raises(ConfigurationError):
+            self.network.router_at((9, 9))
+
+    def test_apply_and_remove_allocation(self):
+        allocation = self.allocator.allocate("ch", (0, 0), (2, 2), 100.0, 100e6)
+        self.network.apply_allocation(allocation)
+        assert self.network.configured_circuits() == allocation.circuits[0].hop_count
+        self.network.remove_allocation(allocation)
+        assert self.network.configured_circuits() == 0
+
+    def test_stream_end_to_end(self):
+        allocation = self.allocator.allocate("ch", (0, 0), (2, 1), 100.0, 100e6)
+        self.network.apply_allocation(allocation)
+        generator = word_generator(BitFlipPattern.TYPICAL, seed=1)
+        self.network.add_stream("ch", allocation, generator, load=1.0)
+        self.network.run(500)
+        stats = self.network.stream_statistics()["ch"]
+        assert stats["sent"] > 50
+        # Every word except those still in the multi-hop pipeline arrives.
+        assert stats["received"] >= stats["sent"] - 3 * allocation.circuits[0].hop_count
+
+    def test_local_stream_creates_no_endpoints(self):
+        allocation = self.allocator.allocate("local", (1, 1), (1, 1), 10.0, 100e6)
+        endpoints = self.network.add_stream("local", allocation, lambda: 0)
+        assert endpoints.source is None and endpoints.sink is None
+        assert self.network.stream_statistics()["local"] == {"sent": 0, "received": 0}
+
+    def test_duplicate_stream_rejected(self):
+        allocation = self.allocator.allocate("ch", (0, 0), (1, 0), 10.0, 100e6)
+        self.network.apply_allocation(allocation)
+        self.network.add_stream("ch", allocation, lambda: 0)
+        with pytest.raises(ConfigurationError):
+            self.network.add_stream("ch", allocation, lambda: 0)
+
+    def test_power_and_area_aggregation(self):
+        per_router = self.network.router_at((0, 0)).total_area_mm2
+        assert self.network.total_area_mm2() == pytest.approx(9 * per_router)
+        self.network.run(100)
+        total = self.network.total_power()
+        single = self.network.router_power((0, 0))
+        assert total.total_uw == pytest.approx(9 * single.total_uw, rel=0.01)
+        assert self.network.merged_activity().cycles == 100
+
+    def test_energy_per_bit_infinite_without_traffic(self):
+        self.network.run(10)
+        assert self.network.energy_per_delivered_bit_pj() == float("inf")
+
+
+class TestPacketSwitchedNoC:
+    def setup_method(self):
+        self.mesh = Mesh2D(3, 3)
+        self.network = PacketSwitchedNoC(self.mesh, frequency_hz=100e6)
+
+    def test_construction(self):
+        assert len(self.network.routers) == 9
+        assert self.network.router_at((2, 2)).position == (2, 2)
+
+    def test_stream_end_to_end(self):
+        generator = word_generator(BitFlipPattern.TYPICAL, seed=2)
+        self.network.add_stream("s", (0, 0), (2, 1), generator, load=1.0)
+        self.network.run(800)
+        stats = self.network.stream_statistics()["s"]
+        assert stats["sent"] > 50
+        assert stats["received"] >= stats["sent"] - 3 * self.network.words_per_packet
+
+    def test_two_streams_to_same_destination(self):
+        generator = word_generator(BitFlipPattern.TYPICAL, seed=3)
+        self.network.add_stream("a", (0, 0), (1, 1), generator, load=0.5)
+        self.network.add_stream("b", (2, 2), (1, 1), generator, load=0.5)
+        self.network.run(800)
+        stats = self.network.stream_statistics()
+        assert stats["a"]["received"] > 0
+        assert stats["b"]["received"] > 0
+        # Per-source attribution separates the two streams at the shared tile.
+        total = self.network.words_received_at((1, 1))
+        assert total == stats["a"]["received"] + stats["b"]["received"]
+
+    def test_stream_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.network.add_stream("bad", (0, 0), (9, 9), lambda: 0)
+        self.network.add_stream("ok", (0, 0), (1, 0), lambda: 0)
+        with pytest.raises(ConfigurationError):
+            self.network.add_stream("ok", (0, 0), (1, 0), lambda: 0)
+
+    def test_network_is_bigger_and_hungrier_than_circuit_network(self):
+        circuit = CircuitSwitchedNoC(self.mesh, frequency_hz=100e6)
+        assert self.network.total_area_mm2() > 3 * circuit.total_area_mm2()
+        self.network.run(50)
+        circuit.run(50)
+        assert self.network.total_power().total_uw > 3 * circuit.total_power().total_uw
+
+
+class TestCentralCoordinationNode:
+    def setup_method(self):
+        self.mesh = Mesh2D(4, 4)
+        self.ccn = CentralCoordinationNode(self.mesh, network_frequency_hz=1075e6)
+
+    def test_feasibility_of_paper_applications(self):
+        for graph in (
+            hiperlan2.build_process_graph(),
+            umts.build_process_graph(),
+            drm.build_process_graph(),
+        ):
+            report = self.ccn.feasibility(graph)
+            assert report.feasible, report.problems
+            assert all(lanes <= 4 for lanes in report.channel_lanes.values())
+
+    def test_admission_lifecycle(self):
+        graph = hiperlan2.build_process_graph()
+        admission = self.ccn.admit(graph)
+        assert admission.application == graph.name
+        assert admission.total_lanes_used >= 1
+        assert admission.configuration_commands > 0
+        assert admission.delivery is not None
+        assert admission.delivery.meets_paper_targets()
+        assert admission.reconfiguration_time_s < 20e-3
+        assert self.ccn.admitted_applications == [graph.name]
+        assert self.ccn.admission(graph.name) is admission
+
+        self.ccn.release(graph.name)
+        assert self.ccn.admitted_applications == []
+        assert self.ccn.allocator.link_utilization() == 0.0
+        assert self.ccn.grid.occupancy() == 0.0
+
+    def test_double_admission_rejected(self):
+        graph = umts.build_process_graph()
+        self.ccn.admit(graph)
+        with pytest.raises(MappingError):
+            self.ccn.admit(graph)
+
+    def test_release_unknown_application(self):
+        with pytest.raises(MappingError):
+            self.ccn.release("ghost")
+
+    def test_infeasible_application_rejected(self):
+        graph = ProcessGraph("monster")
+        graph.add_process(Process("a"))
+        graph.add_process(Process("b"))
+        # Needs 14 GB/s — more than four lanes even at 1075 MHz.
+        graph.add_channel(Channel("huge", "a", "b", 14_000.0))
+        report = self.ccn.feasibility(graph)
+        assert not report.feasible
+        with pytest.raises(MappingError):
+            self.ccn.admit(graph)
+
+    def test_too_many_processes_is_infeasible(self):
+        small_ccn = CentralCoordinationNode(Mesh2D(2, 2), network_frequency_hz=1075e6)
+        graph = umts.build_process_graph()  # 9 processes > 4 tiles
+        report = small_ccn.feasibility(graph)
+        assert not report.feasible
+
+    def test_admission_with_live_network_configures_routers(self):
+        network = CircuitSwitchedNoC(self.mesh, frequency_hz=100e6)
+        ccn = CentralCoordinationNode(self.mesh, network_frequency_hz=100e6)
+        admission = ccn.admit(hiperlan2.build_process_graph(), network)
+        assert network.configured_circuits() > 0
+        ccn.release(admission.application, network)
+        assert network.configured_circuits() == 0
+
+    def test_two_applications_coexist(self):
+        # A multi-mode terminal (Section 1): HiperLAN/2 and DRM share one SoC.
+        # 16 processes need more tile-type slack than a 4x4 mesh offers, so use 4x5.
+        ccn = CentralCoordinationNode(Mesh2D(4, 5), network_frequency_hz=1075e6)
+        first = ccn.admit(hiperlan2.build_process_graph())
+        second = ccn.admit(drm.build_process_graph())
+        assert len(ccn.admitted_applications) == 2
+        # Resources are disjoint: releasing one leaves the other intact.
+        ccn.release(first.application)
+        assert ccn.admitted_applications == [second.application]

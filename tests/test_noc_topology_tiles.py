@@ -1,0 +1,146 @@
+"""Tests for the mesh topology and the heterogeneous tile grid."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.kpn import Process, TileType
+from repro.common import MappingError, Port
+from repro.noc.tile import DEFAULT_TILE_PATTERN, ProcessingTile, TileGrid
+from repro.noc.topology import Mesh2D
+
+
+class TestMesh2D:
+    def test_size_and_positions(self):
+        mesh = Mesh2D(3, 2)
+        assert mesh.size == 6
+        assert list(mesh.positions())[0] == (0, 0)
+        assert len(list(mesh.positions())) == 6
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, 3)
+
+    def test_contains(self):
+        mesh = Mesh2D(2, 2)
+        assert mesh.contains((1, 1))
+        assert not mesh.contains((2, 0))
+        assert not mesh.contains((-1, 0))
+
+    def test_router_name(self):
+        assert Mesh2D(2, 2).router_name((1, 0)) == "router_1_0"
+        with pytest.raises(ValueError):
+            Mesh2D(2, 2).router_name((5, 5))
+
+    def test_neighbors_at_corner_and_center(self):
+        mesh = Mesh2D(3, 3)
+        corner = mesh.neighbors((0, 0))
+        assert set(corner) == {Port.NORTH, Port.EAST}
+        center = mesh.neighbors((1, 1))
+        assert set(center) == {Port.NORTH, Port.EAST, Port.SOUTH, Port.WEST}
+        assert center[Port.EAST] == (2, 1)
+        assert center[Port.NORTH] == (1, 2)
+
+    def test_neighbor_rejects_tile_port(self):
+        with pytest.raises(ValueError):
+            Mesh2D(2, 2).neighbor((0, 0), Port.TILE)
+
+    def test_port_towards(self):
+        mesh = Mesh2D(3, 3)
+        assert mesh.port_towards((1, 1), (2, 1)) == Port.EAST
+        assert mesh.port_towards((1, 1), (1, 0)) == Port.SOUTH
+        with pytest.raises(ValueError):
+            mesh.port_towards((0, 0), (2, 2))
+
+    def test_directed_links_count(self):
+        # A w×h mesh has 2*(w-1)*h + 2*w*(h-1) directed links.
+        mesh = Mesh2D(4, 4)
+        assert len(mesh.directed_links()) == 2 * 3 * 4 + 2 * 4 * 3
+
+    def test_networkx_view(self):
+        graph = Mesh2D(2, 2).to_networkx()
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 8
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    def test_manhattan_distance_symmetry(self, w, h):
+        mesh = Mesh2D(w, h)
+        positions = list(mesh.positions())
+        a, b = positions[0], positions[-1]
+        assert mesh.manhattan_distance(a, b) == mesh.manhattan_distance(b, a)
+        assert mesh.manhattan_distance(a, a) == 0
+
+
+class TestProcessingTile:
+    def test_assignment_lifecycle(self):
+        tile = ProcessingTile((0, 0), TileType.DSP)
+        process = Process("fir", frozenset({TileType.DSP}))
+        tile.assign(process)
+        assert tile.occupied and tile.process == "fir"
+        tile.release()
+        assert not tile.occupied
+
+    def test_type_compatibility_enforced(self):
+        tile = ProcessingTile((0, 0), TileType.GPP)
+        with pytest.raises(MappingError):
+            tile.assign(Process("fft", frozenset({TileType.DSP})))
+
+    def test_double_assignment_rejected(self):
+        tile = ProcessingTile((0, 0), TileType.DSP)
+        tile.assign(Process("a"))
+        with pytest.raises(MappingError):
+            tile.assign(Process("b"))
+
+    def test_default_name(self):
+        assert ProcessingTile((2, 3), TileType.ASIC).name == "tile_2_3"
+
+
+class TestTileGrid:
+    def test_pattern_repeats(self):
+        grid = TileGrid(Mesh2D(4, 4))
+        histogram = grid.type_histogram()
+        assert sum(histogram.values()) == 16
+        assert set(histogram) <= set(TileType)
+
+    def test_overrides(self):
+        grid = TileGrid(Mesh2D(2, 2), overrides={(0, 0): TileType.GPP})
+        assert grid.tile((0, 0)).tile_type == TileType.GPP
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            TileGrid(Mesh2D(2, 2), pattern=[])
+
+    def test_free_tiles_for_process(self):
+        grid = TileGrid(Mesh2D(4, 2), pattern=DEFAULT_TILE_PATTERN)
+        dsp_process = Process("p", frozenset({TileType.DSP}))
+        free = grid.free_tiles_for(dsp_process)
+        assert free
+        free[0].assign(dsp_process)
+        assert len(grid.free_tiles_for(dsp_process)) == len(free) - 1
+
+    def test_position_of(self):
+        grid = TileGrid(Mesh2D(2, 2))
+        process = Process("p")
+        grid.tile((1, 1)).assign(process)
+        assert grid.position_of("p") == (1, 1)
+        with pytest.raises(MappingError):
+            grid.position_of("missing")
+
+    def test_release_all_and_occupancy(self):
+        grid = TileGrid(Mesh2D(2, 2))
+        grid.tile((0, 0)).assign(Process("p"))
+        assert grid.occupancy() == pytest.approx(0.25)
+        grid.release_all()
+        assert grid.occupancy() == 0.0
+
+    def test_unknown_position(self):
+        with pytest.raises(MappingError):
+            TileGrid(Mesh2D(2, 2)).tile((9, 9))
+
+    def test_tiles_of_type_free_only(self):
+        grid = TileGrid(Mesh2D(4, 2))
+        some_type = grid.tile((0, 0)).tile_type
+        total = len(grid.tiles_of_type(some_type))
+        grid.tile((0, 0)).assign(Process("p", frozenset({some_type})))
+        assert len(grid.tiles_of_type(some_type, free_only=True)) == total - 1

@@ -1,0 +1,139 @@
+"""Tests for wires, registers and register banks (toggle accounting)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import hamming_distance
+from repro.sim.signals import Register, RegisterBank, Wire
+
+
+class TestWire:
+    def test_initial_value_is_masked(self):
+        wire = Wire("w", 4, value=0x1F)
+        assert wire.value == 0xF
+
+    def test_set_value_range_checked(self):
+        wire = Wire("w", 4)
+        with pytest.raises(ValueError):
+            wire.value = 16
+
+    def test_drive_masks_value(self):
+        wire = Wire("w", 4)
+        wire.drive(0x123)
+        assert wire.value == 0x3
+
+    def test_int_conversion(self):
+        wire = Wire("w", 8, value=42)
+        assert int(wire) == 42
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Wire("w", 0)
+
+
+class TestRegister:
+    def test_next_not_visible_until_clock(self):
+        reg = Register("r", 8)
+        reg.next = 0xAB
+        assert reg.value == 0
+        reg.clock()
+        assert reg.value == 0xAB
+
+    def test_clock_returns_toggle_count(self):
+        reg = Register("r", 8)
+        reg.next = 0xFF
+        assert reg.clock() == 8
+        reg.next = 0xF0
+        assert reg.clock() == 4
+
+    def test_toggle_sink_receives_counts(self):
+        seen = []
+        reg = Register("r", 4, toggle_sink=lambda toggled, clocked: seen.append((toggled, clocked)))
+        reg.next = 0x5
+        reg.clock()
+        assert seen == [(2, 4)]
+
+    def test_clock_gated_register_holds_value(self):
+        reg = Register("r", 4)
+        reg.next = 0xF
+        reg.clock()
+        reg.next = 0x0
+        toggled = reg.clock(enabled=False)
+        assert toggled == 0
+        assert reg.value == 0xF
+
+    def test_hold_keeps_value(self):
+        reg = Register("r", 4)
+        reg.next = 0x9
+        reg.clock()
+        reg.hold()
+        reg.clock()
+        assert reg.value == 0x9
+
+    def test_out_of_range_next_rejected(self):
+        reg = Register("r", 4)
+        with pytest.raises(ValueError):
+            reg.next = 16
+
+    def test_reset_restores_reset_value(self):
+        reg = Register("r", 4, reset_value=0x3)
+        reg.next = 0xF
+        reg.clock()
+        reg.reset()
+        assert reg.value == 0x3
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=30))
+    def test_total_toggles_equal_pairwise_hamming(self, values):
+        """Register toggle accounting must equal the Hamming distance between
+        consecutive values — the invariant the power model relies on."""
+        reg = Register("r", 8)
+        total = 0
+        previous = 0
+        for value in values:
+            reg.next = value
+            total += reg.clock()
+        expected = 0
+        sequence = [0] + values
+        for a, b in zip(sequence, sequence[1:]):
+            expected += hamming_distance(a, b)
+        assert total == expected
+
+
+class TestRegisterBank:
+    def test_bank_indexing_and_values(self):
+        bank = RegisterBank("b", count=3, width=4)
+        bank[1].next = 0xA
+        bank.clock()
+        assert bank.values == (0, 0xA, 0)
+        assert len(bank) == 3
+
+    def test_bank_clock_aggregates_toggles(self):
+        bank = RegisterBank("b", count=2, width=4)
+        bank[0].next = 0xF
+        bank[1].next = 0x3
+        assert bank.clock() == 6
+
+    def test_bank_per_register_enable(self):
+        bank = RegisterBank("b", count=2, width=4)
+        bank[0].next = 0xF
+        bank[1].next = 0xF
+        bank.clock(enabled=[True, False])
+        assert bank.values == (0xF, 0x0)
+
+    def test_bank_enable_length_checked(self):
+        bank = RegisterBank("b", count=2, width=4)
+        with pytest.raises(ValueError):
+            bank.clock(enabled=[True])
+
+    def test_bank_reset(self):
+        bank = RegisterBank("b", count=2, width=4)
+        bank[0].next = 0xF
+        bank.clock()
+        bank.reset()
+        assert bank.values == (0, 0)
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterBank("b", count=0, width=4)

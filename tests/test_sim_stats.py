@@ -1,0 +1,107 @@
+"""Tests for the statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, StatsCollector, as_table, merge_stats
+
+
+class TestCounter:
+    def test_add_and_reset(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+        counter.reset()
+        assert counter.value == 0.0
+
+
+class TestHistogram:
+    def test_basic_statistics(self):
+        histogram = Histogram("latency", bin_width=2.0)
+        histogram.extend([1.0, 3.0, 5.0, 7.0])
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx(4.0)
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 7.0
+
+    def test_empty_histogram_defaults(self):
+        histogram = Histogram("empty")
+        assert histogram.mean == 0.0
+        assert histogram.percentile(0.5) == 0.0
+
+    def test_percentile_is_monotone(self):
+        histogram = Histogram("h", bin_width=1.0)
+        histogram.extend(range(100))
+        p50 = histogram.percentile(0.5)
+        p90 = histogram.percentile(0.9)
+        assert p50 <= p90
+
+    def test_percentile_bounds_checked(self):
+        histogram = Histogram("h")
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bin_width=0)
+
+    def test_as_dict_summary(self):
+        histogram = Histogram("h")
+        histogram.add(2.0)
+        summary = histogram.as_dict()
+        assert summary["count"] == 1.0
+        assert summary["mean"] == 2.0
+
+
+class TestStatsCollector:
+    def test_counter_creation_and_shorthand(self):
+        stats = StatsCollector("s")
+        stats.add("words", 3)
+        stats.add("words")
+        assert stats.value("words") == 4.0
+        assert stats.value("missing", default=-1.0) == -1.0
+
+    def test_histogram_creation_is_idempotent(self):
+        stats = StatsCollector("s")
+        first = stats.histogram("lat")
+        second = stats.histogram("lat")
+        assert first is second
+
+    def test_merge_adds_counters(self):
+        a = StatsCollector("a")
+        b = StatsCollector("b")
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 5)
+        a.merge(b)
+        assert a.value("x") == 3.0
+        assert a.value("y") == 5.0
+
+    def test_merge_stats_helper(self):
+        a = StatsCollector("a")
+        b = StatsCollector("b")
+        a.add("x", 1)
+        b.add("x", 4)
+        merged = merge_stats([a, b])
+        assert merged.value("x") == 5.0
+
+    def test_as_dict_sorted(self):
+        stats = StatsCollector("s")
+        stats.add("b", 1)
+        stats.add("a", 2)
+        assert list(stats.as_dict()) == ["a", "b"]
+
+    def test_reset_clears_everything(self):
+        stats = StatsCollector("s")
+        stats.add("x", 3)
+        stats.histogram("h").add(1.0)
+        stats.reset()
+        assert stats.value("x") == 0.0
+        assert stats.histograms == {}
+
+    def test_as_table_rendering(self):
+        assert as_table({}) == "(no statistics)"
+        table = as_table({"words": 10.0})
+        assert "words" in table and "10" in table

@@ -1,0 +1,67 @@
+"""Tests for the trace recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_disabled_recorder_costs_nothing(self):
+        recorder = TraceRecorder(enabled=False)
+        recorder.record(0, "router", "lane0", 0xA)
+        assert len(recorder) == 0
+
+    def test_enabled_recorder_stores_events(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.record(3, "router", "lane0", 0xA)
+        assert recorder.events == (TraceEvent(3, "router", "lane0", 0xA),)
+
+    def test_capacity_drops_oldest(self):
+        recorder = TraceRecorder(enabled=True, capacity=2)
+        for cycle in range(5):
+            recorder.record(cycle, "c", "s", cycle)
+        assert [e.cycle for e in recorder.events] == [3, 4]
+        assert recorder.dropped == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(enabled=True, capacity=0)
+
+    def test_filter_by_component_and_signal(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.record(0, "a", "x", 1)
+        recorder.record(1, "a", "y", 2)
+        recorder.record(2, "b", "x", 3)
+        assert len(recorder.filter(component="a")) == 2
+        assert len(recorder.filter(signal="x")) == 2
+        assert len(recorder.filter(component="a", signal="x")) == 1
+
+    def test_format_log_and_waveform(self):
+        recorder = TraceRecorder(enabled=True)
+        assert recorder.format_log() == "(no trace events)"
+        recorder.record(1, "r", "s", 0xF)
+        log = recorder.format_log()
+        assert "r.s" in log and "0xf" in log
+        waveform = recorder.format_waveform("r", "s")
+        assert "1:0xf" in waveform
+        assert "(no events)" in recorder.format_waveform("r", "other")
+
+    def test_clear(self):
+        recorder = TraceRecorder(enabled=True, capacity=1)
+        recorder.record(0, "a", "x", 1)
+        recorder.record(1, "a", "x", 2)
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.dropped == 0
+
+    def test_event_format(self):
+        event = TraceEvent(12, "router", "lane", 255)
+        assert "router.lane" in event.format()
+        assert "0xff" in event.format()
+
+    def test_iteration(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.record(0, "a", "x", 1)
+        assert [e.value for e in recorder] == [1]

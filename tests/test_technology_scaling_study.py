@@ -1,0 +1,30 @@
+"""Tests for the technology-scaling extension study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import technology_scaling_study
+
+
+class TestTechnologyScalingStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return technology_scaling_study(nodes_nm=(130.0, 65.0), cycles=800)
+
+    def test_nodes_present(self, rows):
+        assert [row["node_nm"] for row in rows] == [130.0, 65.0]
+
+    def test_advantage_is_preserved_across_nodes(self, rows):
+        for row in rows:
+            assert row["power_ratio"] > 2.5
+            assert row["area_ratio"] == pytest.approx(rows[0]["area_ratio"], rel=0.05)
+
+    def test_scaling_shrinks_area_and_raises_clock(self, rows):
+        assert rows[1]["cs_area_mm2"] < rows[0]["cs_area_mm2"]
+        assert rows[1]["ps_area_mm2"] < rows[0]["ps_area_mm2"]
+        assert rows[1]["cs_fmax_mhz"] > rows[0]["cs_fmax_mhz"]
+
+    def test_absolute_power_drops_with_scaling(self, rows):
+        assert rows[1]["cs_power_uw"] < rows[0]["cs_power_uw"]
+        assert rows[1]["ps_power_uw"] < rows[0]["ps_power_uw"]
