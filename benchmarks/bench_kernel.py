@@ -1,0 +1,156 @@
+"""Benchmark K-1: quiescence-aware kernel throughput and strict-equivalence.
+
+Measures simulated cycles per wall-clock second for circuit-switched meshes
+of 2×2, 4×4 and 8×8 routers at 0 %, 25 % and 100 % row occupancy (a row at
+occupancy carries one full-load lane circuit west→east, so the fabric's lane
+occupancy is at most the row fraction), under both the strict
+(seed-equivalent) schedule and the quiescence-aware ``auto`` schedule.
+
+Every measurement also verifies the tentpole invariant: both schedules must
+produce bit-identical merged activity counters and delivered word counts.
+
+Run as a script to (re)generate the perf-trajectory file ``BENCH_kernel.json``
+at the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py
+
+Future PRs regress against that file: the 8×8 mesh at ≤25 % occupancy must
+stay ≥3× faster under ``auto`` than under ``strict``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+from repro.apps.traffic import BitFlipPattern, word_generator
+from repro.noc.network import CircuitSwitchedNoC
+from repro.noc.path_allocation import LaneAllocator
+from repro.noc.topology import Mesh2D
+
+FREQUENCY_HZ = 100e6
+MESH_SIZES = (2, 4, 8)
+OCCUPANCIES = (0.0, 0.25, 1.0)
+#: Simulated cycles per measurement; large enough to amortise warm-up (the
+#: first cycles run every component before quiescence engages).
+CYCLES = {2: 8000, 4: 1500, 8: 800}
+SPEEDUP_TARGET = 3.0
+
+
+def build_scenario(size: int, occupancy: float, schedule: str) -> CircuitSwitchedNoC:
+    """A size×size mesh with ceil(size·occupancy) full-load row streams."""
+    mesh = Mesh2D(size, size)
+    network = CircuitSwitchedNoC(mesh, frequency_hz=FREQUENCY_HZ, schedule=schedule)
+    allocator = LaneAllocator(mesh)
+    for row in range(math.ceil(size * occupancy)):
+        name = f"row{row}"
+        allocation = allocator.allocate(name, (0, row), (size - 1, row), 100.0, FREQUENCY_HZ)
+        network.apply_allocation(allocation)
+        generator = word_generator(BitFlipPattern.TYPICAL, seed=row)
+        network.add_stream(name, allocation, generator, load=1.0)
+    return network
+
+
+def _measure(network: CircuitSwitchedNoC, cycles: int) -> float:
+    start = time.perf_counter()
+    network.run(cycles)
+    return time.perf_counter() - start
+
+
+def run_benchmark(size: int, occupancy: float, cycles: int) -> dict:
+    """Time strict vs auto on one scenario and verify bit-identical results."""
+    results = {}
+    observables = {}
+    for schedule in ("strict", "auto"):
+        network = build_scenario(size, occupancy, schedule)
+        elapsed = _measure(network, cycles)
+        results[schedule] = cycles / elapsed
+        observables[schedule] = (
+            network.merged_activity().as_dict(),
+            network.stream_statistics(),
+            network.kernel.cycle,
+        )
+        if schedule == "auto":
+            scheduler = network.kernel.scheduler_stats
+    identical = observables["strict"] == observables["auto"]
+    return {
+        "mesh": f"{size}x{size}",
+        "occupancy": occupancy,
+        "active_rows": math.ceil(size * occupancy),
+        "cycles": cycles,
+        "strict_cycles_per_sec": round(results["strict"], 1),
+        "auto_cycles_per_sec": round(results["auto"], 1),
+        "speedup": round(results["auto"] / results["strict"], 2),
+        "auto_schedule_occupancy": round(scheduler.occupancy, 4),
+        "identical_results": identical,
+    }
+
+
+def run_all(cycles_override: int | None = None) -> list[dict]:
+    rows = []
+    for size in MESH_SIZES:
+        for occupancy in OCCUPANCIES:
+            cycles = cycles_override or CYCLES[size]
+            rows.append(run_benchmark(size, occupancy, cycles))
+    return rows
+
+
+# -- pytest entry points --------------------------------------------------------
+
+
+def test_kernel_speedup_8x8_quarter_occupancy(once):
+    """The acceptance bar: ≥3× on an 8×8 mesh at ≤25 % occupancy, identical results."""
+    row = once(run_benchmark, 8, 0.25, 600)
+    assert row["identical_results"]
+    assert row["speedup"] >= SPEEDUP_TARGET
+
+
+def test_kernel_idle_mesh_cost_is_activity_proportional(once):
+    """An idle mesh must be orders of magnitude cheaper than a busy one."""
+    row = once(run_benchmark, 8, 0.0, 600)
+    assert row["identical_results"]
+    assert row["speedup"] >= 20.0
+
+
+def test_kernel_full_load_has_no_regression(once):
+    """At 100 % occupancy the auto schedule must not be slower than strict."""
+    row = once(run_benchmark, 4, 1.0, 1000)
+    assert row["identical_results"]
+    assert row["speedup"] >= 0.85
+
+
+# -- perf-trajectory file -------------------------------------------------------
+
+
+def main() -> None:
+    rows = run_all()
+    payload = {
+        "benchmark": "kernel",
+        "description": (
+            "Simulated cycles/second of the circuit-switched mesh under the "
+            "strict (every-component) and quiescence-aware (auto) schedules; "
+            "identical_results asserts bit-identical activity counters and "
+            "delivered words between the two."
+        ),
+        "frequency_hz": FREQUENCY_HZ,
+        "speedup_target_8x8_low_occupancy": SPEEDUP_TARGET,
+        "results": rows,
+    }
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    for row in rows:
+        print(
+            f"{row['mesh']} occ={row['occupancy']:<4} "
+            f"strict={row['strict_cycles_per_sec']:>9} cyc/s "
+            f"auto={row['auto_cycles_per_sec']:>9} cyc/s "
+            f"speedup={row['speedup']:>7}x identical={row['identical_results']}"
+        )
+    if not all(row["identical_results"] for row in rows):
+        raise SystemExit("schedule results diverged — the kernel optimisation is unsound")
+
+
+if __name__ == "__main__":
+    main()

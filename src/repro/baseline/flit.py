@@ -46,7 +46,7 @@ class FlitType(enum.Enum):
         return self in (FlitType.TAIL, FlitType.SINGLE)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Flit:
     """One 16-bit flit travelling through the packet-switched network.
 

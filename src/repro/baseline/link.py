@@ -5,42 +5,75 @@ A :class:`PacketLink` is the packet-switched counterpart of
 a per-virtual-channel credit return path in the reverse direction.  Like the
 lane link it is a pure wire bundle — the registers driving it live in the
 routers at either end.
+
+Both directions carry a :class:`repro.sim.signals.DirtyBit` so the
+quiescence-aware kernel can sleep the routers at either end: a flit placed on
+the wire wakes the receiver, a credit returned wakes the sender.  Driving the
+idle value (``None``) onto an already idle wire — every cycle of an idle
+fabric — costs a single comparison.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.baseline.flit import Flit
+from repro.sim.signals import DirtyBit, WakeListener
 
 __all__ = ["PacketLink"]
 
 
-@dataclass
 class PacketLink:
     """One unidirectional flit channel with credit-based flow control."""
 
-    name: str
-    num_vcs: int = 4
+    __slots__ = ("name", "num_vcs", "forward", "credits", "flit_dirty", "credit_dirty")
 
-    #: Committed flit currently on the wire (``None`` = idle).
-    forward: Optional[Flit] = None
-    #: Pending credit returns per virtual channel (written by the receiver,
-    #: consumed by the sender).
-    credits: List[int] = field(default_factory=list)
-
-    def __post_init__(self) -> None:
-        if self.num_vcs < 1:
+    def __init__(
+        self,
+        name: str,
+        num_vcs: int = 4,
+        forward: Optional[Flit] = None,
+        credits: Optional[List[int]] = None,
+    ) -> None:
+        if num_vcs < 1:
             raise ValueError("a packet link needs at least one virtual channel")
-        if not self.credits:
-            self.credits = [0] * self.num_vcs
+        self.name = name
+        self.num_vcs = num_vcs
+        #: Committed flit currently on the wire (``None`` = idle).
+        self.forward = forward
+        #: Pending credit returns per virtual channel (written by the
+        #: receiver, consumed by the sender).
+        self.credits: List[int] = credits if credits else [0] * num_vcs
+        #: Dirty-bit of the flit wire; its listener is the receiver's ``wake``.
+        self.flit_dirty = DirtyBit()
+        #: Dirty-bit of the credit wires; its listener is the sender's ``wake``.
+        self.credit_dirty = DirtyBit()
+
+    # -- dirty-bit wiring --------------------------------------------------------
+
+    def watch_flits(self, listener: WakeListener) -> None:
+        """Wake *listener* whenever a flit is placed on the wire."""
+        self.flit_dirty.listener = listener
+
+    def watch_credits(self, listener: WakeListener) -> None:
+        """Wake *listener* whenever credits are returned."""
+        self.credit_dirty.listener = listener
 
     # -- forward flit -------------------------------------------------------------
 
     def drive(self, flit: Optional[Flit]) -> None:
-        """Place *flit* on the wire for the next cycle (``None`` = idle)."""
+        """Place *flit* on the wire for the next cycle (``None`` = idle).
+
+        Only a new flit wakes the receiver: the receiver cannot have been
+        asleep while a flit was on the wire (ingesting it keeps it busy for
+        at least the following cycle), so the flit→idle transition needs no
+        wake-up.
+        """
+        if flit is None:
+            self.forward = None
+            return
         self.forward = flit
+        self.flit_dirty.mark()
 
     def read(self) -> Optional[Flit]:
         """Sample the flit currently on the wire."""
@@ -53,7 +86,9 @@ class PacketLink:
         self._check_vc(vc)
         if amount < 0:
             raise ValueError("credit amount must be non-negative")
-        self.credits[vc] += amount
+        if amount:
+            self.credits[vc] += amount
+            self.credit_dirty.mark()
 
     def take_credits(self, vc: int) -> int:
         """Called by the sender: collect (and clear) pending credits of *vc*."""
@@ -62,11 +97,30 @@ class PacketLink:
         self.credits[vc] = 0
         return amount
 
+    def take_all_credits(self, into: List[int]) -> None:
+        """Collect (and clear) the pending credits of every virtual channel.
+
+        Fills the preallocated *into* list in place — the router hot loop
+        uses this to sample all credit wires without per-cycle allocation.
+        """
+        credits = self.credits
+        for vc in range(self.num_vcs):
+            into[vc] = credits[vc]
+            credits[vc] = 0
+
+    def has_pending_credits(self) -> bool:
+        """True when at least one credit return has not been collected yet."""
+        return any(self.credits)
+
     def reset(self) -> None:
         """Return the link to the idle state."""
         self.forward = None
-        self.credits = [0] * self.num_vcs
+        for vc in range(self.num_vcs):
+            self.credits[vc] = 0
 
     def _check_vc(self, vc: int) -> None:
         if not 0 <= vc < self.num_vcs:
             raise IndexError(f"virtual channel {vc} out of range 0..{self.num_vcs - 1}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PacketLink({self.name!r}, num_vcs={self.num_vcs})"

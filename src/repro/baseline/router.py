@@ -12,6 +12,13 @@ The model is flit- and bit-accurate where it matters for energy: every flit
 is written to and read from an input FIFO, traverses the output crossbar
 register, and toggles the link wires; every arbitration decision and every
 grant change is recorded.
+
+Like the circuit-switched router, the baseline router participates in the
+kernel's quiescence protocol (incoming flits, returned credits and tile
+injections wake it; with empty buffers and idle wires it sleeps) and keeps
+its per-cycle loops allocation-free via preallocated, port-indexed flat
+lists — the comparison between the two fabrics stays apples-to-apples under
+the quiescence-aware schedule.
 """
 
 from __future__ import annotations
@@ -60,6 +67,7 @@ class PacketTileInterface:
             self._next_vc = (self._next_vc + 1) % self.router.num_vcs
         self._injection_queue.extend(packetize(packet, vc))
         self.words_queued += len(packet.words)
+        self.router.wake()
 
     def send_words(self, dest: Tuple[int, int], words: List[int], vc: Optional[int] = None) -> int:
         """Split *words* into packets towards *dest* and queue them; returns packet count."""
@@ -152,19 +160,33 @@ class PacketSwitchedRouter(ClockedComponent):
         self._input_index: List[Tuple[Port, int]] = [
             (port, vc) for port in self.ports for vc in range(num_vcs)
         ]
+        # Parallel flat views of the input side, aligned with _input_index,
+        # so the switch-allocation loops never hash dictionary keys.
+        self._input_buffers: List[VirtualChannelBuffer] = [
+            self.buffers[key] for key in self._input_index
+        ]
+        self._input_states = [self.vc_states[key] for key in self._input_index]
+        self._port_allocators = [self.output_allocators[p] for p in self.ports]
+        self._port_arbiters = [self.switch_arbiters[p] for p in self.ports]
 
         self.tile = PacketTileInterface(self, words_per_packet)
 
         self._rx_links: Dict[Port, Optional[PacketLink]] = {p: None for p in NEIGHBOR_PORTS}
         self._tx_links: Dict[Port, Optional[PacketLink]] = {p: None for p in NEIGHBOR_PORTS}
-        self._output_prev_payload: Dict[Port, int] = {p: 0 for p in self.ports}
-        self._last_winner: Dict[Port, Optional[Tuple[Port, int]]] = {p: None for p in self.ports}
-
+        # Port-indexed flat working state (index = int(Port)); entry 0 (the
+        # tile port) stays at its idle value in the link-related lists.
+        num_ports = self.NUM_PORTS
+        self._rx_by_port: List[Optional[PacketLink]] = [None] * num_ports
+        self._tx_by_port: List[Optional[PacketLink]] = [None] * num_ports
+        self._output_prev_payload: List[int] = [0] * num_ports
+        self._last_winner: List[Optional[Tuple[Port, int]]] = [None] * num_ports
         # Values sampled during evaluate, consumed during commit.
-        self._sampled_flits: Dict[Port, Optional[Flit]] = {p: None for p in NEIGHBOR_PORTS}
-        self._sampled_credits: Dict[Port, List[int]] = {
-            p: [0] * num_vcs for p in NEIGHBOR_PORTS
-        }
+        self._sampled_flits: List[Optional[Flit]] = [None] * num_ports
+        self._sampled_credits: List[List[int]] = [[0] * num_vcs for _ in range(num_ports)]
+        # Per-cycle scratch, reused without allocation.
+        self._requests: List[bool] = [False] * (num_ports * num_vcs)
+        self._driven: List[Optional[Flit]] = [None] * num_ports
+        self._credit_returns: List[List[int]] = [[] for _ in range(num_ports)]
 
     # -- wiring ------------------------------------------------------------------------
 
@@ -180,6 +202,19 @@ class PacketSwitchedRouter(ClockedComponent):
                 )
         self._rx_links[port] = rx_link
         self._tx_links[port] = tx_link
+        # The port dictionaries are the source of truth; the flat lists the
+        # hot loops index are rebuilt from them wholesale so the two views
+        # can never drift apart.
+        for neighbor in NEIGHBOR_PORTS:
+            self._rx_by_port[neighbor] = self._rx_links[neighbor]
+            self._tx_by_port[neighbor] = self._tx_links[neighbor]
+        if rx_link is not None:
+            # A flit arriving here must wake a sleeping router.
+            rx_link.watch_flits(self.wake)
+        if tx_link is not None:
+            # Credits returned by the downstream router likewise.
+            tx_link.watch_credits(self.wake)
+        self.wake()
 
     def rx_link(self, port: Port) -> Optional[PacketLink]:
         """Incoming flit channel at *port* (``None`` at a mesh edge)."""
@@ -191,22 +226,28 @@ class PacketSwitchedRouter(ClockedComponent):
 
     # -- simulation -----------------------------------------------------------------------
 
+    supports_quiescence = True
+
     def evaluate(self, cycle: int) -> None:
+        sampled_flits = self._sampled_flits
+        sampled_credits = self._sampled_credits
         for port in NEIGHBOR_PORTS:
-            rx = self._rx_links[port]
-            self._sampled_flits[port] = rx.read() if rx is not None else None
-            tx = self._tx_links[port]
+            rx = self._rx_by_port[port]
+            sampled_flits[port] = rx.forward if rx is not None else None
+            tx = self._tx_by_port[port]
+            credits = sampled_credits[port]
             if tx is not None:
-                self._sampled_credits[port] = [tx.take_credits(vc) for vc in range(self.num_vcs)]
+                tx.take_all_credits(credits)
             else:
-                self._sampled_credits[port] = [0] * self.num_vcs
+                for vc in range(self.num_vcs):
+                    credits[vc] = 0
 
     def commit(self, cycle: int) -> None:
         activity = self.activity
 
         # 1. Credits returned by downstream routers.
         for port in NEIGHBOR_PORTS:
-            allocator = self.output_allocators[port]
+            allocator = self._port_allocators[port]
             for vc, amount in enumerate(self._sampled_credits[port]):
                 if amount:
                     allocator.add_credits(vc, amount)
@@ -226,52 +267,52 @@ class PacketSwitchedRouter(ClockedComponent):
                 buffer.push(queue.popleft())
 
         # 4. Route computation and output-VC allocation for head-of-line head flits.
-        for key in self._input_index:
-            buffer = self.buffers[key]
+        input_index = self._input_index
+        input_buffers = self._input_buffers
+        input_states = self._input_states
+        for index, buffer in enumerate(input_buffers):
             flit = buffer.front()
             if flit is None:
                 continue
-            state = self.vc_states[key]
-            if flit.flit_type.is_head and not state.routed:
+            state = input_states[index]
+            if flit.flit_type.is_head and state.out_port is None:
                 state.out_port = xy_route(self.position, flit.dest)
-            if state.routed and not state.allocated:
-                out_vc = self.output_allocators[state.out_port].try_allocate(key)
+            if state.out_port is not None and state.out_vc is None:
+                out_vc = self._port_allocators[state.out_port].try_allocate(input_index[index])
                 if out_vc is not None:
                     state.out_vc = out_vc
                     activity.add(ActivityKeys.VC_ALLOCATIONS, 1)
 
         # 5. Switch allocation and flit traversal, one winner per output port.
-        credit_returns: Dict[Port, List[int]] = {p: [] for p in NEIGHBOR_PORTS}
-        driven: Dict[Port, Optional[Flit]] = {p: None for p in NEIGHBOR_PORTS}
+        credit_returns = self._credit_returns
+        driven = self._driven
+        requests = self._requests
         for out_port in self.ports:
-            requests: List[bool] = []
-            for key in self._input_index:
-                state = self.vc_states[key]
-                buffer = self.buffers[key]
+            is_neighbor = out_port is not Port.TILE
+            allocator = self._port_allocators[out_port]
+            tx_missing = is_neighbor and self._tx_by_port[out_port] is None
+            for index, buffer in enumerate(input_buffers):
+                state = input_states[index]
                 wants = (
-                    not buffer.is_empty()
-                    and state.routed
-                    and state.out_port == out_port
-                    and state.allocated
+                    state.out_port == out_port
+                    and state.out_vc is not None
+                    and len(buffer._fifo) != 0
                 )
-                if wants and out_port in NEIGHBOR_PORTS:
-                    wants = (
-                        self._tx_links[out_port] is not None
-                        and self.output_allocators[out_port].credits(state.out_vc) > 0
-                    )
-                requests.append(wants)
-            arbiter = self.switch_arbiters[out_port]
-            winner_index = arbiter.grant(requests)
+                if wants and is_neighbor:
+                    wants = not tx_missing and allocator.credits(state.out_vc) > 0
+                requests[index] = wants
+            winner_index = self._port_arbiters[out_port].grant(requests)
             if winner_index is None:
                 continue
-            winner_key = self._input_index[winner_index]
+            winner_key = input_index[winner_index]
             activity.add(ActivityKeys.ARBITER_DECISIONS, 1)
-            if self._last_winner[out_port] is not None and self._last_winner[out_port] != winner_key:
+            last_winner = self._last_winner[out_port]
+            if last_winner is not None and last_winner != winner_key:
                 activity.add(ActivityKeys.ARBITER_GRANT_CHANGES, 1)
             self._last_winner[out_port] = winner_key
 
-            state = self.vc_states[winner_key]
-            flit = self.buffers[winner_key].pop()
+            state = input_states[winner_index]
+            flit = input_buffers[winner_index].pop()
             out_flit = flit.with_vc(state.out_vc)
             activity.add(ActivityKeys.FLITS_ROUTED, 1)
 
@@ -287,32 +328,73 @@ class PacketSwitchedRouter(ClockedComponent):
                 self.tile._deliver(out_flit)
                 activity.add(ActivityKeys.WORDS_DELIVERED, 0 if out_flit.flit_type.is_head else 1)
             else:
-                self.output_allocators[out_port].consume_credit(state.out_vc)
+                allocator.consume_credit(state.out_vc)
                 driven[out_port] = out_flit
                 if toggles:
                     activity.add(ActivityKeys.LINK_TOGGLE_BITS, toggles)
 
             # Return a credit to the upstream router for the freed buffer slot.
             in_port, in_vc = winner_key
-            if in_port in NEIGHBOR_PORTS:
+            if in_port is not Port.TILE:
                 credit_returns[in_port].append(in_vc)
 
             if out_flit.flit_type.is_tail:
-                self.output_allocators[state.out_port].release(state.out_vc)
+                self._port_allocators[state.out_port].release(state.out_vc)
                 state.release()
                 activity.add(ActivityKeys.PACKETS_ROUTED, 1)
 
         # 6. Drive the outgoing links and the upstream credit wires.
         for port in NEIGHBOR_PORTS:
-            tx = self._tx_links[port]
+            tx = self._tx_by_port[port]
             if tx is not None:
                 tx.drive(driven[port])
-            rx = self._rx_links[port]
-            if rx is not None:
-                for vc in credit_returns[port]:
-                    rx.return_credit(vc, 1)
+                driven[port] = None
+            rx = self._rx_by_port[port]
+            returns = credit_returns[port]
+            if returns:
+                if rx is not None:
+                    for vc in returns:
+                        rx.return_credit(vc, 1)
+                returns.clear()
 
         activity.cycles = cycle + 1
+
+    def quiescent(self) -> bool:
+        """True when another cycle with unchanged inputs would change nothing.
+
+        Empty input buffers, an empty injection queue, idle flit wires in
+        both directions and no uncollected credits mean every commit step
+        degenerates to a no-op (the round-robin arbiters do not advance
+        without requests).  The *outgoing* wires must be idle because a
+        just-driven flit is a transient: the next commit replaces it with
+        ``None``, and sleeping before that would leave it on the wire for
+        the downstream router to re-sample.  Packets parked mid-route
+        (routed/allocated states with an empty buffer) are fine: they resume
+        when the upstream router places the next flit on the wire, which
+        wakes this router.
+        """
+        if self.tile._injection_queue:
+            return False
+        for port in NEIGHBOR_PORTS:
+            rx = self._rx_by_port[port]
+            if rx is not None and rx.forward is not None:
+                return False
+            tx = self._tx_by_port[port]
+            if tx is not None and (tx.forward is not None or tx.has_pending_credits()):
+                return False
+        for buffer in self._input_buffers:
+            if buffer._fifo:
+                return False
+        return True
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
+        """Apply *cycles* of idle accounting (the baseline router only counts cycles).
+
+        An idle packet-switched router records no per-cycle register
+        activity — its energy model is event-based (buffer accesses,
+        arbitration, traversals) — so only the cycle counter advances.
+        """
+        self.activity.cycles = start_cycle + cycles
 
     def reset(self) -> None:
         for buffer in self.buffers.values():
@@ -325,8 +407,14 @@ class PacketSwitchedRouter(ClockedComponent):
             arbiter.reset()
         self.tile.reset()
         self.activity.reset()
-        self._output_prev_payload = {p: 0 for p in self.ports}
-        self._last_winner = {p: None for p in self.ports}
+        for port in range(self.NUM_PORTS):
+            self._output_prev_payload[port] = 0
+            self._last_winner[port] = None
+            self._sampled_flits[port] = None
+            self._driven[port] = None
+            self._credit_returns[port].clear()
+            for vc in range(self.num_vcs):
+                self._sampled_credits[port][vc] = 0
 
     # -- reporting -----------------------------------------------------------------------
 

@@ -8,7 +8,7 @@ which output VCs are free and how much downstream buffer credit each has.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.baseline.arbiter import RoundRobinArbiter
@@ -17,7 +17,7 @@ from repro.common import Port
 __all__ = ["InputVcState", "OutputVcAllocator"]
 
 
-@dataclass
+@dataclass(slots=True)
 class InputVcState:
     """Book-keeping of one input virtual channel of the router."""
 
@@ -45,7 +45,7 @@ class InputVcState:
         self.out_vc = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _OutputVc:
     """State of one output virtual channel of one output port."""
 

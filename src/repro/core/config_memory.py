@@ -12,14 +12,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.common import ALL_PORTS, ConfigurationError, Port
 
 __all__ = ["LaneConfig", "ConfigurationMemory"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LaneConfig:
     """Configuration of one crossbar output lane."""
 
@@ -53,8 +53,18 @@ class ConfigurationMemory:
         self.lanes_per_port = lanes_per_port
         self._entries: Dict[Tuple[Port, int], LaneConfig] = {}
         #: Monotonically increasing change counter; the crossbar uses it to
-        #: cache its reverse (input lane -> output lanes) mapping.
+        #: cache its routing tables.
         self.version = 0
+        #: Optional callback fired after every change (version bump).  The
+        #: owning router installs its ``wake`` here so that configuration
+        #: writes reschedule a quiescent router.
+        self.on_change: Optional[Callable[[], None]] = None
+
+    def _bump_version(self) -> None:
+        self.version += 1
+        callback = self.on_change
+        if callback is not None:
+            callback()
 
     # -- geometry helpers ------------------------------------------------------
 
@@ -149,7 +159,7 @@ class ConfigurationMemory:
         out_port = Port(out_port)
         if config is None or not config.active:
             if self._entries.pop((out_port, out_lane), None) is not None:
-                self.version += 1
+                self._bump_version()
             return
         source_port = Port(config.source_port)
         self._check_lane(source_port, config.source_lane)
@@ -158,7 +168,7 @@ class ConfigurationMemory:
                 f"output lane {out_port.name}.{out_lane} cannot be fed from its own port"
             )
         self._entries[(out_port, out_lane)] = LaneConfig(True, source_port, config.source_lane)
-        self.version += 1
+        self._bump_version()
 
     def get(self, out_port: Port, out_lane: int) -> LaneConfig:
         """Configuration of one output lane (inactive if never configured)."""
@@ -167,9 +177,10 @@ class ConfigurationMemory:
 
     def clear(self) -> None:
         """Deactivate every output lane."""
-        if self._entries:
-            self.version += 1
+        had_entries = bool(self._entries)
         self._entries.clear()
+        if had_entries:
+            self._bump_version()
 
     def active_entries(self) -> List[Tuple[Port, int, LaneConfig]]:
         """All active output lanes as ``(out_port, out_lane, config)`` tuples."""

@@ -15,11 +15,18 @@ registered per hop.
 The crossbar records its switching activity (register toggles, output-net
 toggles, clocked vs. clock-gated bits) in the router's
 :class:`repro.energy.activity.ActivityCounters`.
+
+Implementation note: all per-lane state lives in flat lists indexed by the
+dense lane index ``port * lanes_per_port + lane`` and the active routes are
+cached per configuration version, so the per-cycle loops allocate nothing
+and inactive lanes cost no work during ``evaluate``.  The mapping-based
+``evaluate`` remains available for direct (non-router) users; the router hot
+path feeds preallocated flat lists through :meth:`evaluate_flat`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import List, Mapping, Tuple
 
 from repro.common import Port, toggle_count
 from repro.core.config_memory import ConfigurationMemory
@@ -49,26 +56,64 @@ class Crossbar:
 
         lanes = list(config.iter_lanes())
         self._lanes: List[LaneKey] = lanes
-        # Committed (visible) state of the registered output stage.
-        self._out_data: Dict[LaneKey, int] = {key: 0 for key in lanes}
-        self._ack_out: Dict[LaneKey, bool] = {key: False for key in lanes}
+        self._lanes_per_port = config.lanes_per_port
+        total = len(lanes)
+        self._total = total
+        # Committed (visible) state of the registered output stage, indexed
+        # by the dense lane index port * lanes_per_port + lane.
+        self._out_data: List[int] = [0] * total
+        self._ack_out: List[bool] = [False] * total
         # Next state computed during evaluate.
-        self._next_out: Dict[LaneKey, int] = dict(self._out_data)
-        self._next_ack: Dict[LaneKey, bool] = dict(self._ack_out)
-        # Cached reverse mapping (input lane -> output lanes fed by it).
-        self._reverse_map: Dict[LaneKey, List[LaneKey]] = {}
+        self._next_out: List[int] = [0] * total
+        self._next_ack: List[bool] = [False] * total
+        # Scratch buffers for the mapping-based evaluate wrapper.
+        self._scratch_in: List[int] = [0] * total
+        self._scratch_ack: List[bool] = [False] * total
+        # Configuration caches, refreshed when config.version changes:
+        #   _routes        (out_idx, src_idx) per active output lane,
+        #   _active_flags  per-lane activation (drives the clock gate),
+        #   _ack_routes    (in_idx, out indices fed from it) per input lane
+        #                  that feeds at least one output.
+        self._routes: List[Tuple[int, int]] = []
+        self._active_flags: List[bool] = [False] * total
+        self._ack_routes: List[Tuple[int, Tuple[int, ...]]] = []
         self._cached_version = -1
+        # True when the most recent commit latched at least one changed bit.
+        # Purely a fast-path hint for the quiescence check: a commit that
+        # latched changes means the router is visibly active, so the (more
+        # expensive) fixed-point inspection can be skipped that cycle.
+        self._commit_changed = True
 
     # -- configuration cache ----------------------------------------------------
 
     def _refresh_cache(self) -> None:
-        if self._cached_version == self.config.version:
-            return
-        reverse: Dict[LaneKey, List[LaneKey]] = {key: [] for key in self._lanes}
-        for out_port, out_lane, cfg in self.config.active_entries():
-            reverse[(cfg.source_port, cfg.source_lane)].append((out_port, out_lane))
-        self._reverse_map = reverse
-        self._cached_version = self.config.version
+        config = self.config
+        lanes_per_port = self._lanes_per_port
+        routes: List[Tuple[int, int]] = []
+        flags = [False] * self._total
+        reverse: dict[int, List[int]] = {}
+        for out_port, out_lane, cfg in config.active_entries():
+            out_idx = out_port * lanes_per_port + out_lane
+            src_idx = cfg.source_port * lanes_per_port + cfg.source_lane
+            routes.append((out_idx, src_idx))
+            flags[out_idx] = True
+            reverse.setdefault(src_idx, []).append(out_idx)
+        self._routes = routes
+        self._active_flags = flags
+        self._ack_routes = [
+            (in_idx, tuple(outs)) for in_idx, outs in sorted(reverse.items())
+        ]
+        # Lanes without a route (or without ack fan-in) are pinned to the
+        # idle next-state once; evaluate never has to visit them again.
+        next_out = self._next_out
+        next_ack = self._next_ack
+        fed = set(reverse)
+        for idx in range(self._total):
+            if not flags[idx]:
+                next_out[idx] = 0
+            if idx not in fed:
+                next_ack[idx] = False
+        self._cached_version = config.version
 
     # -- two-phase execution -------------------------------------------------------
 
@@ -77,62 +122,97 @@ class Crossbar:
         input_data: Mapping[LaneKey, int],
         downstream_ack: Mapping[LaneKey, bool],
     ) -> None:
-        """Compute the next output-register and acknowledge-register values.
+        """Compute the next register values from ``(port, lane)``-keyed maps.
+
+        Convenience wrapper used by direct crossbar users and the unit
+        tests; missing keys read as the idle value.  The router hot loop
+        uses :meth:`evaluate_flat` instead.
+        """
+        values = self._scratch_in
+        acks = self._scratch_ack
+        for index, key in enumerate(self._lanes):
+            values[index] = input_data.get(key, 0)
+            acks[index] = downstream_ack.get(key, False)
+        self.evaluate_flat(values, acks)
+
+    def evaluate_flat(self, input_values: List[int], downstream_acks: List[bool]) -> None:
+        """Compute the next output/acknowledge register values.
 
         Parameters
         ----------
-        input_data:
-            Committed value of every input lane, keyed by ``(port, lane)``.
-            Missing keys read as the idle value 0.
-        downstream_ack:
+        input_values:
+            Committed value of every input lane, indexed by the dense lane
+            index ``port * lanes_per_port + lane``.
+        downstream_acks:
             Acknowledge value observed *behind* every output lane (from the
             downstream router on neighbour ports, from the local deserialiser
-            on tile-port output lanes).
+            on tile-port output lanes), same indexing.
         """
-        self._refresh_cache()
-        config = self.config
-        for key in self._lanes:
-            cfg = config.get(*key)
-            if cfg.active:
-                value = input_data.get((cfg.source_port, cfg.source_lane), 0)
-            else:
-                value = 0
-            self._next_out[key] = value
-        for key in self._lanes:
-            outputs = self._reverse_map.get(key, ())
-            self._next_ack[key] = any(downstream_ack.get(out, False) for out in outputs)
+        if self._cached_version != self.config.version:
+            self._refresh_cache()
+        next_out = self._next_out
+        for out_idx, src_idx in self._routes:
+            next_out[out_idx] = input_values[src_idx]
+        next_ack = self._next_ack
+        for in_idx, outs in self._ack_routes:
+            value = False
+            for out_idx in outs:
+                if downstream_acks[out_idx]:
+                    value = True
+                    break
+            next_ack[in_idx] = value
 
     def commit(self, clock_gating: bool = False) -> None:
         """Latch the output and acknowledge registers; record activity."""
+        if self._cached_version != self.config.version:
+            self._refresh_cache()
         activity = self.activity
         width = self.lane_width
-        config = self.config
+        out_data = self._out_data
+        next_out = self._next_out
+        ack_out = self._ack_out
+        next_ack = self._next_ack
         reg_toggles = 0
         clocked_bits = 0
         gated_bits = 0
         xbar_toggles = 0
-        for key in self._lanes:
-            active = config.get(*key).active
-            if clock_gating and not active:
-                gated_bits += width + 1  # data register + acknowledge register
-                # Registers hold their value; for an inactive lane that value
-                # is already the idle pattern, so nothing else changes.
-                continue
-            new_value = self._next_out[key]
-            old_value = self._out_data[key]
-            toggles = toggle_count(old_value, new_value, width)
-            reg_toggles += toggles
-            xbar_toggles += toggles
-            clocked_bits += width
-            self._out_data[key] = new_value
+        if clock_gating:
+            # Inactive lanes are clock-gated: registers hold their value and
+            # only the gated-bit count is recorded.
+            flags = self._active_flags
+            active_count = len(self._routes)
+            gated_bits = (self._total - active_count) * (width + 1)
+            clocked_bits = active_count * (width + 1)
+            for idx, active in enumerate(flags):
+                if not active:
+                    continue
+                new_value = next_out[idx]
+                old_value = out_data[idx]
+                if new_value != old_value:
+                    toggles = toggle_count(old_value, new_value, width)
+                    reg_toggles += toggles
+                    xbar_toggles += toggles
+                    out_data[idx] = new_value
+                new_ack = next_ack[idx]
+                if new_ack != ack_out[idx]:
+                    reg_toggles += 1
+                    ack_out[idx] = new_ack
+        else:
+            clocked_bits = self._total * (width + 1)
+            for idx in range(self._total):
+                new_value = next_out[idx]
+                old_value = out_data[idx]
+                if new_value != old_value:
+                    toggles = toggle_count(old_value, new_value, width)
+                    reg_toggles += toggles
+                    xbar_toggles += toggles
+                    out_data[idx] = new_value
+                new_ack = next_ack[idx]
+                if new_ack != ack_out[idx]:
+                    reg_toggles += 1
+                    ack_out[idx] = new_ack
 
-            new_ack = self._next_ack[key]
-            old_ack = self._ack_out[key]
-            if new_ack != old_ack:
-                reg_toggles += 1
-            clocked_bits += 1
-            self._ack_out[key] = new_ack
-
+        self._commit_changed = reg_toggles != 0
         if reg_toggles:
             activity.add(ActivityKeys.REG_TOGGLE_BITS, reg_toggles)
         if xbar_toggles:
@@ -142,28 +222,80 @@ class Crossbar:
         if gated_bits:
             activity.add(ActivityKeys.REG_GATED_BITS, gated_bits)
 
+    # -- quiescence support ----------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """True when the last commit latched a change (cannot be quiescent yet)."""
+        return self._commit_changed
+
+    def is_fixed_point(self, input_values: List[int], downstream_acks: List[bool]) -> bool:
+        """True when evaluate+commit with these inputs would latch no change.
+
+        Checks every active data route and acknowledge fan-in against the
+        committed register values; inactive lanes cannot change (they are
+        pinned to the idle pattern, or held when clock-gated), so they need
+        no inspection.  Used by the router's quiescence check with *live*
+        input values.
+        """
+        if self._cached_version != self.config.version:
+            self._refresh_cache()
+        out_data = self._out_data
+        for out_idx, src_idx in self._routes:
+            if out_data[out_idx] != input_values[src_idx]:
+                return False
+        ack_out = self._ack_out
+        for in_idx, outs in self._ack_routes:
+            expected = False
+            for out_idx in outs:
+                if downstream_acks[out_idx]:
+                    expected = True
+                    break
+            if ack_out[in_idx] != expected:
+                return False
+        return True
+
+    def idle_cycle_bits(self, clock_gating: bool) -> Tuple[int, int]:
+        """Per-cycle ``(clocked_bits, gated_bits)`` of a quiescent crossbar."""
+        if self._cached_version != self.config.version:
+            self._refresh_cache()
+        per_lane = self.lane_width + 1
+        if clock_gating:
+            active_count = len(self._routes)
+            return active_count * per_lane, (self._total - active_count) * per_lane
+        return self._total * per_lane, 0
+
     # -- observation ---------------------------------------------------------------
+
+    @property
+    def committed_data(self) -> List[int]:
+        """Committed output-lane values, dense-indexed (read-only by convention)."""
+        return self._out_data
+
+    @property
+    def committed_acks(self) -> List[bool]:
+        """Committed acknowledge values, dense-indexed (read-only by convention)."""
+        return self._ack_out
 
     def output(self, port: Port, lane: int) -> int:
         """Committed value of one registered output lane."""
-        return self._out_data[(Port(port), lane)]
+        return self._out_data[Port(port) * self._lanes_per_port + lane]
 
     def ack_output(self, port: Port, lane: int) -> bool:
         """Committed acknowledge value routed back towards one input lane."""
-        return self._ack_out[(Port(port), lane)]
+        return self._ack_out[Port(port) * self._lanes_per_port + lane]
 
     def outputs_for_port(self, port: Port) -> List[int]:
         """Committed values of all output lanes of *port*, in lane order."""
-        port = Port(port)
-        return [
-            self._out_data[(port, lane)]
-            for lane in range(self.config.lanes_per_port)
-        ]
+        base = Port(port) * self._lanes_per_port
+        return self._out_data[base : base + self._lanes_per_port]
 
     def reset(self) -> None:
         """Return all registers to the idle state."""
-        for key in self._lanes:
-            self._out_data[key] = 0
-            self._ack_out[key] = False
-            self._next_out[key] = 0
-            self._next_ack[key] = False
+        for idx in range(self._total):
+            self._out_data[idx] = 0
+            self._ack_out[idx] = False
+            self._next_out[idx] = 0
+            self._next_ack[idx] = False
+        self._cached_version = -1
+        self._commit_changed = True

@@ -93,6 +93,16 @@ class LaneSerializer:
         """True while a packet is being shifted out or waiting in the queue."""
         return bool(self._remaining_phits or self._queue)
 
+    @property
+    def quiescent(self) -> bool:
+        """True when a tick with no acknowledge input would change nothing."""
+        return not (self._remaining_phits or self._queue or self._current_phit)
+
+    @property
+    def idle_cycle_bits(self) -> int:
+        """Register bits this serialiser clocks (or gates) per idle cycle."""
+        return self.phits_per_packet * self.lane_width + self.lane_width
+
     # -- network-side API -----------------------------------------------------------
 
     @property
@@ -226,6 +236,26 @@ class LaneDeserializer:
         """True while in the middle of reassembling a packet."""
         return bool(self._collected)
 
+    @property
+    def quiescent(self) -> bool:
+        """True when a tick with an idle (zero) input would change nothing.
+
+        Words already queued for the tile are allowed: they sit still until
+        the tile reads them, and reading wakes the owning router through the
+        tile-interface hook.
+        """
+        return not (
+            self._collected
+            or self._previous_phit
+            or self._pending_ack_pulses
+            or self._ack_pulse
+        )
+
+    @property
+    def idle_cycle_bits(self) -> int:
+        """Register bits this deserialiser clocks (or gates) per idle cycle."""
+        return self.phits_per_packet * self.lane_width + 1
+
     # -- clocking ------------------------------------------------------------------------
 
     def tick(self, input_phit: int, cycle: int, clock_gating: bool = False) -> None:
@@ -313,7 +343,27 @@ class DataConverter:
             LaneDeserializer(lane, lane_width, data_width, activity=self.activity)
             for lane in range(lanes_per_port)
         ]
+        #: Callback fired when the tile interface injects or consumes data;
+        #: the owning router installs its ``wake`` here so that external
+        #: tile activity reschedules a quiescent router.
+        self.wake_hook = None
         self.interface = TileInterface(self)
+
+    def quiescent(self) -> bool:
+        """True when ticking with idle inputs would change no converter state."""
+        for serializer in self.serializers:
+            if not serializer.quiescent:
+                return False
+        for deserializer in self.deserializers:
+            if not deserializer.quiescent:
+                return False
+        return True
+
+    def idle_cycle_bits(self) -> int:
+        """Register bits the whole converter clocks (or gates) per idle cycle."""
+        return sum(s.idle_cycle_bits for s in self.serializers) + sum(
+            d.idle_cycle_bits for d in self.deserializers
+        )
 
     def tx_phit(self, lane: int) -> int:
         """Committed phit driven into the crossbar's tile-port input lane."""
@@ -378,10 +428,17 @@ class TileInterface:
     def configure_tx(self, lane: int, flow: FlowControlConfig = FlowControlConfig()) -> None:
         """Configure the window-counter flow control of an outgoing lane."""
         self._converter.serializers[lane].configure_flow(flow)
+        self._notify()
 
     def configure_rx(self, lane: int, flow: FlowControlConfig = FlowControlConfig()) -> None:
         """Configure acknowledge generation of an incoming lane."""
         self._converter.deserializers[lane].configure_flow(flow)
+        self._notify()
+
+    def _notify(self) -> None:
+        hook = self._converter.wake_hook
+        if hook is not None:
+            hook()
 
     # -- sending ----------------------------------------------------------------------
 
@@ -400,6 +457,7 @@ class TileInterface:
             data_width=self._converter.data_width,
         )
         serializer.submit(packet)
+        self._notify()
         return True
 
     def tx_pending(self, lane: int) -> int:
@@ -414,7 +472,12 @@ class TileInterface:
 
     def receive(self, lane: int) -> Optional[ReceivedWord]:
         """Read the oldest word from *lane* (``None`` when empty)."""
-        return self._converter.deserializers[lane].receive()
+        word = self._converter.deserializers[lane].receive()
+        if word is not None:
+            # Reading feeds the acknowledge generator, which may schedule an
+            # acknowledge pulse on the reverse path next cycle.
+            self._notify()
+        return word
 
     # -- statistics ---------------------------------------------------------------------
 

@@ -11,14 +11,20 @@ live inside the routers (the crossbar output stage is registered), so the
 link itself has no clocked state; it only needs to be written during the
 commit phase and read during the evaluate phase of the two-phase simulation
 model.
+
+The bundle doubles as the kernel's dirty-bit network: each direction carries
+a :class:`repro.sim.signals.DirtyBit`, and a write that actually changes a
+wire marks it, waking the component that reads the wire.  Writes that leave
+the value unchanged — the overwhelmingly common case on an idle fabric — are
+skipped after a single comparison, which is what makes sleeping routers free.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List
 
 from repro.common import bit_mask
+from repro.sim.signals import DirtyBit, WakeListener
 
 __all__ = ["LaneLink", "link_width_bits"]
 
@@ -30,7 +36,6 @@ def link_width_bits(num_lanes: int, lane_width: int) -> int:
     return num_lanes * lane_width
 
 
-@dataclass
 class LaneLink:
     """One unidirectional bundle of lanes plus reverse acknowledge wires.
 
@@ -48,29 +53,60 @@ class LaneLink:
         router (a one-cycle pulse means "credit returned").
     """
 
-    name: str
-    num_lanes: int = 4
-    lane_width: int = 4
+    __slots__ = (
+        "name",
+        "num_lanes",
+        "lane_width",
+        "_mask",
+        "forward",
+        "ack",
+        "forward_dirty",
+        "ack_dirty",
+    )
 
-    def __post_init__(self) -> None:
-        if self.num_lanes < 1:
+    def __init__(self, name: str, num_lanes: int = 4, lane_width: int = 4) -> None:
+        if num_lanes < 1:
             raise ValueError("a link needs at least one lane")
-        if self.lane_width < 1:
+        if lane_width < 1:
             raise ValueError("lane width must be positive")
-        self._mask = bit_mask(self.lane_width)
-        self.forward: List[int] = [0] * self.num_lanes
-        self.ack: List[bool] = [False] * self.num_lanes
+        self.name = name
+        self.num_lanes = num_lanes
+        self.lane_width = lane_width
+        self._mask = bit_mask(lane_width)
+        self.forward: List[int] = [0] * num_lanes
+        self.ack: List[bool] = [False] * num_lanes
+        #: Dirty-bit of the forward wires; its listener is the reading
+        #: (destination) component's ``wake``.
+        self.forward_dirty = DirtyBit()
+        #: Dirty-bit of the acknowledge wires; its listener is the source
+        #: component's ``wake``.
+        self.ack_dirty = DirtyBit()
+
+    # -- dirty-bit wiring ------------------------------------------------------
+
+    def watch_forward(self, listener: WakeListener) -> None:
+        """Wake *listener* whenever a forward wire changes value."""
+        self.forward_dirty.listener = listener
+
+    def watch_ack(self, listener: WakeListener) -> None:
+        """Wake *listener* whenever an acknowledge wire changes value."""
+        self.ack_dirty.listener = listener
 
     # -- forward data --------------------------------------------------------
 
     def drive_forward(self, lane: int, value: int) -> None:
         """Set the forward data of *lane* (called by the source router)."""
-        self._check_lane(lane)
+        forward = self.forward
+        if not 0 <= lane < self.num_lanes:
+            self._check_lane(lane)
+        if value == forward[lane]:
+            return
         if value < 0 or value > self._mask:
             raise ValueError(
                 f"value {value:#x} does not fit in a {self.lane_width}-bit lane"
             )
-        self.forward[lane] = value
+        forward[lane] = value
+        self.forward_dirty.mark()
 
     def read_forward(self, lane: int) -> int:
         """Read the forward data of *lane* (called by the destination router)."""
@@ -81,8 +117,14 @@ class LaneLink:
 
     def drive_ack(self, lane: int, value: bool) -> None:
         """Set the reverse acknowledge of *lane* (called by the destination)."""
-        self._check_lane(lane)
-        self.ack[lane] = bool(value)
+        ack = self.ack
+        if not 0 <= lane < self.num_lanes:
+            self._check_lane(lane)
+        value = bool(value)
+        if value == ack[lane]:
+            return
+        ack[lane] = value
+        self.ack_dirty.mark()
 
     def read_ack(self, lane: int) -> bool:
         """Read the reverse acknowledge of *lane* (called by the source)."""
@@ -109,3 +151,9 @@ class LaneLink:
     def _check_lane(self, lane: int) -> None:
         if not 0 <= lane < self.num_lanes:
             raise IndexError(f"lane {lane} out of range 0..{self.num_lanes - 1}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LaneLink({self.name!r}, num_lanes={self.num_lanes}, "
+            f"lane_width={self.lane_width})"
+        )

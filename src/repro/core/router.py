@@ -15,6 +15,15 @@ outputs of its own serialisers, and feeds them through the (combinational)
 crossbar; during ``commit`` it latches the crossbar output registers, steps
 the data converter and drives its outgoing lane links — exactly one cycle of
 latency per hop, as in the hardware.
+
+The router participates in the kernel's quiescence protocol: its incoming
+lane bundles and its tile/configuration interfaces wake it when anything
+changes, and while fully idle it reports a fixed point so the kernel can
+skip it, bulk-applying the constant per-cycle clocked/gated register bits
+through :meth:`CircuitSwitchedRouter.idle_tick`.  The per-cycle loops index
+preallocated flat lists by the dense lane index ``port * lanes_per_port +
+lane`` — no dictionaries, no per-cycle allocation, no repeated ``Port``
+coercion.
 """
 
 from __future__ import annotations
@@ -22,7 +31,6 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.common import (
-    ALL_PORTS,
     NEIGHBOR_PORTS,
     ConfigurationError,
     Port,
@@ -99,9 +107,24 @@ class CircuitSwitchedRouter(ClockedComponent):
         # Incoming / outgoing lane links per neighbour port (None = mesh edge).
         self._rx_links: Dict[Port, Optional[LaneLink]] = {p: None for p in NEIGHBOR_PORTS}
         self._tx_links: Dict[Port, Optional[LaneLink]] = {p: None for p in NEIGHBOR_PORTS}
-        self._tx_previous: Dict[Tuple[Port, int], int] = {
-            (port, lane): 0 for port in NEIGHBOR_PORTS for lane in range(lanes_per_port)
-        }
+
+        # Flat per-lane working state, indexed by port * lanes_per_port + lane.
+        total = self.NUM_PORTS * lanes_per_port
+        self._total_lanes = total
+        self._input_vals: list[int] = [0] * total
+        self._ack_vals: list[bool] = [False] * total
+        self._tx_previous: list[int] = [0] * total
+        self._tile_rx: list[int] = [0] * lanes_per_port
+        self._tile_ack: list[bool] = [False] * lanes_per_port
+        # (base index, link) pairs for the attached neighbour ports, in port
+        # order; rebuilt by attach_link so the per-cycle loops never touch
+        # the port dictionaries or construct Port values.
+        self._rx_flat: list[Tuple[int, LaneLink]] = []
+        self._tx_flat: list[Tuple[int, LaneLink]] = []
+
+        # External activity reschedules a quiescent router.
+        self.config.on_change = self.wake
+        self.converter.wake_hook = self.wake
 
     # -- wiring -------------------------------------------------------------------
 
@@ -131,6 +154,24 @@ class CircuitSwitchedRouter(ClockedComponent):
                 )
         self._rx_links[port] = rx_link
         self._tx_links[port] = tx_link
+        if rx_link is not None:
+            # Forward data arriving here must wake a sleeping router.
+            rx_link.watch_forward(self.wake)
+        if tx_link is not None:
+            # Acknowledges returned by the downstream router likewise.
+            tx_link.watch_ack(self.wake)
+        lanes_per_port = self.lanes_per_port
+        self._rx_flat = [
+            (int(p) * lanes_per_port, link)
+            for p, link in self._rx_links.items()
+            if link is not None
+        ]
+        self._tx_flat = [
+            (int(p) * lanes_per_port, link)
+            for p, link in self._tx_links.items()
+            if link is not None
+        ]
+        self.wake()
 
     def rx_link(self, port: Port) -> Optional[LaneLink]:
         """The incoming lane bundle attached at *port* (``None`` at a mesh edge)."""
@@ -163,67 +204,131 @@ class CircuitSwitchedRouter(ClockedComponent):
 
     # -- simulation ---------------------------------------------------------------------
 
-    def evaluate(self, cycle: int) -> None:
-        lanes = range(self.lanes_per_port)
+    supports_quiescence = True
 
-        # 1. Committed values on every crossbar input lane.
-        input_data: Dict[Tuple[Port, int], int] = {}
-        for lane in lanes:
-            input_data[(Port.TILE, lane)] = self.converter.tx_phit(lane)
-        for port in NEIGHBOR_PORTS:
-            link = self._rx_links[port]
-            for lane in lanes:
-                input_data[(port, lane)] = link.read_forward(lane) if link is not None else 0
+    def evaluate(self, cycle: int) -> None:
+        lanes_per_port = self.lanes_per_port
+
+        # 1. Committed values on every crossbar input lane (tile-port lanes
+        #    occupy indices 0..lanes_per_port-1; unattached neighbour ports
+        #    keep their preset idle values).
+        values = self._input_vals
+        serializers = self.converter.serializers
+        for lane in range(lanes_per_port):
+            values[lane] = serializers[lane].output_phit
+        for base, link in self._rx_flat:
+            values[base : base + lanes_per_port] = link.forward
 
         # 2. Committed acknowledge values observed behind every output lane.
-        downstream_ack: Dict[Tuple[Port, int], bool] = {}
-        for lane in lanes:
-            downstream_ack[(Port.TILE, lane)] = self.converter.rx_ack_pulse(lane)
-        for port in NEIGHBOR_PORTS:
-            link = self._tx_links[port]
-            for lane in lanes:
-                downstream_ack[(port, lane)] = link.read_ack(lane) if link is not None else False
+        acks = self._ack_vals
+        deserializers = self.converter.deserializers
+        for lane in range(lanes_per_port):
+            acks[lane] = deserializers[lane].ack_pulse
+        for base, link in self._tx_flat:
+            acks[base : base + lanes_per_port] = link.ack
 
-        self.crossbar.evaluate(input_data, downstream_ack)
+        self.crossbar.evaluate_flat(values, acks)
 
     def commit(self, cycle: int) -> None:
-        lanes = range(self.lanes_per_port)
+        lanes_per_port = self.lanes_per_port
+        crossbar = self.crossbar
 
         # 1. Latch the crossbar output and acknowledge registers.
-        self.crossbar.commit(self.clock_gating)
+        crossbar.commit(self.clock_gating)
+        out_data = crossbar.committed_data
+        ack_data = crossbar.committed_acks
 
         # 2. Step the data converter with the freshly latched tile-port values.
-        rx_phits = [self.crossbar.output(Port.TILE, lane) for lane in lanes]
-        tx_acks = [self.crossbar.ack_output(Port.TILE, lane) for lane in lanes]
-        self.converter.tick(rx_phits, tx_acks, cycle, self.clock_gating)
+        tile_rx = self._tile_rx
+        tile_ack = self._tile_ack
+        for lane in range(lanes_per_port):
+            tile_rx[lane] = out_data[lane]
+            tile_ack[lane] = ack_data[lane]
+        self.converter.tick(tile_rx, tile_ack, cycle, self.clock_gating)
 
         # 3. Drive the outgoing links (data forward, acknowledges backward).
-        for port in NEIGHBOR_PORTS:
-            tx_link = self._tx_links[port]
-            if tx_link is not None:
-                for lane in lanes:
-                    value = self.crossbar.output(port, lane)
-                    previous = self._tx_previous[(port, lane)]
-                    if value != previous:
-                        self.activity.add(
-                            ActivityKeys.LINK_TOGGLE_BITS,
-                            toggle_count(previous, value, self.lane_width),
-                        )
-                        self._tx_previous[(port, lane)] = value
+        previous = self._tx_previous
+        link_toggles = 0
+        width = self.lane_width
+        for base, tx_link in self._tx_flat:
+            for lane in range(lanes_per_port):
+                idx = base + lane
+                value = out_data[idx]
+                if value != previous[idx]:
+                    link_toggles += toggle_count(previous[idx], value, width)
+                    previous[idx] = value
                     tx_link.drive_forward(lane, value)
-            rx_link = self._rx_links[port]
-            if rx_link is not None:
-                for lane in lanes:
-                    rx_link.drive_ack(lane, self.crossbar.ack_output(port, lane))
+        if link_toggles:
+            self.activity.add(ActivityKeys.LINK_TOGGLE_BITS, link_toggles)
+        for base, rx_link in self._rx_flat:
+            link_ack = rx_link.ack
+            for lane in range(lanes_per_port):
+                value = ack_data[base + lane]
+                if link_ack[lane] != value:
+                    rx_link.drive_ack(lane, value)
 
         self.activity.cycles = cycle + 1
+
+    def quiescent(self) -> bool:
+        """True when another cycle with unchanged inputs would be an idle tick.
+
+        Requires a fully drained data converter plus a crossbar at a fixed
+        point with respect to the *live* input values.  The live distinction
+        matters on the tile port: serialiser outputs and deserialiser
+        acknowledge pulses advance during the converter tick, i.e. after the
+        crossbar sampled them within the same commit.  Neighbour-port inputs
+        cannot have moved since the evaluate-phase snapshot — any link write
+        marks the input-dirty flag and the kernel then skips this check
+        entirely — so the snapshot arrays double as the live values there.
+        """
+        if self.crossbar.busy:
+            # The last commit latched a change: visibly active, and the
+            # fixed-point inspection can wait until the registers settle
+            # (costs at most one extra awake cycle per idle transition).
+            return False
+        if not self.converter.quiescent():
+            return False
+        # A quiescent converter drives all-zero phits and no acknowledge
+        # pulses; overwrite the tile entries of the snapshots with these
+        # live values before the fixed-point check.
+        values = self._input_vals
+        acks = self._ack_vals
+        for lane in range(self.lanes_per_port):
+            values[lane] = 0
+            acks[lane] = False
+        return self.crossbar.is_fixed_point(values, acks)
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
+        """Apply *cycles* of the constant idle activity contribution."""
+        activity = self.activity
+        clocked, gated = self.crossbar.idle_cycle_bits(self.clock_gating)
+        converter_bits = self.converter.idle_cycle_bits()
+        if self.clock_gating:
+            gated += converter_bits
+        else:
+            clocked += converter_bits
+        if clocked:
+            activity.add(ActivityKeys.REG_CLOCKED_BITS, clocked * cycles)
+        if gated:
+            activity.add(ActivityKeys.REG_GATED_BITS, gated * cycles)
+        activity.cycles = start_cycle + cycles
 
     def reset(self) -> None:
         self.crossbar.reset()
         self.converter.reset()
         self.activity.reset()
-        for key in self._tx_previous:
-            self._tx_previous[key] = 0
+        for idx in range(self._total_lanes):
+            self._tx_previous[idx] = 0
+        # Drive the attached wires back to idle.  The commit loop only
+        # drives lanes whose register value changed, so a stale wire value
+        # would otherwise survive a reset forever (the change-mirror
+        # _tx_previous was just zeroed along with the registers).
+        for _base, tx_link in self._tx_flat:
+            for lane in range(self.lanes_per_port):
+                tx_link.drive_forward(lane, 0)
+        for _base, rx_link in self._rx_flat:
+            for lane in range(self.lanes_per_port):
+                rx_link.drive_ack(lane, False)
 
     # -- reporting -----------------------------------------------------------------------
 

@@ -62,6 +62,7 @@ class CircuitSwitchedNoC:
         data_width: int = 16,
         clock_gating: bool = False,
         tech: Technology = TSMC_130NM_LVHP,
+        schedule: str = "auto",
     ) -> None:
         self.mesh = mesh
         self.frequency_hz = frequency_hz
@@ -69,7 +70,7 @@ class CircuitSwitchedNoC:
         self.lane_width = lane_width
         self.data_width = data_width
         self.tech = tech
-        self.kernel = SimulationKernel(frequency_hz)
+        self.kernel = SimulationKernel(frequency_hz, schedule=schedule)
 
         self.routers: Dict[Position, CircuitSwitchedRouter] = {}
         for position in mesh.positions():

@@ -55,6 +55,7 @@ class PacketSwitchedNoC:
         data_width: int = 16,
         words_per_packet: int = 16,
         tech: Technology = TSMC_130NM_LVHP,
+        schedule: str = "auto",
     ) -> None:
         self.mesh = mesh
         self.frequency_hz = frequency_hz
@@ -63,7 +64,7 @@ class PacketSwitchedNoC:
         self.data_width = data_width
         self.words_per_packet = words_per_packet
         self.tech = tech
-        self.kernel = SimulationKernel(frequency_hz)
+        self.kernel = SimulationKernel(frequency_hz, schedule=schedule)
 
         self.routers: Dict[Position, PacketSwitchedRouter] = {}
         for position in mesh.positions():

@@ -1,24 +1,59 @@
-"""Synchronous cycle-accurate simulation kernel.
+"""Synchronous cycle-accurate simulation kernel with quiescence skipping.
 
 The routers of the paper are synchronous designs whose state only changes at
 clock edges (Section 5: "the tiles and NoC are synchronized by the same
 clock", and the crossbar output lanes are registered).  The kernel therefore
 uses a classic two-phase model:
 
-1. ``evaluate(cycle)`` — every component computes its next state from the
-   *committed* outputs of all components (the values latched at the previous
-   clock edge).  No component may observe another component's next state.
-2. ``commit(cycle)`` — every component latches its next state, which becomes
-   visible to everybody in the following cycle.
+1. ``evaluate(cycle)`` — every scheduled component computes its next state
+   from the *committed* outputs of all components (the values latched at the
+   previous clock edge).  No component may observe another component's next
+   state.
+2. ``commit(cycle)`` — every scheduled component latches its next state,
+   which becomes visible to everybody in the following cycle.
 
 Because ``evaluate`` only reads committed state, the order in which
 components are evaluated cannot change the result; this is asserted by the
 property-based tests.
+
+Execution model: quiescence-aware scheduling
+--------------------------------------------
+
+The paper's central energy argument — most of a circuit-switched fabric is
+idle most of the time (Section 7.3 proposes clock gating for exactly this
+reason) — applies to simulation cost as well.  The kernel therefore skips
+components that have reached a *fixed point*:
+
+* **Dirty-bit propagation.**  The wire bundles between routers
+  (:class:`repro.core.lane.LaneLink`, :class:`repro.baseline.link.PacketLink`)
+  carry a :class:`repro.sim.signals.DirtyBit` per direction.  A write that
+  actually changes a committed value marks the bit and wakes the reading
+  component; unchanged writes cost one comparison and nothing else.
+* **Wake conditions.**  A sleeping component is rescheduled when (a) a wire
+  it reads changes value, (b) its external interface is used (tile
+  send/receive, configuration-memory writes), or (c) the kernel is reset.
+  Wakes during the evaluate phase rejoin the *current* cycle (matching the
+  strict schedule exactly); wakes at a clock edge rejoin the next cycle.
+* **Deferred idle accounting.**  A quiescent component still accrues a
+  constant per-cycle activity contribution (clocked or clock-gated register
+  bits, the cycle counter itself).  The kernel defers this entirely while
+  the component sleeps and flushes it in one ``idle_tick`` call on wake-up
+  and at the end of every ``run`` — a sleeping component costs zero work per
+  simulated cycle.
+* **Strict mode.**  ``SimulationKernel(schedule="strict")`` runs the original
+  every-component schedule.  Both schedules produce bit-identical cycle
+  counts, activity counters and power results; the equivalence is asserted
+  by ``tests/test_kernel_equivalence.py`` across all tier-1 scenarios.
+
+Components opt in via the quiescence protocol of
+:class:`repro.sim.engine.ClockedComponent` (``supports_quiescence``,
+``quiescent()``, ``idle_tick()``); everything else is simply always
+scheduled.
 """
 
 from repro.sim.engine import ClockedComponent, SimulationKernel
-from repro.sim.signals import Register, RegisterBank, Wire
-from repro.sim.stats import Counter, StatsCollector, Histogram
+from repro.sim.signals import DirtyBit, Register, RegisterBank, Wire
+from repro.sim.stats import Counter, SchedulerStats, StatsCollector, Histogram
 from repro.sim.trace import TraceEvent, TraceRecorder
 
 __all__ = [
@@ -27,7 +62,9 @@ __all__ = [
     "Register",
     "RegisterBank",
     "Wire",
+    "DirtyBit",
     "Counter",
+    "SchedulerStats",
     "StatsCollector",
     "Histogram",
     "TraceEvent",

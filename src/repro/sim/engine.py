@@ -1,23 +1,62 @@
-"""Two-phase synchronous simulation engine.
+"""Quiescence-aware two-phase synchronous simulation engine.
 
-See the package docstring of :mod:`repro.sim` for the execution model.  The
-kernel is intentionally small: the routers of the paper run for thousands of
-cycles (200 µs at 25 MHz = 5000 cycles for Figure 9), not millions, so a
-clear pure-Python engine is fast enough and keeps the models auditable.
-Following the optimisation guidance of the HPC-Python guides we keep the hot
-loop free of per-cycle allocations and only reach for vectorisation where a
-profile shows it matters (the bit-level router models dominate, not the
-kernel).
+The kernel keeps the classic two-phase model (``evaluate`` = combinational
+logic, ``commit`` = clock edge) but no longer pays for components whose state
+cannot change.  The insight mirrors the paper's clock-gating argument
+(Section 7.3): most of a circuit-switched fabric is idle most of the time, so
+simulation cost should be proportional to *signal activity*, not to component
+count.
+
+Two schedules are available:
+
+``strict``
+    Every registered component is evaluated and committed on every cycle —
+    the original, seed-equivalent schedule.  Used as the reference in the
+    equivalence tests.
+
+``auto`` (default)
+    Components that implement the quiescence protocol (see below) are taken
+    off the schedule once they report a fixed point and are only woken when
+    one of their inputs changes.  Wake-up is driven by dirty-bits on the wire
+    bundles (:mod:`repro.core.lane`, :mod:`repro.baseline.link`) and by the
+    external interfaces (tile send/receive, configuration writes): any write
+    that actually changes a value calls :meth:`ClockedComponent.wake` on the
+    reading component.
+
+Quiescence protocol
+-------------------
+
+A component opts in by setting the class attribute ``supports_quiescence``
+and implementing two methods:
+
+* :meth:`ClockedComponent.quiescent` — called after ``commit``; must return
+  ``True`` only when another evaluate/commit round with unchanged inputs
+  would neither change any observable state nor record anything beyond a
+  constant per-cycle activity contribution (clocked/gated register bits).
+* :meth:`ClockedComponent.idle_tick` — applies *n* cycles worth of that
+  constant idle accounting in one call.  While a component sleeps the kernel
+  defers this accounting entirely; it is flushed when the component wakes and
+  at the end of every :meth:`SimulationKernel.run` (see
+  :meth:`SimulationKernel.sync`), so a sleeping component costs *zero* work
+  per cycle.
+
+Components that do not opt in (traffic drivers, ad-hoc test components) are
+always on the schedule, which keeps the kernel a drop-in replacement.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable, Iterable, Sequence
+from typing import Callable, ClassVar, Iterable, Optional, Sequence
 
 from repro.common import SimulationError
+from repro.sim.stats import SchedulerStats
 
 __all__ = ["ClockedComponent", "SimulationKernel"]
+
+
+def _registration_index(component: "ClockedComponent") -> int:
+    return component._kernel_index
 
 
 class ClockedComponent(abc.ABC):
@@ -26,13 +65,29 @@ class ClockedComponent(abc.ABC):
     Subclasses implement :meth:`evaluate` and :meth:`commit`.  The split
     mirrors a synchronous hardware description: ``evaluate`` is the
     combinational logic in front of the registers, ``commit`` is the clock
-    edge.
+    edge.  Components whose idle behaviour is a fixed point may additionally
+    opt in to the quiescence protocol documented in the module docstring.
     """
+
+    #: Set by subclasses that implement :meth:`quiescent` / :meth:`idle_tick`.
+    supports_quiescence: ClassVar[bool] = False
 
     def __init__(self, name: str) -> None:
         if not name:
             raise ValueError("component name must be non-empty")
         self.name = name
+        #: True while the kernel has taken this component off the schedule.
+        self._asleep = False
+        #: Set by :meth:`wake`, cleared when the component next evaluates.
+        #: Guards the sleep decision against inputs that change *after* the
+        #: component sampled them (e.g. during the commit phase of the same
+        #: cycle, before the kernel's end-of-cycle quiescence check).
+        self._input_dirty = False
+        #: Back-reference installed by :meth:`SimulationKernel.add`.
+        self._scheduler: Optional["SimulationKernel"] = None
+        #: Registration position; the scheduler keeps the awake set in this
+        #: order so skipping never perturbs the strict execution order.
+        self._kernel_index = -1
 
     @abc.abstractmethod
     def evaluate(self, cycle: int) -> None:
@@ -44,6 +99,36 @@ class ClockedComponent(abc.ABC):
 
     def reset(self) -> None:  # pragma: no cover - default is a no-op
         """Return the component to its power-on state (optional)."""
+
+    # -- quiescence protocol ----------------------------------------------
+
+    def quiescent(self) -> bool:
+        """True when evaluate/commit with unchanged inputs is an idle tick."""
+        return False
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
+        """Apply *cycles* skipped cycles of constant idle accounting.
+
+        Only called on components with ``supports_quiescence``; must leave
+        all functional state untouched.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares supports_quiescence but does "
+            "not implement idle_tick()"
+        )
+
+    def wake(self) -> None:
+        """Put this component back on the schedule (input changed).
+
+        Safe to call at any time; while the component is already scheduled it
+        only marks the input-dirty flag, which makes it cheap enough for
+        per-wire dirty-bit hooks.
+        """
+        self._input_dirty = True
+        if self._asleep:
+            scheduler = self._scheduler
+            if scheduler is not None:
+                scheduler._wake_component(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"
@@ -58,17 +143,33 @@ class SimulationKernel:
         Clock frequency used to convert cycle counts into wall-clock time and
         energies into powers.  Defaults to the 25 MHz used for the power
         experiments of the paper (Section 7.2).
+    schedule:
+        ``"auto"`` (default) skips quiescent components, ``"strict"`` runs
+        the seed-equivalent every-component schedule.  Both schedules produce
+        bit-identical results; ``strict`` exists as the reference for the
+        equivalence tests and for debugging.
     """
 
-    def __init__(self, frequency_hz: float = 25e6) -> None:
+    def __init__(self, frequency_hz: float = 25e6, schedule: str = "auto") -> None:
         if frequency_hz <= 0:
             raise ValueError("frequency_hz must be positive")
+        if schedule not in ("auto", "strict"):
+            raise ValueError(f"schedule must be 'auto' or 'strict', got {schedule!r}")
         self.frequency_hz = float(frequency_hz)
+        self.schedule = schedule
         self._components: list[ClockedComponent] = []
         self._names: set[str] = set()
         self._cycle = 0
         self._pre_cycle_hooks: list[Callable[[int], None]] = []
         self._post_cycle_hooks: list[Callable[[int], None]] = []
+        # Scheduling state: components currently on the schedule, sleeping
+        # components mapped to their first unaccounted cycle, and components
+        # woken during the current phase (joining the schedule next round).
+        self._awake: list[ClockedComponent] = []
+        self._sleeping: dict[ClockedComponent, int] = {}
+        self._woken: list[ClockedComponent] = []
+        self._phase = "idle"
+        self.scheduler_stats = SchedulerStats()
 
     # -- construction -----------------------------------------------------
 
@@ -83,7 +184,11 @@ class SimulationKernel:
                 f"duplicate component name {component.name!r} in kernel"
             )
         self._names.add(component.name)
+        component._kernel_index = len(self._components)
         self._components.append(component)
+        component._scheduler = self
+        component._asleep = False
+        self._awake.append(component)
         return component
 
     def add_all(self, components: Iterable[ClockedComponent]) -> None:
@@ -121,36 +226,141 @@ class SimulationKernel:
         """Duration of a single clock cycle."""
         return 1.0 / self.frequency_hz
 
+    @property
+    def sleeping_components(self) -> int:
+        """Number of components currently taken off the schedule."""
+        return len(self._sleeping)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _wake_component(self, component: ClockedComponent) -> None:
+        """Flush a sleeping component's idle accounting and reschedule it."""
+        component._asleep = False
+        start = self._sleeping.pop(component)
+        cycle = self._cycle
+        phase = self._phase
+        if phase == "commit":
+            # The input changed at this cycle's clock edge; the component's
+            # own commit of the current cycle is still an idle tick.
+            boundary = cycle + 1
+        else:
+            # Woken during the evaluate phase (e.g. a word submitted at the
+            # tile interface) or between cycles: the component rejoins the
+            # current cycle, so only fully skipped cycles are idle-accounted.
+            boundary = cycle
+        if boundary > start:
+            component.idle_tick(start, boundary - start)
+            self.scheduler_stats.skipped += boundary - start
+        if phase == "evaluate":
+            # Rejoin the cycle in flight: evaluate now (its inputs have not
+            # changed since it went to sleep, so this matches the strict
+            # schedule exactly) and commit with everybody else.
+            component.evaluate(cycle)
+        self._woken.append(component)
+        self.scheduler_stats.wakes += 1
+
+    def sync(self) -> None:
+        """Bring the deferred idle accounting of sleeping components up to date.
+
+        Called automatically at the end of :meth:`run` and :meth:`step`;
+        needed manually only when reading activity counters between
+        :meth:`step` calls issued by external drivers.
+        """
+        cycle = self._cycle
+        stats = self.scheduler_stats
+        for component, start in self._sleeping.items():
+            if cycle > start:
+                component.idle_tick(start, cycle - start)
+                stats.skipped += cycle - start
+                self._sleeping[component] = cycle
+
     # -- execution ---------------------------------------------------------
 
     def reset(self) -> None:
         """Reset the cycle counter and every component."""
         self._cycle = 0
+        self._sleeping.clear()
+        self._woken.clear()
+        self._phase = "idle"
+        self.scheduler_stats = SchedulerStats()
+        # Clear all scheduling flags before any component reset runs: a
+        # resetting component may drive shared wires, which would otherwise
+        # try to wake a not-yet-cleared sleeper through the scheduler.
+        for component in self._components:
+            component._asleep = False
+            component._input_dirty = False
         for component in self._components:
             component.reset()
+        self._awake = list(self._components)
 
-    def step(self) -> int:
-        """Advance the simulation by one clock cycle and return the new count."""
+    def _advance(self) -> None:
+        """Run one clock cycle without flushing deferred idle accounting."""
         if not self._components:
             raise SimulationError("cannot step a kernel with no components")
         cycle = self._cycle
+        awake = self._awake
         for hook in self._pre_cycle_hooks:
             hook(cycle)
-        for component in self._components:
+        # Components woken since the previous commit phase (between runs, by
+        # a pre-cycle hook, or at the previous cycle's clock edge) join the
+        # schedule before the evaluate phase so they run this full cycle.
+        if self._woken:
+            awake.extend(self._woken)
+            self._woken.clear()
+            # The strict schedule runs components in registration order, and
+            # testbench components observe each other through commit-phase
+            # method calls — rejoining components must slot back into their
+            # original position to stay cycle-exact.
+            awake.sort(key=_registration_index)
+        self._phase = "evaluate"
+        for component in awake:
+            component._input_dirty = False
             component.evaluate(cycle)
-        for component in self._components:
+        if self._woken:
+            # Woken mid-evaluate; already evaluated inside _wake_component.
+            awake.extend(self._woken)
+            self._woken.clear()
+            awake.sort(key=_registration_index)
+        self._phase = "commit"
+        for component in awake:
             component.commit(cycle)
+        self._phase = "idle"
+        self._cycle = cycle + 1
         for hook in self._post_cycle_hooks:
             hook(cycle)
-        self._cycle = cycle + 1
+        stats = self.scheduler_stats
+        stats.evaluated += len(awake)
+        if self.schedule == "auto":
+            sleeping = self._sleeping
+            write = 0
+            for component in awake:
+                if (
+                    component.supports_quiescence
+                    and not component._input_dirty
+                    and component.quiescent()
+                ):
+                    component._asleep = True
+                    sleeping[component] = self._cycle
+                    stats.sleeps += 1
+                else:
+                    awake[write] = component
+                    write += 1
+            del awake[write:]
+
+    def step(self) -> int:
+        """Advance the simulation by one clock cycle and return the new count."""
+        self._advance()
+        self.sync()
         return self._cycle
 
     def run(self, cycles: int) -> int:
         """Run for *cycles* additional clock cycles; return the total count."""
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
+        advance = self._advance
         for _ in range(cycles):
-            self.step()
+            advance()
+        self.sync()
         return self._cycle
 
     def run_for_time(self, seconds: float) -> int:
@@ -165,13 +375,17 @@ class SimulationKernel:
 
         Returns the cycle count at which the predicate first held.  Raises
         :class:`SimulationError` if the bound is hit, so that a stuck
-        simulation fails loudly instead of spinning forever.
+        simulation fails loudly instead of spinning forever.  The deferred
+        idle accounting is flushed before every predicate call, so predicates
+        may read activity counters.
         """
         start = self._cycle
+        self.sync()
         while not predicate(self._cycle):
             if self._cycle - start >= max_cycles:
                 raise SimulationError(
                     f"run_until exceeded {max_cycles} cycles without satisfying the predicate"
                 )
-            self.step()
+            self._advance()
+            self.sync()
         return self._cycle

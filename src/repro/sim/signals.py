@@ -13,10 +13,45 @@ from typing import Callable, Iterator, Sequence
 
 from repro.common import bit_mask, toggle_count
 
-__all__ = ["Wire", "Register", "RegisterBank"]
+__all__ = ["Wire", "Register", "RegisterBank", "DirtyBit", "WakeListener"]
 
 ToggleSink = Callable[[int, int], None]
 """Callback signature ``(toggled_bits, clocked_bits)`` used by the registers."""
+
+WakeListener = Callable[[], None]
+"""Callback fired by a signal/wire bundle when a committed value changes.
+
+The quiescence-aware kernel (:mod:`repro.sim.engine`) hands the bound
+``wake`` method of the reading component to the wire bundles that feed it;
+the bundles call it only on an actual value change, which is what turns the
+wires into the kernel's dirty-bit network.
+"""
+
+
+class DirtyBit:
+    """A change-notification bit with an attached wake listener.
+
+    Wire bundles with structured payloads (lane bundles, flit channels) embed
+    one of these per direction: writers call :meth:`mark` when a value
+    actually changed, and the attached :class:`WakeListener` — the reading
+    component's ``wake`` in the quiescence-aware kernel — is invoked
+    immediately so a sleeping reader is rescheduled.  The stored flag is a
+    sticky "has ever changed" indicator kept for debugging; wake-up is
+    entirely listener-driven.
+    """
+
+    __slots__ = ("dirty", "listener")
+
+    def __init__(self, listener: WakeListener | None = None) -> None:
+        self.dirty = False
+        self.listener = listener
+
+    def mark(self) -> None:
+        """Record a value change and wake the attached listener (if any)."""
+        self.dirty = True
+        listener = self.listener
+        if listener is not None:
+            listener()
 
 
 class Wire:

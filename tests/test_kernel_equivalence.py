@@ -1,0 +1,237 @@
+"""Equivalence of the strict and quiescence-aware kernel schedules.
+
+The quiescence-aware scheduler must be an *invisible* optimisation: for every
+tier-1 scenario — an idle mesh, a single stream, crossing streams, the full
+UMTS / HiperLAN/2 application traffic, a mid-run reconfiguration, and the
+clock-gated router variant — the ``auto`` schedule has to reproduce the
+``strict`` (seed-equivalent) schedule bit for bit: identical cycle counts,
+identical activity counters, identical delivered data, identical power
+numbers.  These tests run each scenario under both schedules and compare.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import hiperlan2, umts
+from repro.apps.traffic import BitFlipPattern, word_generator
+from repro.noc.ccn import CentralCoordinationNode
+from repro.noc.network import CircuitSwitchedNoC
+from repro.noc.packet_network import PacketSwitchedNoC
+from repro.noc.path_allocation import LaneAllocator
+from repro.noc.topology import Mesh2D
+
+FREQUENCY_HZ = 100e6
+
+
+def _snapshot(network):
+    """Everything the experiments read from a network, in comparable form."""
+    activity = {
+        position: (router.activity.as_dict(), router.activity.cycles)
+        for position, router in network.routers.items()
+    }
+    power = {
+        position: network.routers[position].power(FREQUENCY_HZ).as_dict()
+        for position in network.routers
+    }
+    return {
+        "cycle": network.kernel.cycle,
+        "activity": activity,
+        "power": power,
+        "streams": network.stream_statistics(),
+    }
+
+
+def _assert_equivalent(strict_net, auto_net):
+    strict_snapshot = _snapshot(strict_net)
+    auto_snapshot = _snapshot(auto_net)
+    assert strict_snapshot == auto_snapshot
+    # The auto schedule must actually have skipped something whenever the
+    # fabric was not fully busy; strict never skips.
+    assert strict_net.kernel.scheduler_stats.skipped == 0
+
+
+def _circuit_network(schedule, width=3, height=3, clock_gating=False):
+    mesh = Mesh2D(width, height)
+    return mesh, CircuitSwitchedNoC(
+        mesh, frequency_hz=FREQUENCY_HZ, clock_gating=clock_gating, schedule=schedule
+    )
+
+
+class TestIdleMesh:
+    def test_idle_circuit_mesh_is_identical_and_mostly_skipped(self):
+        nets = {}
+        for schedule in ("strict", "auto"):
+            _, network = _circuit_network(schedule)
+            network.run(500)
+            nets[schedule] = network
+        _assert_equivalent(nets["strict"], nets["auto"])
+        # Idle routers sleep from the second cycle onward.
+        stats = nets["auto"].kernel.scheduler_stats
+        assert stats.skipped > stats.evaluated
+
+    def test_idle_clock_gated_mesh_is_identical(self):
+        nets = {}
+        for schedule in ("strict", "auto"):
+            _, network = _circuit_network(schedule, clock_gating=True)
+            network.run(500)
+            nets[schedule] = network
+        _assert_equivalent(nets["strict"], nets["auto"])
+
+    def test_idle_packet_mesh_is_identical(self):
+        nets = {}
+        for schedule in ("strict", "auto"):
+            mesh = Mesh2D(3, 3)
+            network = PacketSwitchedNoC(mesh, frequency_hz=FREQUENCY_HZ, schedule=schedule)
+            gen = word_generator(BitFlipPattern.TYPICAL, seed=1)
+            network.add_stream("idle", (0, 0), (2, 2), gen, load=0.0)
+            network.run(500)
+            nets[schedule] = network
+        _assert_equivalent(nets["strict"], nets["auto"])
+
+
+class TestSingleStream:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        load=st.sampled_from([0.05, 0.3, 0.6, 1.0]),
+        seed=st.integers(min_value=0, max_value=2**16),
+        gating=st.booleans(),
+    )
+    def test_stream_over_line_is_identical(self, load, seed, gating):
+        nets = {}
+        for schedule in ("strict", "auto"):
+            mesh, network = _circuit_network(schedule, width=4, height=1, clock_gating=gating)
+            allocation = LaneAllocator(mesh).allocate("s", (0, 0), (3, 0), 100.0, FREQUENCY_HZ)
+            network.apply_allocation(allocation)
+            generator = word_generator(BitFlipPattern.TYPICAL, seed=seed)
+            network.add_stream("s", allocation, generator, load=load)
+            network.run(1200)
+            nets[schedule] = network
+        _assert_equivalent(nets["strict"], nets["auto"])
+        if load >= 0.3:
+            assert nets["auto"].streams["s"].words_received > 0
+
+    @settings(max_examples=6, deadline=None)
+    @given(load=st.sampled_from([0.1, 0.5, 1.0]), seed=st.integers(min_value=0, max_value=2**16))
+    def test_packet_stream_is_identical(self, load, seed):
+        nets = {}
+        for schedule in ("strict", "auto"):
+            mesh = Mesh2D(4, 2)
+            network = PacketSwitchedNoC(mesh, frequency_hz=FREQUENCY_HZ, schedule=schedule)
+            generator = word_generator(BitFlipPattern.TYPICAL, seed=seed)
+            network.add_stream("s", (0, 0), (3, 1), generator, load=load)
+            network.run(1200)
+            nets[schedule] = network
+        _assert_equivalent(nets["strict"], nets["auto"])
+
+
+class TestCrossingStreams:
+    def test_four_streams_through_center_router(self):
+        nets = {}
+        for schedule in ("strict", "auto"):
+            mesh, network = _circuit_network(schedule)
+            allocator = LaneAllocator(mesh)
+            pairs = [((0, 1), (2, 1)), ((2, 1), (0, 1)), ((1, 0), (1, 2)), ((1, 2), (1, 0))]
+            for index, (src, dst) in enumerate(pairs):
+                name = f"s{index}"
+                allocation = allocator.allocate(name, src, dst, 100.0, FREQUENCY_HZ)
+                network.apply_allocation(allocation)
+                generator = word_generator(BitFlipPattern.TYPICAL, seed=index)
+                network.add_stream(name, allocation, generator, load=0.8)
+            network.run(600)
+            nets[schedule] = network
+        _assert_equivalent(nets["strict"], nets["auto"])
+        for endpoint in nets["auto"].streams.values():
+            assert endpoint.words_received > 0
+
+
+class TestApplicationTraffic:
+    @pytest.mark.parametrize("app", [hiperlan2, umts], ids=["hiperlan2", "umts"])
+    def test_admitted_application_is_identical(self, app):
+        nets = {}
+        for schedule in ("strict", "auto"):
+            mesh = Mesh2D(4, 4)
+            ccn = CentralCoordinationNode(mesh, network_frequency_hz=FREQUENCY_HZ)
+            network = CircuitSwitchedNoC(mesh, frequency_hz=FREQUENCY_HZ, schedule=schedule)
+            admission = ccn.admit(app.build_process_graph(), network)
+            generator = word_generator(BitFlipPattern.TYPICAL, seed=42)
+            for allocation in admission.allocations:
+                network.add_stream(allocation.channel_name, allocation, generator, load=0.6)
+            network.run(800)
+            nets[schedule] = network
+        _assert_equivalent(nets["strict"], nets["auto"])
+        delivered = sum(s["received"] for s in nets["auto"].stream_statistics().values())
+        assert delivered > 0
+
+
+class TestMidRunReconfiguration:
+    def test_teardown_and_reroute_mid_run_is_identical(self):
+        """Configure a circuit, stream, tear it down mid-run, configure a new
+        one through different routers and stream again — the sequence every
+        CCN reconfiguration performs, exercising sleeping routers being woken
+        by configuration writes."""
+        nets = {}
+        for schedule in ("strict", "auto"):
+            mesh, network = _circuit_network(schedule)
+            allocator = LaneAllocator(mesh)
+            first = allocator.allocate("first", (0, 0), (2, 0), 100.0, FREQUENCY_HZ)
+            network.apply_allocation(first)
+            generator = word_generator(BitFlipPattern.TYPICAL, seed=9)
+            network.add_stream("first", first, generator, load=0.7)
+            network.run(400)
+
+            # Tear the first circuit down and route a second one elsewhere;
+            # the routers of row 2 were quiescent the whole first phase.
+            network.remove_allocation(first)
+            second = allocator.allocate("second", (0, 2), (2, 2), 100.0, FREQUENCY_HZ)
+            network.apply_allocation(second)
+            network.add_stream("second", second, generator, load=0.7)
+            network.run(400)
+            nets[schedule] = network
+        _assert_equivalent(nets["strict"], nets["auto"])
+        assert nets["auto"].streams["second"].words_received > 0
+
+
+class TestResetClearsWires:
+    def test_reset_mid_stream_leaves_no_stale_phits_on_links(self):
+        """The change-gated link drive must not let a pre-reset phit survive
+        kernel.reset(): the wires go back to idle with the registers."""
+        nets = {}
+        for schedule in ("strict", "auto"):
+            mesh, network = _circuit_network(schedule, width=3, height=1)
+            allocation = LaneAllocator(mesh).allocate("s", (0, 0), (2, 0), 100.0, FREQUENCY_HZ)
+            network.apply_allocation(allocation)
+            generator = word_generator(BitFlipPattern.TYPICAL, seed=4)
+            network.add_stream("s", allocation, generator, load=1.0)
+            network.run(37)  # mid-packet: phits are on the wires
+            network.kernel.reset()
+            for link in network.links.values():
+                assert link.idle()
+                assert not any(link.ack)
+            network.run(300)
+            nets[schedule] = network
+        _assert_equivalent(nets["strict"], nets["auto"])
+        assert nets["auto"].streams["s"].words_received > 0
+
+
+class TestGenericComponentsNeverSkipped:
+    def test_component_without_protocol_runs_every_cycle(self):
+        from repro.sim.engine import ClockedComponent, SimulationKernel
+
+        class Plain(ClockedComponent):
+            def __init__(self):
+                super().__init__("plain")
+                self.ticks = 0
+
+            def evaluate(self, cycle):
+                pass
+
+            def commit(self, cycle):
+                self.ticks += 1
+
+        kernel = SimulationKernel(schedule="auto")
+        component = kernel.add(Plain())
+        kernel.run(250)
+        assert component.ticks == 250
+        assert kernel.scheduler_stats.skipped == 0
