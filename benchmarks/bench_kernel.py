@@ -14,12 +14,16 @@ at the repository root::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py
 
+``--quick`` runs only the 8×8 low-occupancy scenario with fewer cycles and
+asserts ``identical_results`` without touching the JSON file (the CI smoke).
+
 Future PRs regress against that file: the 8×8 mesh at ≤25 % occupancy must
 stay ≥3× faster under ``auto`` than under ``strict``.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import math
 import time
@@ -124,7 +128,27 @@ def test_kernel_full_load_has_no_regression(once):
 # -- perf-trajectory file -------------------------------------------------------
 
 
+def quick_smoke() -> None:
+    """CI smoke: one 8×8 low-occupancy measurement, identical results required."""
+    row = run_benchmark(8, 0.25, 300)
+    print(
+        f"{row['mesh']} occ={row['occupancy']} speedup={row['speedup']}x "
+        f"identical={row['identical_results']}"
+    )
+    if not row["identical_results"]:
+        raise SystemExit("schedule results diverged — the kernel optimisation is unsound")
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="single fast scenario, assert identical_results, no JSON rewrite",
+    )
+    if parser.parse_args().quick:
+        quick_smoke()
+        return
     rows = run_all()
     payload = {
         "benchmark": "kernel",

@@ -11,7 +11,8 @@ The library provides, in pure Python:
   it is compared against, plus the Æthereal literature reference,
 * :mod:`repro.energy` — 0.13 µm area / timing / power models calibrated to the
   paper's Table 4 and used for Figures 9 and 10,
-* :mod:`repro.noc` — the multi-tile SoC substrate: 2-D mesh, heterogeneous
+* :mod:`repro.noc` — the multi-tile SoC substrate: pluggable topologies
+  (2-D mesh, torus, faulty-link meshes), table-driven routing, heterogeneous
   tiles, lane allocation, spatial mapping, best-effort configuration network
   and the Central Coordination Node,
 * :mod:`repro.apps` — the wireless applications that motivate the design
@@ -60,11 +61,16 @@ from repro.energy import (
 from repro.noc import (
     CentralCoordinationNode,
     CircuitSwitchedNoC,
+    IrregularMesh,
     LaneAllocator,
     Mesh2D,
     PacketSwitchedNoC,
+    RoutingTable,
     SpatialMapper,
     TileGrid,
+    Topology,
+    Torus2D,
+    build_network,
 )
 from repro.apps import BitFlipPattern, ProcessGraph, Scenario, SCENARIOS
 
@@ -91,11 +97,16 @@ __all__ = [
     "TSMC_130NM_LVHP",
     "CentralCoordinationNode",
     "CircuitSwitchedNoC",
+    "IrregularMesh",
     "LaneAllocator",
     "Mesh2D",
     "PacketSwitchedNoC",
+    "RoutingTable",
     "SpatialMapper",
     "TileGrid",
+    "Topology",
+    "Torus2D",
+    "build_network",
     "BitFlipPattern",
     "ProcessGraph",
     "Scenario",

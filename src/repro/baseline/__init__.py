@@ -18,7 +18,7 @@ from repro.baseline.flit import (
 )
 from repro.baseline.buffer import VirtualChannelBuffer
 from repro.baseline.link import PacketLink
-from repro.baseline.routing import path_ports, route_distance, xy_route
+from repro.baseline.routing import RouteFunction, path_ports, route_distance, xy_route
 from repro.baseline.arbiter import RoundRobinArbiter
 from repro.baseline.vc import InputVcState, OutputVcAllocator
 from repro.baseline.router import PacketSwitchedRouter, PacketTileInterface
@@ -41,6 +41,7 @@ __all__ = [
     "split_words",
     "VirtualChannelBuffer",
     "PacketLink",
+    "RouteFunction",
     "path_ports",
     "route_distance",
     "xy_route",

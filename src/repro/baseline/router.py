@@ -30,7 +30,7 @@ from repro.baseline.arbiter import RoundRobinArbiter
 from repro.baseline.buffer import VirtualChannelBuffer
 from repro.baseline.flit import FLIT_PAYLOAD_BITS, Flit, Packet, packetize
 from repro.baseline.link import PacketLink
-from repro.baseline.routing import xy_route
+from repro.baseline.routing import RouteFunction, xy_route
 from repro.baseline.vc import OutputVcAllocator, vc_state_table
 from repro.common import ALL_PORTS, NEIGHBOR_PORTS, ConfigurationError, Port, toggle_count
 from repro.energy.activity import ActivityCounters, ActivityKeys
@@ -125,6 +125,7 @@ class PacketSwitchedRouter(ClockedComponent):
         data_width: int = 16,
         words_per_packet: int = 16,
         tech: Technology = TSMC_130NM_LVHP,
+        route: Optional[RouteFunction] = None,
     ) -> None:
         super().__init__(name)
         if data_width != FLIT_PAYLOAD_BITS:
@@ -133,6 +134,9 @@ class PacketSwitchedRouter(ClockedComponent):
                 f"got data_width={data_width}"
             )
         self.position = position
+        #: Routing decision ``(current, dest) -> Port``; XY dimension order by
+        #: default, a topology-derived table when built by the fabric layer.
+        self.route: RouteFunction = route if route is not None else xy_route
         self.num_vcs = num_vcs
         self.fifo_depth = fifo_depth
         self.data_width = data_width
@@ -276,7 +280,7 @@ class PacketSwitchedRouter(ClockedComponent):
                 continue
             state = input_states[index]
             if flit.flit_type.is_head and state.out_port is None:
-                state.out_port = xy_route(self.position, flit.dest)
+                state.out_port = self.route(self.position, flit.dest)
             if state.out_port is not None and state.out_vc is None:
                 out_vc = self._port_allocators[state.out_port].try_allocate(input_index[index])
                 if out_vc is not None:

@@ -9,11 +9,16 @@ standard choice for this class of router.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Callable, Tuple
 
-from repro.common import Port
+from repro.common import Port, port_offset
 
-__all__ = ["xy_route", "route_distance", "path_ports"]
+__all__ = ["xy_route", "route_distance", "path_ports", "RouteFunction"]
+
+#: Shape of every routing decision function: ``(current, dest) -> Port``.
+#: ``xy_route`` is the mesh instance; topology-derived routing tables
+#: (:class:`repro.noc.routing.RoutingTable`) provide the generic one.
+RouteFunction = Callable[[Tuple[int, int], Tuple[int, int]], Port]
 
 
 def xy_route(current: Tuple[int, int], dest: Tuple[int, int]) -> Port:
@@ -36,26 +41,28 @@ def route_distance(src: Tuple[int, int], dest: Tuple[int, int]) -> int:
     return abs(src[0] - dest[0]) + abs(src[1] - dest[1])
 
 
-def path_ports(src: Tuple[int, int], dest: Tuple[int, int]) -> list[Port]:
-    """The sequence of output ports an XY-routed packet takes from *src* to *dest*.
+def path_ports(
+    src: Tuple[int, int],
+    dest: Tuple[int, int],
+    route: RouteFunction = xy_route,
+) -> list[Port]:
+    """The sequence of output ports a routed packet takes from *src* to *dest*.
 
     The final element is always :attr:`Port.TILE` (delivery at the destination
     router); useful for tests and for the best-effort configuration network.
+    Positions advance by coordinate offsets, so *route* must only emit ports
+    whose neighbour exists on an unbounded grid; wraparound or degraded
+    topologies should walk :meth:`repro.noc.routing.RoutingTable.path_ports`
+    instead.
     """
     ports: list[Port] = []
     position = src
     while position != dest:
-        port = xy_route(position, dest)
-        ports.append(port)
-        if port == Port.EAST:
-            position = (position[0] + 1, position[1])
-        elif port == Port.WEST:
-            position = (position[0] - 1, position[1])
-        elif port == Port.NORTH:
-            position = (position[0], position[1] + 1)
-        elif port == Port.SOUTH:
-            position = (position[0], position[1] - 1)
-        else:  # pragma: no cover - xy_route never returns TILE before arrival
+        port = route(position, dest)
+        if port is Port.TILE:  # pragma: no cover - routes never deliver early
             break
+        ports.append(port)
+        dx, dy = port_offset(port)
+        position = (position[0] + dx, position[1] + dy)
     ports.append(Port.TILE)
     return ports

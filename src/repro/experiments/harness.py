@@ -85,6 +85,64 @@ def _neighbor_position(position: tuple[int, int], port: Port) -> tuple[int, int]
     return (position[0] + dx, position[1] + dy)
 
 
+def _attach_neighbor_links(router, make_link):
+    """Attach a fresh rx/tx channel pair to every neighbour port of *router*.
+
+    ``make_link(name)`` builds one directed channel; returns the per-port
+    ``(rx, tx)`` pairs so drivers and consumers can hook onto them.
+    """
+    links = {}
+    for port in NEIGHBOR_PORTS:
+        rx = make_link(f"rx_{port.short_name}")
+        tx = make_link(f"tx_{port.short_name}")
+        router.attach_link(port, rx, tx)
+        links[port] = (rx, tx)
+    return links
+
+
+def _run_testbench(kernel: SimulationKernel, components, router, cycles: int) -> None:
+    """Register the endpoints (deduplicated) and the router, then run.
+
+    Several streams may share one physical consumer; registration
+    deduplicates by object identity.  The router is appended last so stream
+    pacing decisions see the router state committed in the same cycle.
+    """
+    seen: set[int] = set()
+    for component in components:
+        if id(component) in seen:
+            continue
+        seen.add(id(component))
+        kernel.add(component)
+    kernel.add(router)
+    kernel.run(cycles)
+
+
+def _scenario_result(
+    router_kind: str,
+    scenario: Scenario,
+    pattern: BitFlipPattern,
+    load: float,
+    frequency_hz: float,
+    cycles: int,
+    router,
+    drivers: Dict[int, object],
+) -> ScenarioRunResult:
+    """Assemble the common part of a scenario report (power, activity, sent words)."""
+    result = ScenarioRunResult(
+        router_kind=router_kind,
+        scenario=scenario.name,
+        pattern=pattern,
+        load=load,
+        frequency_hz=frequency_hz,
+        cycles=cycles,
+        power=router.power(frequency_hz, cycles),
+        activity=router.activity,
+    )
+    for stream_id, driver in drivers.items():
+        result.words_sent[stream_id] = driver.words_sent
+    return result
+
+
 def run_circuit_scenario(
     scenario: Scenario | str,
     pattern: BitFlipPattern = BitFlipPattern.TYPICAL,
@@ -100,13 +158,7 @@ def run_circuit_scenario(
         scenario = scenario_by_name(scenario)
     router = CircuitSwitchedRouter("dut", clock_gating=clock_gating, tech=tech)
     kernel = SimulationKernel(frequency_hz)
-
-    links: Dict[Port, tuple[LaneLink, LaneLink]] = {}
-    for port in NEIGHBOR_PORTS:
-        rx = LaneLink(f"rx_{port.short_name}")
-        tx = LaneLink(f"tx_{port.short_name}")
-        router.attach_link(port, rx, tx)
-        links[port] = (rx, tx)
+    links: Dict[Port, tuple[LaneLink, LaneLink]] = _attach_neighbor_links(router, LaneLink)
 
     drivers: Dict[int, object] = {}
     consumers: Dict[int, object] = {}
@@ -139,23 +191,11 @@ def run_circuit_scenario(
         consumers[stream.stream_id] = consumer
         components.extend([driver, consumer])
 
-    for component in components:
-        kernel.add(component)
-    kernel.add(router)
-    kernel.run(cycles)
+    _run_testbench(kernel, components, router, cycles)
 
-    result = ScenarioRunResult(
-        router_kind="circuit_switched",
-        scenario=scenario.name,
-        pattern=pattern,
-        load=load,
-        frequency_hz=frequency_hz,
-        cycles=cycles,
-        power=router.power(frequency_hz, cycles),
-        activity=router.activity,
+    result = _scenario_result(
+        "circuit_switched", scenario, pattern, load, frequency_hz, cycles, router, drivers
     )
-    for stream_id, driver in drivers.items():
-        result.words_sent[stream_id] = driver.words_sent
     for stream_id, consumer in consumers.items():
         result.words_received[stream_id] = consumer.words_received
     return result
@@ -179,13 +219,9 @@ def run_packet_scenario(
         "dut", position=position, words_per_packet=words_per_packet, tech=tech
     )
     kernel = SimulationKernel(frequency_hz)
-
-    links: Dict[Port, tuple[PacketLink, PacketLink]] = {}
-    for port in NEIGHBOR_PORTS:
-        rx = PacketLink(f"rx_{port.short_name}", router.num_vcs)
-        tx = PacketLink(f"tx_{port.short_name}", router.num_vcs)
-        router.attach_link(port, rx, tx)
-        links[port] = (rx, tx)
+    links: Dict[Port, tuple[PacketLink, PacketLink]] = _attach_neighbor_links(
+        router, lambda name: PacketLink(name, router.num_vcs)
+    )
 
     drivers: Dict[int, object] = {}
     consumers: Dict[int, object] = {}
@@ -235,54 +271,27 @@ def run_packet_scenario(
         consumers[stream.stream_id] = consumer
         components.extend([driver, consumer])
 
-    # Several streams may leave through the same output port; they share one
-    # physical consumer, so deduplicate by object identity before registering.
-    seen = set()
-    for component in components:
-        if id(component) in seen:
-            continue
-        seen.add(id(component))
-        kernel.add(component)
-    kernel.add(router)
-    kernel.run(cycles)
+    _run_testbench(kernel, components, router, cycles)
 
-    result = ScenarioRunResult(
-        router_kind="packet_switched",
-        scenario=scenario.name,
-        pattern=pattern,
-        load=load,
-        frequency_hz=frequency_hz,
-        cycles=cycles,
-        power=router.power(frequency_hz, cycles),
-        activity=router.activity,
+    result = _scenario_result(
+        "packet_switched", scenario, pattern, load, frequency_hz, cycles, router, drivers
     )
-    for stream_id, driver in drivers.items():
-        result.words_sent[stream_id] = driver.words_sent
-    # Per-stream delivery accounting: streams ending at the tile are counted at
-    # the tile interface; link consumers count words per link (streams sharing
-    # an output link are reported together under the lowest stream id).
-    link_totals: Dict[int, int] = {}
+    # Per-stream delivery accounting: streams ending at the tile are counted
+    # at the tile interface; streams sharing an output link share one physical
+    # consumer, whose total is attributed in equal shares (enough for the
+    # delivery sanity checks; power does not depend on it).
+    shared: Dict[int, List[int]] = {}
+    shared_consumers: Dict[int, PacketStreamConsumer] = {}
     for stream_id, consumer in consumers.items():
         if isinstance(consumer, TilePacketConsumer):
             result.words_received[stream_id] = consumer.words_received
         else:
-            link_totals[stream_id] = consumer.words_received
-    if link_totals:
-        shared: Dict[int, List[int]] = {}
-        for stream_id, consumer in consumers.items():
-            if isinstance(consumer, PacketStreamConsumer):
-                shared.setdefault(id(consumer), []).append(stream_id)
-        for consumer_id, stream_ids in shared.items():
-            total = next(
-                c.words_received
-                for c in consumers.values()
-                if isinstance(c, PacketStreamConsumer) and id(c) == consumer_id
-            )
-            # Attribute an equal share to each stream using the link (enough
-            # for the delivery sanity checks; power does not depend on it).
-            share = total // len(stream_ids)
-            for stream_id in stream_ids:
-                result.words_received[stream_id] = share
+            shared.setdefault(id(consumer), []).append(stream_id)
+            shared_consumers[id(consumer)] = consumer
+    for consumer_id, stream_ids in shared.items():
+        share = shared_consumers[consumer_id].words_received // len(stream_ids)
+        for stream_id in stream_ids:
+            result.words_received[stream_id] = share
     return result
 
 

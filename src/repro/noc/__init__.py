@@ -1,11 +1,18 @@
-"""Network-on-Chip substrate: mesh, tiles, networks, allocation and the CCN.
+"""Network-on-Chip substrate: topologies, tiles, networks, allocation and the CCN.
 
 This package assembles full multi-router systems from the router models:
 
-* :class:`~repro.noc.topology.Mesh2D` — the 2-D mesh of Section 1.1,
+* :mod:`repro.noc.topology` — the :class:`~repro.noc.topology.Topology`
+  protocol with the paper's :class:`~repro.noc.topology.Mesh2D` (Section 1.1)
+  plus :class:`~repro.noc.topology.Torus2D` (wraparound links) and
+  :class:`~repro.noc.topology.IrregularMesh` (faulty-link decorator),
+* :class:`~repro.noc.routing.RoutingTable` — table-driven routing derived
+  from the topology graph (XY dimension order on the mesh),
 * :class:`~repro.noc.tile.TileGrid` — the heterogeneous tiles of Fig. 1,
-* :class:`~repro.noc.network.CircuitSwitchedNoC` and
-  :class:`~repro.noc.packet_network.PacketSwitchedNoC` — complete
+* :class:`~repro.noc.fabric.NocBase` and
+  :func:`~repro.noc.fabric.build_network` — the topology-generic fabric layer
+  under :class:`~repro.noc.network.CircuitSwitchedNoC` and
+  :class:`~repro.noc.packet_network.PacketSwitchedNoC`, complete
   guaranteed-throughput networks built from either router,
 * :class:`~repro.noc.path_allocation.LaneAllocator` — lane-level circuit
   allocation,
@@ -15,7 +22,8 @@ This package assembles full multi-router systems from the router models:
   that ties all of the above together.
 """
 
-from repro.noc.topology import Mesh2D, Position
+from repro.noc.topology import IrregularMesh, Mesh2D, Position, Topology, Torus2D
+from repro.noc.routing import RoutingTable
 from repro.noc.tile import DEFAULT_TILE_PATTERN, ProcessingTile, TileGrid
 from repro.noc.path_allocation import (
     CircuitAllocation,
@@ -29,13 +37,18 @@ from repro.noc.be_network import (
     BestEffortParameters,
     ConfigurationDelivery,
 )
+from repro.noc.fabric import NocBase, build_network, network_kinds
 from repro.noc.network import CircuitSwitchedNoC, StreamEndpoints
 from repro.noc.packet_network import PacketStreamEndpoints, PacketSwitchedNoC
 from repro.noc.ccn import ApplicationAdmission, CentralCoordinationNode, FeasibilityReport
 
 __all__ = [
+    "Topology",
     "Mesh2D",
+    "Torus2D",
+    "IrregularMesh",
     "Position",
+    "RoutingTable",
     "DEFAULT_TILE_PATTERN",
     "ProcessingTile",
     "TileGrid",
@@ -48,6 +61,9 @@ __all__ = [
     "BestEffortNetwork",
     "BestEffortParameters",
     "ConfigurationDelivery",
+    "NocBase",
+    "build_network",
+    "network_kinds",
     "CircuitSwitchedNoC",
     "StreamEndpoints",
     "PacketStreamEndpoints",

@@ -30,7 +30,7 @@ from repro.noc.mapping import Mapping, SpatialMapper
 from repro.noc.network import CircuitSwitchedNoC
 from repro.noc.path_allocation import CircuitAllocation, LaneAllocator
 from repro.noc.tile import TileGrid
-from repro.noc.topology import Mesh2D, Position
+from repro.noc.topology import Position, Topology
 
 __all__ = ["FeasibilityReport", "ApplicationAdmission", "CentralCoordinationNode"]
 
@@ -73,18 +73,20 @@ class CentralCoordinationNode:
 
     def __init__(
         self,
-        mesh: Mesh2D,
+        topology: Topology,
         grid: Optional[TileGrid] = None,
         allocator: Optional[LaneAllocator] = None,
         be_network: Optional[BestEffortNetwork] = None,
         network_frequency_hz: float = 1075e6,
         ccn_position: Position = (0, 0),
     ) -> None:
-        self.mesh = mesh
-        self.grid = grid if grid is not None else TileGrid(mesh)
-        self.allocator = allocator if allocator is not None else LaneAllocator(mesh)
+        self.topology = topology
+        #: Backwards-compatible alias; the attribute predates non-mesh fabrics.
+        self.mesh = topology
+        self.grid = grid if grid is not None else TileGrid(topology)
+        self.allocator = allocator if allocator is not None else LaneAllocator(topology)
         self.be_network = (
-            be_network if be_network is not None else BestEffortNetwork(mesh, ccn_position)
+            be_network if be_network is not None else BestEffortNetwork(topology, ccn_position)
         )
         self.network_frequency_hz = network_frequency_hz
         self.mapper = SpatialMapper(self.grid)
@@ -96,10 +98,10 @@ class CentralCoordinationNode:
         """Check whether every GT channel can be carried by the available lanes."""
         capacity = self.allocator.lane_capacity_mbps(self.network_frequency_hz)
         report = FeasibilityReport(graph.name, True, capacity)
-        if len(graph.processes) > self.mesh.size:
+        if len(graph.processes) > self.topology.size:
             report.feasible = False
             report.problems.append(
-                f"{len(graph.processes)} processes exceed the {self.mesh.size} available tiles"
+                f"{len(graph.processes)} processes exceed the {self.topology.size} available tiles"
             )
         for channel in graph.channels:
             if channel.traffic_class != TrafficClass.GUARANTEED_THROUGHPUT:

@@ -1,0 +1,222 @@
+"""Topology-generic network fabric shared by every NoC kind.
+
+:class:`~repro.noc.network.CircuitSwitchedNoC` and
+:class:`~repro.noc.packet_network.PacketSwitchedNoC` assemble the same
+skeleton — one router per topology position, one directed link per topology
+edge, rx/tx bundles attached in pairs, routers registered with the simulation
+kernel, a stream registry and the power/area/activity/energy reporting the
+experiments read.  :class:`NocBase` owns that skeleton once; a concrete
+network only decides *which* router and link to build and how delivered words
+are counted.
+
+The :func:`build_network` factory constructs either network kind on any
+:class:`~repro.noc.topology.Topology` by name, which is what the topology
+benchmarks and tests use to sweep mesh/torus/degraded fabrics without caring
+about the concrete class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type, TypeVar
+
+from repro.common import ConfigurationError, ReproError
+from repro.energy.activity import ActivityCounters
+from repro.energy.power import PowerBreakdown
+from repro.energy.technology import TSMC_130NM_LVHP, Technology
+from repro.noc.topology import Position, Topology
+from repro.sim.engine import SimulationKernel
+
+__all__ = ["NocBase", "WordSource", "register_network_kind", "network_kinds", "build_network"]
+
+WordSource = Callable[[], int]
+
+
+class NocBase:
+    """A complete network on an arbitrary topology: routers, links, kernel.
+
+    Subclasses implement :meth:`_build_router` / :meth:`_build_link` (the two
+    construction decisions that differ between fabrics) and
+    :meth:`_stream_received` (how delivery is observed); everything else —
+    wiring, execution, statistics and the energy accounting of the mesh
+    experiments — is shared here.
+    """
+
+    #: Human-readable fabric kind, e.g. ``"circuit_switched"``.
+    kind: str = "abstract"
+    #: Name under which :meth:`merged_activity` folds the router counters.
+    activity_name: str = "network"
+
+    def __init__(
+        self,
+        topology: Topology,
+        frequency_hz: float,
+        data_width: int,
+        tech: Technology = TSMC_130NM_LVHP,
+        schedule: str = "auto",
+    ) -> None:
+        self.topology = topology
+        #: Backwards-compatible alias; the attribute predates non-mesh fabrics.
+        self.mesh = topology
+        self.frequency_hz = frequency_hz
+        self.data_width = data_width
+        self.tech = tech
+        self.kernel = SimulationKernel(frequency_hz, schedule=schedule)
+
+        self.routers: Dict[Position, Any] = {}
+        for position in topology.positions():
+            self.routers[position] = self._build_router(position)
+
+        # One directed link per topology edge.
+        self.links: Dict[Tuple[Position, Position], Any] = {}
+        for src, dst in topology.directed_links():
+            self.links[(src, dst)] = self._build_link(src, dst)
+
+        # Attach the links to the routers: the link (a -> b) is a's outgoing
+        # bundle on the port towards b, and b's incoming bundle on the
+        # opposite port.
+        for position, router in self.routers.items():
+            for port, neighbor in topology.neighbors(position).items():
+                tx = self.links[(position, neighbor)]
+                rx = self.links[(neighbor, position)]
+                router.attach_link(port, rx, tx)
+
+        # Streams are appended to the kernel after the routers so that their
+        # pacing decisions see the routers' committed state of the same cycle.
+        for router in self.routers.values():
+            self.kernel.add(router)
+
+        self.streams: Dict[str, Any] = {}
+
+    # -- construction hooks -----------------------------------------------------------
+
+    def _build_router(self, position: Position) -> Any:
+        """Create the router for *position* (registered and wired by the base)."""
+        raise NotImplementedError
+
+    def _build_link(self, src: Position, dst: Position) -> Any:
+        """Create the directed link channel from *src* to *dst*."""
+        raise NotImplementedError
+
+    def _stream_received(self, endpoints: Any) -> int:
+        """Words observed as delivered for one registered stream."""
+        raise NotImplementedError
+
+    # -- access ---------------------------------------------------------------------------
+
+    def router_at(self, position: Position) -> Any:
+        """The router at *position*."""
+        try:
+            return self.routers[position]
+        except KeyError:
+            raise ConfigurationError(f"no router at position {position}") from None
+
+    def link(self, src: Position, dst: Position) -> Any:
+        """The directed channel from *src* to *dst*."""
+        try:
+            return self.links[(src, dst)]
+        except KeyError:
+            raise ConfigurationError(f"no link from {src} to {dst}") from None
+
+    # -- execution ------------------------------------------------------------------------
+
+    def run(self, cycles: int) -> int:
+        """Advance the whole network by *cycles* clock cycles."""
+        return self.kernel.run(cycles)
+
+    def run_for_time(self, seconds: float) -> int:
+        """Advance the whole network by *seconds* of simulated time."""
+        return self.kernel.run_for_time(seconds)
+
+    # -- reporting --------------------------------------------------------------------------
+
+    def stream_statistics(self) -> Dict[str, Dict[str, int]]:
+        """Words sent / received per registered stream."""
+        return {
+            name: {"sent": ep.words_sent, "received": self._stream_received(ep)}
+            for name, ep in self.streams.items()
+        }
+
+    def total_power(self, frequency_hz: Optional[float] = None) -> PowerBreakdown:
+        """Aggregate power of all routers (links and tiles excluded, as in the paper)."""
+        frequency = frequency_hz if frequency_hz is not None else self.frequency_hz
+        return PowerBreakdown.total_of(
+            router.power(frequency) for router in self.routers.values()
+        )
+
+    def router_power(self, position: Position, frequency_hz: Optional[float] = None) -> PowerBreakdown:
+        """Power of the single router at *position*."""
+        frequency = frequency_hz if frequency_hz is not None else self.frequency_hz
+        return self.router_at(position).power(frequency)
+
+    def merged_activity(self) -> ActivityCounters:
+        """Activity counters of all routers folded together."""
+        return ActivityCounters.merged(
+            (router.activity for router in self.routers.values()), name=self.activity_name
+        )
+
+    def total_area_mm2(self) -> float:
+        """Total router area of the network (Table 4 per-router area × routers)."""
+        return sum(router.total_area_mm2 for router in self.routers.values())
+
+    def energy_per_delivered_bit_pj(self, frequency_hz: Optional[float] = None) -> float:
+        """Average network energy per delivered payload bit (mesh experiments)."""
+        frequency = frequency_hz if frequency_hz is not None else self.frequency_hz
+        delivered_bits = sum(
+            self._stream_received(ep) for ep in self.streams.values()
+        ) * self.data_width
+        if delivered_bits == 0:
+            return float("inf")
+        duration_s = self.kernel.cycle / frequency
+        power = self.total_power(frequency)
+        return power.total_uw * duration_s * 1e6 / delivered_bits
+
+
+# ---------------------------------------------------------------------------
+# Factory registry
+# ---------------------------------------------------------------------------
+
+_NETWORK_KINDS: Dict[str, Type[NocBase]] = {}
+
+N = TypeVar("N", bound=Type[NocBase])
+
+
+def register_network_kind(*names: str) -> Callable[[N], N]:
+    """Class decorator registering a network under one or more kind names."""
+
+    def decorator(cls: N) -> N:
+        for name in names:
+            _NETWORK_KINDS[name.lower()] = cls
+        return cls
+
+    return decorator
+
+
+def _ensure_registered() -> None:
+    # The concrete networks register themselves at import time; importing
+    # them lazily here keeps fabric <- network dependencies one-directional.
+    import repro.noc.network  # noqa: F401
+    import repro.noc.packet_network  # noqa: F401
+
+
+def network_kinds() -> List[str]:
+    """All registered kind names, sorted (aliases included)."""
+    _ensure_registered()
+    return sorted(_NETWORK_KINDS)
+
+
+def build_network(kind: str, topology: Topology, **params: Any) -> NocBase:
+    """Construct a network of *kind* on *topology*.
+
+    ``kind`` accepts the canonical names and the short aliases used by
+    :func:`repro.experiments.harness.run_scenario` (``circuit``,
+    ``circuit_switched``, ``cs``, ``packet``, ``packet_switched``, ``ps``);
+    ``params`` are forwarded to the network constructor.
+    """
+    _ensure_registered()
+    try:
+        cls = _NETWORK_KINDS[kind.lower()]
+    except KeyError:
+        raise ReproError(
+            f"unknown network kind {kind!r}; available: {', '.join(sorted(_NETWORK_KINDS))}"
+        ) from None
+    return cls(topology, **params)

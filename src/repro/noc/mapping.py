@@ -7,7 +7,9 @@ followed by a local-search improvement pass:
 
 1. processes are placed in order of decreasing attached communication
    bandwidth, each on the type-compatible free tile that minimises the
-   bandwidth-weighted hop count to the already placed neighbours;
+   bandwidth-weighted hop count to the already placed neighbours (hop counts
+   come from the topology's own metric, so wraparound links and degraded
+   meshes are priced correctly);
 2. pairwise swaps are then applied while they reduce the total
    bandwidth × hops cost.
 
@@ -58,7 +60,7 @@ class SpatialMapper:
 
     def __init__(self, grid: TileGrid) -> None:
         self.grid = grid
-        self.mesh = grid.mesh
+        self.mesh = grid.topology
 
     # -- cost model ----------------------------------------------------------------
 
@@ -69,7 +71,7 @@ class SpatialMapper:
             dst = placement.get(channel.dst)
             if src is None or dst is None:
                 continue
-            total += channel.bandwidth_mbps * self.mesh.manhattan_distance(src, dst)
+            total += channel.bandwidth_mbps * self.mesh.distance(src, dst)
         return total
 
     def _placement_order(self, graph: ProcessGraph) -> List[Process]:

@@ -1,33 +1,31 @@
-"""The circuit-switched Network-on-Chip: a mesh of routers, links and tiles.
+"""The circuit-switched Network-on-Chip: routers, links and tiles on a topology.
 
 This is the guaranteed-throughput network of Section 5 assembled from the
 building blocks of :mod:`repro.core`: one
-:class:`~repro.core.router.CircuitSwitchedRouter` per mesh position,
+:class:`~repro.core.router.CircuitSwitchedRouter` per topology position,
 :class:`~repro.core.lane.LaneLink` bundles between neighbours, and word-level
 stream endpoints at the tile interfaces.  The CCN configures circuits through
 :meth:`CircuitSwitchedNoC.apply_allocation`; application traffic is attached
-with :meth:`CircuitSwitchedNoC.add_stream`.
+with :meth:`CircuitSwitchedNoC.add_stream`.  Construction, wiring and the
+reporting surface live in :class:`~repro.noc.fabric.NocBase`, so the same
+network builds on the paper's mesh, a torus or a degraded mesh.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Optional
 
-from repro.common import ConfigurationError, Port
+from repro.common import ConfigurationError
 from repro.core.lane import LaneLink
 from repro.core.router import CircuitSwitchedRouter
 from repro.core.testbench import TileStreamConsumer, TileStreamDriver
-from repro.energy.activity import ActivityCounters
-from repro.energy.power import PowerBreakdown, PowerModel
 from repro.energy.technology import TSMC_130NM_LVHP, Technology
+from repro.noc.fabric import NocBase, WordSource, register_network_kind
 from repro.noc.path_allocation import CircuitAllocation, LaneCircuit
-from repro.noc.topology import Mesh2D, Position
-from repro.sim.engine import SimulationKernel
+from repro.noc.topology import Position, Topology
 
 __all__ = ["StreamEndpoints", "CircuitSwitchedNoC"]
-
-WordSource = Callable[[], int]
 
 
 @dataclass
@@ -50,12 +48,16 @@ class StreamEndpoints:
         return self.sink.words_received if self.sink is not None else 0
 
 
-class CircuitSwitchedNoC:
-    """A complete circuit-switched mesh network."""
+@register_network_kind("circuit", "circuit_switched", "cs")
+class CircuitSwitchedNoC(NocBase):
+    """A complete circuit-switched network on any topology."""
+
+    kind = "circuit_switched"
+    activity_name = "network"
 
     def __init__(
         self,
-        mesh: Mesh2D,
+        topology: Topology,
         frequency_hz: float = 25e6,
         lanes_per_port: int = 4,
         lane_width: int = 4,
@@ -64,65 +66,37 @@ class CircuitSwitchedNoC:
         tech: Technology = TSMC_130NM_LVHP,
         schedule: str = "auto",
     ) -> None:
-        self.mesh = mesh
-        self.frequency_hz = frequency_hz
         self.lanes_per_port = lanes_per_port
         self.lane_width = lane_width
-        self.data_width = data_width
-        self.tech = tech
-        self.kernel = SimulationKernel(frequency_hz, schedule=schedule)
+        self.clock_gating = clock_gating
+        super().__init__(
+            topology,
+            frequency_hz=frequency_hz,
+            data_width=data_width,
+            tech=tech,
+            schedule=schedule,
+        )
 
-        self.routers: Dict[Position, CircuitSwitchedRouter] = {}
-        for position in mesh.positions():
-            router = CircuitSwitchedRouter(
-                mesh.router_name(position),
-                lanes_per_port=lanes_per_port,
-                lane_width=lane_width,
-                data_width=data_width,
-                position=position,
-                clock_gating=clock_gating,
-                tech=tech,
-            )
-            self.routers[position] = router
+    # -- construction hooks -----------------------------------------------------------
 
-        # One LaneLink per directed mesh link.
-        self.links: Dict[Tuple[Position, Position], LaneLink] = {}
-        for src, dst in mesh.directed_links():
-            self.links[(src, dst)] = LaneLink(
-                f"lane_{src[0]}_{src[1]}__{dst[0]}_{dst[1]}", lanes_per_port, lane_width
-            )
+    def _build_router(self, position: Position) -> CircuitSwitchedRouter:
+        return CircuitSwitchedRouter(
+            self.topology.router_name(position),
+            lanes_per_port=self.lanes_per_port,
+            lane_width=self.lane_width,
+            data_width=self.data_width,
+            position=position,
+            clock_gating=self.clock_gating,
+            tech=self.tech,
+        )
 
-        # Attach the links to the routers: the link (a -> b) is a's outgoing
-        # bundle on the port towards b, and b's incoming bundle on the
-        # opposite port.
-        for position, router in self.routers.items():
-            for port, neighbor in mesh.neighbors(position).items():
-                tx = self.links[(position, neighbor)]
-                rx = self.links[(neighbor, position)]
-                router.attach_link(port, rx, tx)
+    def _build_link(self, src: Position, dst: Position) -> LaneLink:
+        return LaneLink(
+            f"lane_{src[0]}_{src[1]}__{dst[0]}_{dst[1]}", self.lanes_per_port, self.lane_width
+        )
 
-        # Streams are appended to the kernel after the routers so that their
-        # pacing decisions see the routers' committed state of the same cycle.
-        for router in self.routers.values():
-            self.kernel.add(router)
-
-        self.streams: Dict[str, StreamEndpoints] = {}
-
-    # -- access ---------------------------------------------------------------------------
-
-    def router_at(self, position: Position) -> CircuitSwitchedRouter:
-        """The router at *position*."""
-        try:
-            return self.routers[position]
-        except KeyError:
-            raise ConfigurationError(f"no router at position {position}") from None
-
-    def link(self, src: Position, dst: Position) -> LaneLink:
-        """The directed lane bundle from *src* to *dst*."""
-        try:
-            return self.links[(src, dst)]
-        except KeyError:
-            raise ConfigurationError(f"no link from {src} to {dst}") from None
+    def _stream_received(self, endpoints: StreamEndpoints) -> int:
+        return endpoints.words_received
 
     # -- configuration -----------------------------------------------------------------------
 
@@ -190,55 +164,3 @@ class CircuitSwitchedNoC:
         endpoints = StreamEndpoints(name, driver, sink, allocation)
         self.streams[name] = endpoints
         return endpoints
-
-    # -- execution ------------------------------------------------------------------------------
-
-    def run(self, cycles: int) -> int:
-        """Advance the whole network by *cycles* clock cycles."""
-        return self.kernel.run(cycles)
-
-    def run_for_time(self, seconds: float) -> int:
-        """Advance the whole network by *seconds* of simulated time."""
-        return self.kernel.run_for_time(seconds)
-
-    # -- reporting --------------------------------------------------------------------------------
-
-    def stream_statistics(self) -> Dict[str, Dict[str, int]]:
-        """Words sent / received per registered stream."""
-        return {
-            name: {"sent": ep.words_sent, "received": ep.words_received}
-            for name, ep in self.streams.items()
-        }
-
-    def total_power(self, frequency_hz: Optional[float] = None) -> PowerBreakdown:
-        """Aggregate power of all routers (links and tiles excluded, as in the paper)."""
-        frequency = frequency_hz if frequency_hz is not None else self.frequency_hz
-        return PowerBreakdown.total_of(
-            router.power(frequency) for router in self.routers.values()
-        )
-
-    def router_power(self, position: Position, frequency_hz: Optional[float] = None) -> PowerBreakdown:
-        """Power of the single router at *position*."""
-        frequency = frequency_hz if frequency_hz is not None else self.frequency_hz
-        return self.router_at(position).power(frequency)
-
-    def merged_activity(self) -> ActivityCounters:
-        """Activity counters of all routers folded together."""
-        return ActivityCounters.merged(
-            (router.activity for router in self.routers.values()), name="network"
-        )
-
-    def total_area_mm2(self) -> float:
-        """Total router area of the network (Table 4 per-router area × routers)."""
-        return sum(router.total_area_mm2 for router in self.routers.values())
-
-    def energy_per_delivered_bit_pj(self, frequency_hz: Optional[float] = None) -> float:
-        """Average network energy per delivered payload bit (mesh experiments)."""
-        frequency = frequency_hz if frequency_hz is not None else self.frequency_hz
-        delivered_bits = sum(ep.words_received for ep in self.streams.values()) * self.data_width
-        if delivered_bits == 0:
-            return float("inf")
-        cycles = self.kernel.cycle
-        duration_s = cycles / frequency
-        power = self.total_power(frequency)
-        return power.total_uw * duration_s * 1e6 / delivered_bits

@@ -1,31 +1,31 @@
 """The packet-switched Network-on-Chip used as the paper's system-level baseline.
 
-Structurally the twin of :class:`repro.noc.network.CircuitSwitchedNoC`, but
-built from :class:`~repro.baseline.router.PacketSwitchedRouter` instances and
+The fabric twin of :class:`repro.noc.network.CircuitSwitchedNoC` — both share
+:class:`~repro.noc.fabric.NocBase` — but built from
+:class:`~repro.baseline.router.PacketSwitchedRouter` instances and
 :class:`~repro.baseline.link.PacketLink` channels.  No circuit configuration
-is needed — packets find their way with XY routing — which is the flexibility
-the paper acknowledges the packet-switched approach keeps, at the cost of
-buffering and arbitration energy.
+is needed — packets find their way with the topology's routing table
+(dimension-order XY on the paper's mesh, shortest-path tables on a torus or
+degraded mesh) — which is the flexibility the paper acknowledges the
+packet-switched approach keeps, at the cost of buffering and arbitration
+energy.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Optional
 
 from repro.baseline.link import PacketLink
 from repro.baseline.router import PacketSwitchedRouter
 from repro.baseline.testbench import TilePacketDriver
 from repro.common import ConfigurationError
-from repro.energy.activity import ActivityCounters
-from repro.energy.power import PowerBreakdown
 from repro.energy.technology import TSMC_130NM_LVHP, Technology
-from repro.noc.topology import Mesh2D, Position
-from repro.sim.engine import SimulationKernel
+from repro.noc.fabric import NocBase, WordSource, register_network_kind
+from repro.noc.routing import RoutingTable
+from repro.noc.topology import Position, Topology
 
 __all__ = ["PacketStreamEndpoints", "PacketSwitchedNoC"]
-
-WordSource = Callable[[], int]
 
 
 @dataclass
@@ -43,12 +43,16 @@ class PacketStreamEndpoints:
         return self.source.words_sent
 
 
-class PacketSwitchedNoC:
-    """A complete packet-switched mesh network."""
+@register_network_kind("packet", "packet_switched", "ps")
+class PacketSwitchedNoC(NocBase):
+    """A complete packet-switched network on any topology."""
+
+    kind = "packet_switched"
+    activity_name = "packet_network"
 
     def __init__(
         self,
-        mesh: Mesh2D,
+        topology: Topology,
         frequency_hz: float = 25e6,
         num_vcs: int = 4,
         fifo_depth: int = 8,
@@ -57,53 +61,38 @@ class PacketSwitchedNoC:
         tech: Technology = TSMC_130NM_LVHP,
         schedule: str = "auto",
     ) -> None:
-        self.mesh = mesh
-        self.frequency_hz = frequency_hz
         self.num_vcs = num_vcs
         self.fifo_depth = fifo_depth
-        self.data_width = data_width
         self.words_per_packet = words_per_packet
-        self.tech = tech
-        self.kernel = SimulationKernel(frequency_hz, schedule=schedule)
+        #: Per-router next-hop decisions, derived once from the topology.
+        self.routing = RoutingTable(topology)
+        super().__init__(
+            topology,
+            frequency_hz=frequency_hz,
+            data_width=data_width,
+            tech=tech,
+            schedule=schedule,
+        )
 
-        self.routers: Dict[Position, PacketSwitchedRouter] = {}
-        for position in mesh.positions():
-            router = PacketSwitchedRouter(
-                f"ps_{mesh.router_name(position)}",
-                position=position,
-                num_vcs=num_vcs,
-                fifo_depth=fifo_depth,
-                data_width=data_width,
-                words_per_packet=words_per_packet,
-                tech=tech,
-            )
-            self.routers[position] = router
+    # -- construction hooks -----------------------------------------------------------
 
-        self.links: Dict[Tuple[Position, Position], PacketLink] = {}
-        for src, dst in mesh.directed_links():
-            self.links[(src, dst)] = PacketLink(
-                f"pkt_{src[0]}_{src[1]}__{dst[0]}_{dst[1]}", num_vcs
-            )
+    def _build_router(self, position: Position) -> PacketSwitchedRouter:
+        return PacketSwitchedRouter(
+            f"ps_{self.topology.router_name(position)}",
+            position=position,
+            num_vcs=self.num_vcs,
+            fifo_depth=self.fifo_depth,
+            data_width=self.data_width,
+            words_per_packet=self.words_per_packet,
+            tech=self.tech,
+            route=self.routing.port_for,
+        )
 
-        for position, router in self.routers.items():
-            for port, neighbor in mesh.neighbors(position).items():
-                tx = self.links[(position, neighbor)]
-                rx = self.links[(neighbor, position)]
-                router.attach_link(port, rx, tx)
+    def _build_link(self, src: Position, dst: Position) -> PacketLink:
+        return PacketLink(f"pkt_{src[0]}_{src[1]}__{dst[0]}_{dst[1]}", self.num_vcs)
 
-        for router in self.routers.values():
-            self.kernel.add(router)
-
-        self.streams: Dict[str, PacketStreamEndpoints] = {}
-
-    # -- access -----------------------------------------------------------------------------
-
-    def router_at(self, position: Position) -> PacketSwitchedRouter:
-        """The router at *position*."""
-        try:
-            return self.routers[position]
-        except KeyError:
-            raise ConfigurationError(f"no router at position {position}") from None
+    def _stream_received(self, endpoints: PacketStreamEndpoints) -> int:
+        return self.words_received_at(endpoints.dst, endpoints.src)
 
     # -- traffic -----------------------------------------------------------------------------
 
@@ -120,8 +109,8 @@ class PacketSwitchedNoC:
         if name in self.streams:
             raise ConfigurationError(f"stream {name!r} already exists")
         for position in (src, dst):
-            if not self.mesh.contains(position):
-                raise ConfigurationError(f"position {position} is outside the mesh")
+            if not self.topology.contains(position):
+                raise ConfigurationError(f"position {position} is outside the topology")
         if vc is None:
             vc = len(self.streams) % self.num_vcs
         driver = TilePacketDriver(
@@ -138,17 +127,7 @@ class PacketSwitchedNoC:
         self.streams[name] = endpoints
         return endpoints
 
-    # -- execution ------------------------------------------------------------------------------
-
-    def run(self, cycles: int) -> int:
-        """Advance the whole network by *cycles* clock cycles."""
-        return self.kernel.run(cycles)
-
-    def run_for_time(self, seconds: float) -> int:
-        """Advance the whole network by *seconds* of simulated time."""
-        return self.kernel.run_for_time(seconds)
-
-    # -- reporting --------------------------------------------------------------------------------
+    # -- reporting --------------------------------------------------------------------------
 
     def words_received_at(self, position: Position, src: Optional[Position] = None) -> int:
         """Payload words delivered to the tile at *position* (optionally from *src* only)."""
@@ -156,42 +135,3 @@ class PacketSwitchedNoC:
         if src is None:
             return tile.words_received
         return sum(len(p.words) for p in tile.received_packets if p.src == src)
-
-    def stream_statistics(self) -> Dict[str, Dict[str, int]]:
-        """Words sent / received per registered stream."""
-        return {
-            name: {
-                "sent": ep.words_sent,
-                "received": self.words_received_at(ep.dst, ep.src),
-            }
-            for name, ep in self.streams.items()
-        }
-
-    def total_power(self, frequency_hz: Optional[float] = None) -> PowerBreakdown:
-        """Aggregate power of all routers."""
-        frequency = frequency_hz if frequency_hz is not None else self.frequency_hz
-        return PowerBreakdown.total_of(
-            router.power(frequency) for router in self.routers.values()
-        )
-
-    def merged_activity(self) -> ActivityCounters:
-        """Activity counters of all routers folded together."""
-        return ActivityCounters.merged(
-            (router.activity for router in self.routers.values()), name="packet_network"
-        )
-
-    def total_area_mm2(self) -> float:
-        """Total router area of the network."""
-        return sum(router.total_area_mm2 for router in self.routers.values())
-
-    def energy_per_delivered_bit_pj(self, frequency_hz: Optional[float] = None) -> float:
-        """Average network energy per delivered payload bit (mesh experiments)."""
-        frequency = frequency_hz if frequency_hz is not None else self.frequency_hz
-        delivered_bits = sum(
-            self.words_received_at(ep.dst, ep.src) for ep in self.streams.values()
-        ) * self.data_width
-        if delivered_bits == 0:
-            return float("inf")
-        duration_s = self.kernel.cycle / frequency
-        power = self.total_power(frequency)
-        return power.total_uw * duration_s * 1e6 / delivered_bits

@@ -24,7 +24,7 @@ import networkx as nx
 
 from repro.common import AllocationError, Port, opposite_port
 from repro.core.header import phits_per_packet
-from repro.noc.topology import Mesh2D, Position
+from repro.noc.topology import Position, Topology
 
 __all__ = ["LaneHop", "LaneCircuit", "CircuitAllocation", "LaneAllocator"]
 
@@ -98,33 +98,40 @@ class CircuitAllocation:
 
 
 class LaneAllocator:
-    """Tracks free lanes and allocates circuits on a 2-D mesh."""
+    """Tracks free lanes and allocates circuits on any topology.
+
+    The allocator works purely on the topology's directed-link graph, so the
+    same code routes circuits over the paper's mesh, across a torus
+    wraparound link, or around the missing links of a degraded mesh.
+    """
 
     def __init__(
         self,
-        mesh: Mesh2D,
+        topology: Topology,
         lanes_per_link: int = 4,
         lane_width: int = 4,
         data_width: int = 16,
     ) -> None:
         if lanes_per_link < 1:
             raise ValueError("lanes_per_link must be positive")
-        self.mesh = mesh
+        self.topology = topology
+        #: Backwards-compatible alias; the attribute predates non-mesh fabrics.
+        self.mesh = topology
         self.lanes_per_link = lanes_per_link
         self.lane_width = lane_width
         self.data_width = data_width
         all_lanes = set(range(lanes_per_link))
         #: Free lanes of every directed router-to-router link.
         self._free_link_lanes: Dict[Tuple[Position, Position], Set[int]] = {
-            link: set(all_lanes) for link in mesh.directed_links()
+            link: set(all_lanes) for link in topology.directed_links()
         }
         #: Free tile-port input lanes (tile → network) per router.
         self._free_tile_tx: Dict[Position, Set[int]] = {
-            pos: set(all_lanes) for pos in mesh.positions()
+            pos: set(all_lanes) for pos in topology.positions()
         }
         #: Free tile-port output lanes (network → tile) per router.
         self._free_tile_rx: Dict[Position, Set[int]] = {
-            pos: set(all_lanes) for pos in mesh.positions()
+            pos: set(all_lanes) for pos in topology.positions()
         }
         self._allocations: Dict[str, CircuitAllocation] = {}
 
@@ -158,7 +165,7 @@ class LaneAllocator:
         try:
             return len(self._free_link_lanes[(src, dst)])
         except KeyError:
-            raise AllocationError(f"no link from {src} to {dst} in the mesh") from None
+            raise AllocationError(f"no link from {src} to {dst} in the topology") from None
 
     def allocation(self, channel_name: str) -> CircuitAllocation:
         """The allocation previously made for *channel_name*."""
@@ -182,7 +189,7 @@ class LaneAllocator:
 
     def _route(self, src: Position, dst: Position, lanes_needed: int) -> List[Position]:
         graph = nx.DiGraph()
-        for position in self.mesh.positions():
+        for position in self.topology.positions():
             graph.add_node(position)
         for (a, b), free in self._free_link_lanes.items():
             if len(free) >= lanes_needed:
@@ -210,8 +217,8 @@ class LaneAllocator:
         if channel_name in self._allocations:
             raise AllocationError(f"channel {channel_name!r} is already allocated")
         for position in (src, dst):
-            if not self.mesh.contains(position):
-                raise AllocationError(f"position {position} is outside the mesh")
+            if not self.topology.contains(position):
+                raise AllocationError(f"position {position} is outside the topology")
 
         allocation = CircuitAllocation(channel_name, src, dst, bandwidth_mbps)
         if src == dst:
@@ -264,13 +271,13 @@ class LaneAllocator:
                         in_port, in_lane = Port.TILE, tile_tx_lane
                     else:
                         previous = route[hop_index - 1]
-                        in_port = opposite_port(self.mesh.port_towards(previous, position))
+                        in_port = opposite_port(self.topology.port_towards(previous, position))
                         in_lane = link_lanes[hop_index - 1]
                     if hop_index == len(route) - 1:
                         out_port, out_lane = Port.TILE, tile_rx_lane
                     else:
                         following = route[hop_index + 1]
-                        out_port = self.mesh.port_towards(position, following)
+                        out_port = self.topology.port_towards(position, following)
                         out_lane = link_lanes[hop_index]
                     hops.append(LaneHop(position, in_port, in_lane, out_port, out_lane))
 

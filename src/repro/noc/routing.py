@@ -1,0 +1,135 @@
+"""Table-driven routing derived from a topology graph.
+
+The packet-switched baseline and the best-effort configuration network both
+need an answer to "which output port leads from here towards there?".  On the
+paper's mesh that answer is XY dimension-order routing; on a torus or a
+degraded mesh coordinate arithmetic no longer works, so this module
+precomputes a per-router routing table from the topology graph instead:
+
+* on a plain :class:`~repro.noc.topology.Mesh2D` the table *is* dimension
+  order (delegating to :func:`repro.baseline.routing.xy_route`), keeping the
+  paper's routing — and every activity counter downstream of it —
+  bit-identical to the hard-coded arithmetic it replaces;
+* on any other topology a breadth-first search per destination yields
+  deterministic shortest-path next hops (ties broken in
+  :data:`~repro.common.NEIGHBOR_PORTS` order), which follow wraparound links
+  on a torus and route around missing links on an irregular mesh.
+
+Routers consume the table through :meth:`RoutingTable.port_for`, which has
+the same ``(current, dest) -> Port`` shape as ``xy_route``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+from repro.baseline.routing import xy_route
+from repro.common import ConfigurationError, Port
+from repro.noc.topology import Mesh2D, Position, Topology
+
+__all__ = ["RoutingTable"]
+
+
+class RoutingTable:
+    """Precomputed destination → output-port tables for one topology.
+
+    Deterministic and minimal: every entry sends a packet one hop closer to
+    its destination, so table-driven routes are shortest paths and loop-free
+    by construction.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        #: Plain meshes keep the paper's XY dimension-order routing verbatim.
+        self._dimension_order = type(topology) is Mesh2D
+        # Per-destination tables, built lazily on first query so that a
+        # network only pays for the destinations its traffic actually uses.
+        self._next_port: Dict[Position, Dict[Position, Port]] = {}
+        self._hops: Dict[Position, Dict[Position, int]] = {}
+
+    def _build_table(self, destination: Position) -> None:
+        """Breadth-first search towards *destination* over the symmetric links."""
+        topology = self.topology
+        hops: Dict[Position, int] = {destination: 0}
+        ports: Dict[Position, Port] = {}
+        frontier = deque([destination])
+        while frontier:
+            via = frontier.popleft()
+            for port, node in topology.neighbors(via).items():
+                # The reverse edge node -> via exists because links are
+                # symmetric; the first discovery wins, which makes the
+                # tie-break the BFS visit order (stable and deterministic).
+                if node not in hops:
+                    hops[node] = hops[via] + 1
+                    ports[node] = topology.port_towards(node, via)
+                    frontier.append(node)
+        self._hops[destination] = hops
+        self._next_port[destination] = ports
+
+    def _table(self, destination: Position) -> Dict[Position, Port]:
+        if destination not in self._next_port:
+            if not self.topology.contains(destination):
+                raise ConfigurationError(f"destination {destination} is outside the topology")
+            self._build_table(destination)
+        return self._next_port[destination]
+
+    # -- queries ---------------------------------------------------------------------
+
+    def port_for(self, current: Position, dest: Position) -> Port:
+        """Output port chosen at *current* for traffic heading to *dest*.
+
+        Returns :attr:`Port.TILE` on arrival, mirroring ``xy_route``.
+        """
+        if current == dest:
+            return Port.TILE
+        if self._dimension_order:
+            return xy_route(current, dest)
+        try:
+            return self._table(dest)[current]
+        except KeyError:
+            raise ConfigurationError(f"no route from {current} to {dest}") from None
+
+    def distance(self, src: Position, dest: Position) -> int:
+        """Number of router-to-router hops from *src* to *dest*."""
+        if self._dimension_order:
+            return self.topology.distance(src, dest)
+        self._table(dest)
+        try:
+            return self._hops[dest][src]
+        except KeyError:
+            raise ConfigurationError(f"no route from {src} to {dest}") from None
+
+    def distances_from(self, source: Position) -> Dict[Position, int]:
+        """Hop distances from *source* to every reachable position.
+
+        The protocol guarantees symmetric links, so the distances *towards*
+        *source* that its table records equal the distances *from* it; one
+        breadth-first search serves the whole map (the best-effort network's
+        latency model reads it once per CCN placement).
+        """
+        if source not in self._hops:
+            if not self.topology.contains(source):
+                raise ConfigurationError(f"position {source} is outside the topology")
+            self._build_table(source)
+        return self._hops[source]
+
+    def path_positions(self, src: Position, dest: Position) -> List[Position]:
+        """The router positions a packet visits from *src* to *dest*, inclusive."""
+        positions = [src]
+        current = src
+        while current != dest:
+            port = self.port_for(current, dest)
+            following = self.topology.neighbor(current, port)
+            if following is None:  # pragma: no cover - tables only use live links
+                raise ConfigurationError(f"routing table points at a missing link at {current}")
+            positions.append(following)
+            current = following
+        return positions
+
+    def path_ports(self, src: Position, dest: Position) -> List[Port]:
+        """Output ports taken from *src* to *dest*, ending with :attr:`Port.TILE`."""
+        positions = self.path_positions(src, dest)
+        ports = [self.topology.port_towards(a, b) for a, b in zip(positions, positions[1:])]
+        ports.append(Port.TILE)
+        return ports

@@ -15,7 +15,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.apps.kpn import Process, TileType
 from repro.common import MappingError
-from repro.noc.topology import Mesh2D, Position
+from repro.noc.topology import Position, Topology
 
 __all__ = ["ProcessingTile", "TileGrid", "DEFAULT_TILE_PATTERN"]
 
@@ -71,21 +71,23 @@ class ProcessingTile:
 
 
 class TileGrid:
-    """The tiles of a mesh, with their types and occupancy."""
+    """The tiles of a topology, with their types and occupancy."""
 
     def __init__(
         self,
-        mesh: Mesh2D,
+        topology: Topology,
         pattern: Optional[Iterable[TileType]] = None,
         overrides: Optional[Dict[Position, TileType]] = None,
     ) -> None:
-        self.mesh = mesh
+        self.topology = topology
+        #: Backwards-compatible alias; the attribute predates non-mesh fabrics.
+        self.mesh = topology
         pattern_list = list(pattern) if pattern is not None else list(DEFAULT_TILE_PATTERN)
         if not pattern_list:
             raise ValueError("tile pattern must not be empty")
         overrides = overrides or {}
         self._tiles: Dict[Position, ProcessingTile] = {}
-        for index, position in enumerate(mesh.positions()):
+        for index, position in enumerate(topology.positions()):
             tile_type = overrides.get(position, pattern_list[index % len(pattern_list)])
             self._tiles[position] = ProcessingTile(position, tile_type)
 
@@ -101,7 +103,7 @@ class TileGrid:
     @property
     def tiles(self) -> List[ProcessingTile]:
         """All tiles in row-major order."""
-        return [self._tiles[p] for p in self.mesh.positions()]
+        return [self._tiles[p] for p in self.topology.positions()]
 
     def tiles_of_type(self, tile_type: TileType, free_only: bool = False) -> List[ProcessingTile]:
         """Tiles of a given type, optionally restricted to unoccupied ones."""

@@ -1,0 +1,261 @@
+"""Topology protocol invariants and topology-generic network behaviour.
+
+Every :class:`~repro.noc.topology.Topology` implementation must present the
+same contract to the fabric layer: symmetric directed links, consistent
+``port_towards``/``neighbor`` round trips, and a hop metric that matches the
+link graph.  On top of that, both network kinds must construct on a mesh, a
+torus and a degraded mesh via :func:`~repro.noc.fabric.build_network`,
+allocate circuits / route packets on each, and deliver the offered traffic —
+including across a torus wraparound link.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.traffic import BitFlipPattern, word_generator
+from repro.common import Port, opposite_port
+from repro.noc import (
+    CentralCoordinationNode,
+    CircuitSwitchedNoC,
+    IrregularMesh,
+    LaneAllocator,
+    Mesh2D,
+    PacketSwitchedNoC,
+    RoutingTable,
+    Torus2D,
+    build_network,
+    network_kinds,
+)
+from repro.baseline.routing import path_ports, xy_route
+
+FREQUENCY_HZ = 100e6
+
+BROKEN = (((0, 0), (1, 0)), ((1, 1), (1, 2)))
+
+
+def make_topologies():
+    """One representative instance per topology kind."""
+    return [
+        Mesh2D(4, 3),
+        Torus2D(4, 3),
+        IrregularMesh(Mesh2D(4, 3), BROKEN),
+    ]
+
+
+topology_params = pytest.mark.parametrize(
+    "topology", make_topologies(), ids=lambda t: type(t).__name__
+)
+
+
+class TestTopologyInvariants:
+    @topology_params
+    def test_directed_links_are_symmetric(self, topology):
+        links = set(topology.directed_links())
+        assert links, "a topology must have links"
+        for a, b in links:
+            assert (b, a) in links, f"missing reverse link for {a}->{b}"
+
+    @topology_params
+    def test_directed_links_are_unique_channels(self, topology):
+        links = topology.directed_links()
+        assert len(links) == len(set(links))
+
+    @topology_params
+    def test_port_towards_neighbor_round_trip(self, topology):
+        for position in topology.positions():
+            neighbors = topology.neighbors(position)
+            for port, neighbor in neighbors.items():
+                assert topology.port_towards(position, neighbor) == port
+                # The link is bidirectional: the neighbour sees us behind the
+                # opposite port.
+                assert topology.neighbor(neighbor, opposite_port(port)) == position
+
+    @topology_params
+    def test_distance_matches_graph_shortest_path(self, topology):
+        import networkx as nx
+
+        graph = topology.to_networkx()
+        lengths = dict(nx.all_pairs_shortest_path_length(graph))
+        for a in topology.positions():
+            for b in topology.positions():
+                assert topology.distance(a, b) == lengths[a][b], (a, b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(width=st.integers(min_value=3, max_value=6), height=st.integers(min_value=3, max_value=6))
+    def test_torus_degree_is_four_everywhere(self, width, height):
+        torus = Torus2D(width, height)
+        for position in torus.positions():
+            neighbors = torus.neighbors(position)
+            assert len(neighbors) == 4
+            assert len(set(neighbors.values())) == 4
+        assert len(torus.directed_links()) == 4 * torus.size
+
+    def test_torus_rejects_degenerate_dimensions(self):
+        with pytest.raises(ValueError):
+            Torus2D(2, 4)
+
+    def test_irregular_mesh_drops_links_both_directions(self):
+        topology = IrregularMesh(Mesh2D(4, 3), BROKEN)
+        links = set(topology.directed_links())
+        for a, b in BROKEN:
+            assert (a, b) not in links and (b, a) not in links
+            assert topology.neighbor(a, Mesh2D(4, 3).port_towards(a, b)) is None
+        assert len(links) == len(set(Mesh2D(4, 3).directed_links())) - 2 * len(BROKEN)
+
+    def test_irregular_mesh_rejects_unknown_links(self):
+        with pytest.raises(ValueError, match="absent from the base topology"):
+            IrregularMesh(Mesh2D(3, 3), [((0, 0), (2, 2))])
+
+    def test_irregular_mesh_rejects_disconnection(self):
+        with pytest.raises(ValueError, match="disconnects"):
+            IrregularMesh(Mesh2D(2, 1), [((0, 0), (1, 0))])
+
+
+class TestRoutingTable:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        src=st.tuples(st.integers(0, 4), st.integers(0, 3)),
+        dst=st.tuples(st.integers(0, 4), st.integers(0, 3)),
+    )
+    def test_mesh_table_is_dimension_order(self, src, dst):
+        table = RoutingTable(Mesh2D(5, 4))
+        assert table.port_for(src, dst) == xy_route(src, dst)
+        assert table.path_ports(src, dst) == path_ports(src, dst)
+        assert table.distance(src, dst) == abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+
+    @topology_params
+    def test_paths_are_shortest_and_terminate(self, topology):
+        table = RoutingTable(topology)
+        for src in topology.positions():
+            for dst in topology.positions():
+                positions = table.path_positions(src, dst)
+                assert positions[0] == src and positions[-1] == dst
+                assert len(positions) - 1 == topology.distance(src, dst)
+                ports = table.path_ports(src, dst)
+                assert ports[-1] is Port.TILE
+                assert len(ports) - 1 == topology.distance(src, dst)
+
+    def test_torus_wraparound_is_one_hop(self):
+        table = RoutingTable(Torus2D(4, 3))
+        assert table.distance((0, 0), (3, 0)) == 1
+        assert table.port_for((0, 0), (3, 0)) == Port.WEST
+        assert table.path_positions((0, 0), (3, 0)) == [(0, 0), (3, 0)]
+
+    def test_degraded_mesh_routes_around_broken_link(self):
+        topology = IrregularMesh(Mesh2D(4, 3), BROKEN)
+        table = RoutingTable(topology)
+        path = table.path_positions((0, 0), (1, 0))
+        assert len(path) - 1 == topology.distance((0, 0), (1, 0)) > 1
+        for a, b in zip(path, path[1:]):
+            assert b in topology.neighbors(a).values()
+
+
+class TestTopologyGenericNetworks:
+    """Acceptance: both kinds build, configure and deliver on every topology."""
+
+    @topology_params
+    @pytest.mark.parametrize("kind", ["circuit", "packet"])
+    def test_factory_builds_and_delivers(self, topology, kind):
+        network = build_network(kind, topology, frequency_hz=FREQUENCY_HZ)
+        expected = {"circuit": CircuitSwitchedNoC, "packet": PacketSwitchedNoC}[kind]
+        assert type(network) is expected
+        assert set(network.links) == set(topology.directed_links())
+
+        pairs = [((0, 0), (3, 2)), ((2, 1), (0, 2))]
+        if kind == "circuit":
+            allocator = LaneAllocator(topology)
+            for index, (src, dst) in enumerate(pairs):
+                name = f"s{index}"
+                allocation = allocator.allocate(name, src, dst, 100.0, FREQUENCY_HZ)
+                network.apply_allocation(allocation)
+                generator = word_generator(BitFlipPattern.TYPICAL, seed=index)
+                network.add_stream(name, allocation, generator, load=0.8)
+        else:
+            for index, (src, dst) in enumerate(pairs):
+                generator = word_generator(BitFlipPattern.TYPICAL, seed=index)
+                network.add_stream(f"s{index}", src, dst, generator, load=0.8)
+
+        network.run(600)
+        for name, stats in network.stream_statistics().items():
+            assert stats["sent"] > 0, name
+            assert stats["sent"] - stats["received"] <= 16, (name, stats)
+        assert network.total_power().total_uw > 0
+        assert network.energy_per_delivered_bit_pj() < float("inf")
+
+    def test_network_kinds_cover_both_fabrics_and_aliases(self):
+        kinds = network_kinds()
+        assert {"circuit", "circuit_switched", "cs", "packet", "packet_switched", "ps"} <= set(kinds)
+        with pytest.raises(Exception, match="unknown network kind"):
+            build_network("optical", Mesh2D(2, 2))
+
+    def test_circuit_stream_crosses_torus_wraparound(self):
+        """A circuit over the wrap link uses it (1 hop) and delivers every word."""
+        torus = Torus2D(4, 3)
+        network = CircuitSwitchedNoC(torus, frequency_hz=FREQUENCY_HZ)
+        allocation = LaneAllocator(torus).allocate("wrap", (0, 0), (3, 0), 100.0, FREQUENCY_HZ)
+        assert allocation.circuits[0].route == ((0, 0), (3, 0))
+        assert allocation.circuits[0].hops[0].out_port == Port.WEST
+        network.apply_allocation(allocation)
+        generator = word_generator(BitFlipPattern.TYPICAL, seed=3)
+        endpoints = network.add_stream("wrap", allocation, generator, load=1.0)
+        network.run(500)
+        assert endpoints.words_sent > 0
+        # Only the words still in the two-router pipeline may be outstanding.
+        assert endpoints.words_sent - endpoints.words_received <= 4
+
+    def test_packet_stream_crosses_torus_wraparound(self):
+        torus = Torus2D(4, 3)
+        network = PacketSwitchedNoC(torus, frequency_hz=FREQUENCY_HZ)
+        generator = word_generator(BitFlipPattern.TYPICAL, seed=5)
+        network.add_stream("wrap", (0, 0), (3, 0), generator, load=0.8)
+        network.run(500)
+        stats = network.stream_statistics()["wrap"]
+        assert stats["sent"] > 0
+        assert stats["received"] == stats["sent"]
+        # The wrap link was used: the packets went (0,0) -> (3,0) directly,
+        # never through the routers of the long way round.
+        assert network.router_at((3, 0)).activity.get("traffic.flits_routed") > 0
+        for detour in ((1, 0), (2, 0)):
+            assert network.router_at(detour).activity.get("traffic.flits_routed") == 0
+
+    def test_strict_and_auto_schedules_agree_on_torus(self):
+        """The PR-1 kernel invariant holds beyond the mesh."""
+        snapshots = {}
+        for schedule in ("strict", "auto"):
+            torus = Torus2D(3, 3)
+            network = CircuitSwitchedNoC(torus, frequency_hz=FREQUENCY_HZ, schedule=schedule)
+            allocation = LaneAllocator(torus).allocate("s", (0, 0), (2, 2), 100.0, FREQUENCY_HZ)
+            network.apply_allocation(allocation)
+            generator = word_generator(BitFlipPattern.TYPICAL, seed=11)
+            network.add_stream("s", allocation, generator, load=0.6)
+            network.run(400)
+            snapshots[schedule] = (
+                network.merged_activity().as_dict(),
+                network.stream_statistics(),
+                network.kernel.cycle,
+            )
+        assert snapshots["strict"] == snapshots["auto"]
+
+
+class TestCcnOnAlternativeTopologies:
+    @pytest.mark.parametrize(
+        "topology",
+        [Torus2D(4, 4), IrregularMesh(Mesh2D(4, 4), (((1, 1), (2, 1)),))],
+        ids=["torus", "degraded"],
+    )
+    def test_admission_pipeline_runs_end_to_end(self, topology):
+        from repro.apps import hiperlan2
+
+        ccn = CentralCoordinationNode(topology, network_frequency_hz=FREQUENCY_HZ)
+        network = CircuitSwitchedNoC(topology, frequency_hz=FREQUENCY_HZ)
+        admission = ccn.admit(hiperlan2.build_process_graph(), network)
+        assert network.configured_circuits() > 0
+        assert admission.delivery is not None and admission.delivery.meets_paper_targets()
+        generator = word_generator(BitFlipPattern.TYPICAL, seed=7)
+        for allocation in admission.allocations:
+            network.add_stream(allocation.channel_name, allocation, generator, load=0.5)
+        network.run(600)
+        delivered = sum(s["received"] for s in network.stream_statistics().values())
+        assert delivered > 0
