@@ -1,83 +1,105 @@
 """Benchmark E-M1: the paper's motivating applications on a full 4×4 SoC.
 
 The single-router experiments of Figures 9/10 are complemented here by a
-system-level study: the CCN maps HiperLAN/2 and UMTS onto a heterogeneous
-4×4 mesh, the circuit-switched NoC is configured over the best-effort network,
-application traffic runs end to end, and the resulting network energy is
-compared against a packet-switched NoC carrying identical traffic.
+system-level study: HiperLAN/2 and UMTS are spatially mapped onto a 4×4 mesh
+and their guaranteed-throughput traffic runs end to end on every registered
+network kind — the paper's circuit-switched NoC, the packet-switched
+baseline and the simulated Æthereal-style TDMA network — through the
+admission-generic :func:`repro.experiments.harness.run_app_traffic` harness.
+A separate CCN admission pass checks that shipping the circuit configuration
+over the best-effort network stays within the paper's reconfiguration budget.
 """
 
 from __future__ import annotations
 
 from repro.apps import hiperlan2, umts
-from repro.apps.traffic import BitFlipPattern, word_generator
+from repro.experiments.harness import run_app_traffic
 from repro.experiments.report import format_table
-from repro.noc.ccn import CentralCoordinationNode
-from repro.noc.network import CircuitSwitchedNoC
-from repro.noc.packet_network import PacketSwitchedNoC
-from repro.noc.topology import Mesh2D
+from repro.noc import CentralCoordinationNode, Mesh2D
 
 FREQUENCY_HZ = 100e6
 CYCLES = 3000
 LOAD = 0.5
+KINDS = ("circuit", "packet", "gt")
+
+APPLICATIONS = ((hiperlan2.build_process_graph, 11), (umts.build_process_graph, 23))
 
 
-def _run_application(graph, seed: int) -> dict:
+def _run_application(graph_builder, seed: int) -> list[dict]:
+    mesh = Mesh2D(4, 4)
+    rows = []
+    for kind in KINDS:
+        result = run_app_traffic(
+            kind,
+            mesh,
+            graph_builder(),
+            frequency_hz=FREQUENCY_HZ,
+            cycles=CYCLES,
+            load=LOAD,
+            seed=seed,
+        )
+        rows.append(
+            {
+                "application": result.application,
+                "kind": result.kind,
+                "gt_channels": len(result.words_sent),
+                "words_delivered": result.total_received,
+                "power_mw": result.power.total_uw / 1e3,
+                "energy_pj_per_bit": result.energy_pj_per_bit,
+                "delivery_ok": result.delivery_ok(),
+            }
+        )
+    return rows
+
+
+def _reconfiguration(graph_builder) -> dict:
     mesh = Mesh2D(4, 4)
     ccn = CentralCoordinationNode(mesh, network_frequency_hz=FREQUENCY_HZ)
-    cs_network = CircuitSwitchedNoC(mesh, frequency_hz=FREQUENCY_HZ)
-    admission = ccn.admit(graph, cs_network)
-
-    ps_network = PacketSwitchedNoC(mesh, frequency_hz=FREQUENCY_HZ)
-    generator_cs = word_generator(BitFlipPattern.TYPICAL, seed=seed)
-    generator_ps = word_generator(BitFlipPattern.TYPICAL, seed=seed)
-    for allocation in admission.allocations:
-        cs_network.add_stream(allocation.channel_name, allocation, generator_cs, load=LOAD)
-        if not allocation.is_local:
-            ps_network.add_stream(
-                allocation.channel_name, allocation.src, allocation.dst, generator_ps, load=LOAD
-            )
-
-    cs_network.run(CYCLES)
-    ps_network.run(CYCLES)
-
-    cs_delivered = sum(s["received"] for s in cs_network.stream_statistics().values())
-    ps_delivered = sum(s["received"] for s in ps_network.stream_statistics().values())
+    admission = ccn.admit(graph_builder())
     return {
-        "application": graph.name,
-        "gt_channels": len(admission.allocations),
+        "application": admission.application,
         "lanes_used": admission.total_lanes_used,
         "config_commands": admission.configuration_commands,
         "reconfig_time_us": admission.reconfiguration_time_s * 1e6,
-        "cs_words_delivered": cs_delivered,
-        "ps_words_delivered": ps_delivered,
-        "cs_power_mw": cs_network.total_power().total_uw / 1e3,
-        "ps_power_mw": ps_network.total_power().total_uw / 1e3,
-        "cs_energy_pj_per_bit": cs_network.energy_per_delivered_bit_pj(),
-        "ps_energy_pj_per_bit": ps_network.energy_per_delivered_bit_pj(),
         "reconfig_ok": admission.delivery.meets_paper_targets(),
     }
 
 
 def test_wireless_applications_on_mesh(once):
     def run_all():
-        return [
-            _run_application(hiperlan2.build_process_graph(), seed=11),
-            _run_application(umts.build_process_graph(), seed=23),
-        ]
+        rows = []
+        for graph_builder, seed in APPLICATIONS:
+            rows.extend(_run_application(graph_builder, seed))
+        return rows, [_reconfiguration(builder) for builder, _ in APPLICATIONS]
 
-    rows = once(run_all)
+    rows, reconfig = once(run_all)
 
+    by_kind: dict = {}
     for row in rows:
-        # Both networks deliver the traffic; the circuit-switched SoC does it
-        # with several times less router power and energy per delivered bit.
-        assert row["cs_words_delivered"] > 0 and row["ps_words_delivered"] > 0
-        assert row["ps_power_mw"] / row["cs_power_mw"] > 2.5
-        assert row["cs_energy_pj_per_bit"] < row["ps_energy_pj_per_bit"]
+        by_kind.setdefault(row["application"], {})[row["kind"]] = row
+
+    for application, kinds in by_kind.items():
+        cs = kinds["circuit_switched"]
+        ps = kinds["packet_switched"]
+        gt = kinds["time_division_gt"]
+        # Every network kind delivers the application traffic.
+        for row in (cs, ps, gt):
+            assert row["delivery_ok"] and row["words_delivered"] > 0
+        # The circuit-switched SoC carries the identical traffic with several
+        # times less router power, and the paper's energy ordering holds:
+        # circuit < TDMA slot table < packet switching per delivered bit.
+        assert ps["power_mw"] / cs["power_mw"] > 2.5
+        assert cs["energy_pj_per_bit"] < gt["energy_pj_per_bit"]
+        assert gt["energy_pj_per_bit"] < ps["energy_pj_per_bit"]
+
+    for row in reconfig:
         # CCN configuration fits the paper's reconfiguration budget.
         assert row["reconfig_ok"]
         assert row["reconfig_time_us"] < 20_000
 
     print()
-    print("Wireless applications mapped on a 4x4 SoC (circuit- vs packet-switched NoC):")
+    print("Wireless applications mapped on a 4x4 SoC (three network kinds):")
     print(format_table(rows, precision=2))
+    print()
+    print("CCN reconfiguration (circuit-switched configuration transport):")
+    print(format_table(reconfig, precision=2))

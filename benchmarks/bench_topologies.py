@@ -1,34 +1,47 @@
-"""Benchmark T-1: mesh vs torus vs degraded mesh on the motivating applications.
+"""Benchmark T-1: mesh vs torus vs degraded mesh across all three network kinds.
 
-The paper evaluates its circuit-switched fabric on a fixed 2-D mesh; the
-topology-generic fabric layer lets the same experiment run on alternative
-fabrics.  This benchmark maps the Table-3-style application traffic
-(HiperLAN/2 and UMTS process graphs) onto a 4×4 mesh, a 4×4 torus and a 4×4
-mesh degraded by two broken links, runs identical word streams over both
-network kinds on each, and compares delivered words and network energy per
-delivered payload bit.
+The paper evaluates its circuit-switched fabric on a fixed 2-D mesh against a
+packet-switched baseline; the topology-generic fabric layer and the
+admission-generic allocation layer let the same experiment sweep alternative
+fabrics *and* the simulated Æthereal-style TDMA network.  This benchmark maps
+the application traffic (HiperLAN/2 and UMTS process graphs) onto a 4×4 mesh,
+a 4×4 torus and a 4×4 mesh degraded by two broken links, runs identical word
+streams over every registered network kind on each
+(:func:`repro.experiments.harness.run_app_traffic`), and compares delivered
+words and network energy per delivered payload bit.
 
 Expected shape of the results: the torus shortens routes (wraparound links),
 so its circuit-switched energy per bit is no worse than the mesh's; the
 degraded mesh pays for its detours with somewhat higher energy, but still
-delivers all traffic — the allocator and the routing tables simply route
-around the missing links.
+delivers all traffic — allocators and routing tables simply route around the
+missing links.  Across kinds the paper's headline ordering survives every
+topology: circuit switching stays cheapest per delivered bit, the TDMA
+slot-table network lands in between, packet switching is the most expensive.
+
+Run as a script for the full sweep; ``--quick`` runs a reduced-cycle version
+used as the CI smoke test.
 """
 
 from __future__ import annotations
 
+import argparse
+
 from repro.apps import hiperlan2, umts
-from repro.apps.traffic import BitFlipPattern, word_generator
+from repro.experiments.harness import run_app_traffic
 from repro.experiments.report import format_table
-from repro.noc import CentralCoordinationNode, IrregularMesh, Mesh2D, Torus2D, build_network
+from repro.noc import CentralCoordinationNode, IrregularMesh, Mesh2D, Torus2D
 
 FREQUENCY_HZ = 100e6
 CYCLES = 3000
+QUICK_CYCLES = 800
 LOAD = 0.5
+KINDS = ("circuit", "packet", "gt")
 
 #: Two broken links of the degraded 4×4 mesh (fault model: one core link and
 #: one edge link), chosen to keep the fabric connected.
 BROKEN_LINKS = (((1, 1), (2, 1)), ((3, 2), (3, 3)))
+
+APPLICATIONS = ((hiperlan2.build_process_graph, 11), (umts.build_process_graph, 23))
 
 
 def make_topologies() -> dict:
@@ -39,86 +52,131 @@ def make_topologies() -> dict:
     }
 
 
-def _run_application(topology_name: str, topology, graph, seed: int) -> dict:
-    """Admit *graph* via the CCN and run its traffic on both network kinds."""
-    ccn = CentralCoordinationNode(topology, network_frequency_hz=FREQUENCY_HZ)
-    cs_network = build_network("circuit", topology, frequency_hz=FREQUENCY_HZ)
-    admission = ccn.admit(graph, cs_network)
-
-    ps_network = build_network("packet", topology, frequency_hz=FREQUENCY_HZ)
-    generator_cs = word_generator(BitFlipPattern.TYPICAL, seed=seed)
-    generator_ps = word_generator(BitFlipPattern.TYPICAL, seed=seed)
-    for allocation in admission.allocations:
-        cs_network.add_stream(allocation.channel_name, allocation, generator_cs, load=LOAD)
-        if not allocation.is_local:
-            ps_network.add_stream(
-                allocation.channel_name, allocation.src, allocation.dst, generator_ps, load=LOAD
-            )
-
-    cs_network.run(CYCLES)
-    ps_network.run(CYCLES)
-
-    hops = sum(a.hop_count for a in admission.allocations if not a.is_local)
-    return {
-        "topology": topology_name,
-        "application": graph.name,
-        "route_hops": hops,
-        "cs_words_delivered": sum(
-            s["received"] for s in cs_network.stream_statistics().values()
-        ),
-        "ps_words_delivered": sum(
-            s["received"] for s in ps_network.stream_statistics().values()
-        ),
-        "cs_energy_pj_per_bit": cs_network.energy_per_delivered_bit_pj(),
-        "ps_energy_pj_per_bit": ps_network.energy_per_delivered_bit_pj(),
-        "reconfig_time_us": admission.reconfiguration_time_s * 1e6,
-        "reconfig_ok": admission.delivery.meets_paper_targets(),
-    }
+def _run_application(topology_name: str, topology, graph_builder, seed: int, cycles: int) -> list[dict]:
+    """Run *graph_builder*'s traffic on every network kind on one topology."""
+    rows = []
+    for kind in KINDS:
+        result = run_app_traffic(
+            kind,
+            topology,
+            graph_builder(),
+            frequency_hz=FREQUENCY_HZ,
+            cycles=cycles,
+            load=LOAD,
+            seed=seed,
+        )
+        rows.append(
+            {
+                "topology": topology_name,
+                "application": result.application,
+                "kind": result.kind,
+                "route_hops": result.route_hops,
+                "words_delivered": result.total_received,
+                "energy_pj_per_bit": result.energy_pj_per_bit,
+                "delivery_ok": result.delivery_ok(),
+            }
+        )
+    return rows
 
 
-def run_all() -> list[dict]:
+def run_all(cycles: int = CYCLES) -> list[dict]:
     rows = []
     for topology_name, topology in make_topologies().items():
-        for graph_builder, seed in ((hiperlan2.build_process_graph, 11), (umts.build_process_graph, 23)):
-            rows.append(_run_application(topology_name, topology, graph_builder(), seed))
+        for graph_builder, seed in APPLICATIONS:
+            rows.extend(_run_application(topology_name, topology, graph_builder, seed, cycles))
     return rows
+
+
+def reconfiguration_check() -> list[dict]:
+    """CCN admission (mapping + lanes + BE configuration) on every topology."""
+    rows = []
+    for topology_name, topology in make_topologies().items():
+        for graph_builder, _seed in APPLICATIONS:
+            ccn = CentralCoordinationNode(topology, network_frequency_hz=FREQUENCY_HZ)
+            admission = ccn.admit(graph_builder())
+            rows.append(
+                {
+                    "topology": topology_name,
+                    "application": admission.application,
+                    "config_commands": admission.configuration_commands,
+                    "reconfig_time_us": admission.reconfiguration_time_s * 1e6,
+                    "reconfig_ok": admission.delivery.meets_paper_targets(),
+                }
+            )
+    return rows
+
+
+def _check_rows(rows: list[dict]) -> None:
+    by_key: dict = {}
+    for row in rows:
+        by_key[(row["topology"], row["application"], row["kind"])] = row
+        # Every fabric delivers on every network kind.
+        assert row["delivery_ok"], f"delivery failed: {row}"
+        assert row["words_delivered"] > 0
+
+    topologies = {row["topology"] for row in rows}
+    applications = {row["application"] for row in rows}
+    assert topologies == {"mesh_4x4", "torus_4x4", "degraded_4x4"}
+
+    for topology in topologies:
+        for application in applications:
+            cs = by_key[(topology, application, "circuit_switched")]
+            ps = by_key[(topology, application, "packet_switched")]
+            gt = by_key[(topology, application, "time_division_gt")]
+            # The paper's headline ordering survives every topology: circuit
+            # switching cheapest, the TDMA slot-table network in between,
+            # packet switching most expensive per delivered bit.
+            assert cs["energy_pj_per_bit"] < gt["energy_pj_per_bit"]
+            assert gt["energy_pj_per_bit"] < ps["energy_pj_per_bit"]
+
+    for application in applications:
+        mesh = by_key[("mesh_4x4", application, "circuit_switched")]
+        torus = by_key[("torus_4x4", application, "circuit_switched")]
+        degraded = by_key[("degraded_4x4", application, "circuit_switched")]
+        # Wraparound links can only shorten routes; detours can only
+        # lengthen them.
+        assert torus["route_hops"] <= mesh["route_hops"]
+        assert degraded["route_hops"] >= mesh["route_hops"]
 
 
 # -- pytest entry points --------------------------------------------------------
 
 
-def test_every_topology_carries_the_application_traffic(once):
+def test_every_topology_carries_every_kind(once):
     rows = once(run_all)
-
-    by_topology = {}
-    for row in rows:
-        by_topology.setdefault(row["topology"], []).append(row)
-    assert set(by_topology) == {"mesh_4x4", "torus_4x4", "degraded_4x4"}
-
-    for row in rows:
-        # Every fabric delivers on both network kinds and stays within the
-        # paper's reconfiguration budget.
-        assert row["cs_words_delivered"] > 0 and row["ps_words_delivered"] > 0
-        assert row["reconfig_ok"]
-        # The paper's headline survives the topology change: circuit switching
-        # stays cheaper per delivered bit than packet switching.
-        assert row["cs_energy_pj_per_bit"] < row["ps_energy_pj_per_bit"]
-
-    for app_rows in zip(*(by_topology[name] for name in ("mesh_4x4", "torus_4x4", "degraded_4x4"))):
-        mesh_row, torus_row, degraded_row = app_rows
-        # Wraparound links can only shorten routes; detours can only
-        # lengthen them.
-        assert torus_row["route_hops"] <= mesh_row["route_hops"]
-        assert degraded_row["route_hops"] >= mesh_row["route_hops"]
-
+    _check_rows(rows)
     print()
-    print("Application traffic across topologies (circuit- vs packet-switched):")
+    print("Application traffic across topologies and network kinds:")
+    print(format_table(rows, precision=2))
+
+
+def test_reconfiguration_budget_holds_on_every_topology(once):
+    rows = once(reconfiguration_check)
+    for row in rows:
+        assert row["reconfig_ok"]
+        assert row["reconfig_time_us"] < 20_000
+    print()
+    print("CCN reconfiguration across topologies:")
     print(format_table(rows, precision=2))
 
 
 def main() -> None:
-    rows = run_all()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced-cycle sweep used as the CI smoke test",
+    )
+    args = parser.parse_args()
+    cycles = QUICK_CYCLES if args.quick else CYCLES
+    rows = run_all(cycles)
+    _check_rows(rows)
     print(format_table(rows, precision=2))
+    reconfig = reconfiguration_check()
+    assert all(row["reconfig_ok"] for row in reconfig)
+    print()
+    print(format_table(reconfig, precision=2))
+    print("\nall topology/kind checks passed")
 
 
 if __name__ == "__main__":

@@ -66,8 +66,10 @@ from repro.noc import (
     Mesh2D,
     PacketSwitchedNoC,
     RoutingTable,
+    SlotTableAllocator,
     SpatialMapper,
     TileGrid,
+    TimeDivisionNoC,
     Topology,
     Torus2D,
     build_network,
@@ -102,8 +104,10 @@ __all__ = [
     "Mesh2D",
     "PacketSwitchedNoC",
     "RoutingTable",
+    "SlotTableAllocator",
     "SpatialMapper",
     "TileGrid",
+    "TimeDivisionNoC",
     "Topology",
     "Torus2D",
     "build_network",

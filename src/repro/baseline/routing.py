@@ -5,6 +5,11 @@ The mesh uses the mathematical orientation defined in :mod:`repro.common`:
 first corrects the x coordinate, then the y coordinate, and delivers to the
 local tile when both match — deterministic, deadlock-free on a mesh, and the
 standard choice for this class of router.
+
+The arithmetic itself lives in :func:`repro.noc.routing.dimension_order_route`
+(one source of truth shared with the table-driven router tables); this module
+keeps the baseline's historical ``xy_route`` name plus the mesh-only path
+helpers the single-router test benches use.
 """
 
 from __future__ import annotations
@@ -22,18 +27,22 @@ RouteFunction = Callable[[Tuple[int, int], Tuple[int, int]], Port]
 
 
 def xy_route(current: Tuple[int, int], dest: Tuple[int, int]) -> Port:
-    """Output port chosen at *current* for a packet heading to *dest*."""
-    cx, cy = current
-    dx, dy = dest
-    if dx > cx:
-        return Port.EAST
-    if dx < cx:
-        return Port.WEST
-    if dy > cy:
-        return Port.NORTH
-    if dy < cy:
-        return Port.SOUTH
-    return Port.TILE
+    """Output port chosen at *current* for a packet heading to *dest*.
+
+    Thin wrapper around the shared arithmetic in
+    :func:`repro.noc.routing.dimension_order_route`; bound lazily because the
+    ``repro.noc`` package (whose init assembles the full fabric layer) imports
+    the baseline router while loading.
+    """
+    global _dimension_order_route
+    if _dimension_order_route is None:
+        from repro.noc.routing import dimension_order_route
+
+        _dimension_order_route = dimension_order_route
+    return _dimension_order_route(current, dest)
+
+
+_dimension_order_route: RouteFunction | None = None
 
 
 def route_distance(src: Tuple[int, int], dest: Tuple[int, int]) -> int:

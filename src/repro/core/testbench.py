@@ -32,6 +32,7 @@ from repro.sim.engine import ClockedComponent
 
 __all__ = [
     "WordSource",
+    "LoadPacer",
     "LaneStreamDriver",
     "LaneStreamConsumer",
     "TileStreamDriver",
@@ -42,7 +43,7 @@ __all__ = [
 WordSource = Callable[[], int]
 
 
-class _LoadPacer:
+class LoadPacer:
     """Turns a load fraction into a word-emission schedule.
 
     A lane transports one word every ``phits_per_packet`` cycles at 100 %
@@ -66,6 +67,10 @@ class _LoadPacer:
             self._credit -= self.cycles_per_word
             return True
         return False
+
+
+#: Backwards-compatible alias (the pacer predates the GT network reusing it).
+_LoadPacer = LoadPacer
 
 
 class LaneStreamDriver(ClockedComponent):
@@ -104,7 +109,7 @@ class LaneStreamDriver(ClockedComponent):
         self.serializer = LaneSerializer(
             lane, link.lane_width, data_width, tx_queue_depth=4, flow=flow, activity=self.activity
         )
-        self._pacer = _LoadPacer(load, phits_per_packet(data_width, link.lane_width))
+        self._pacer = LoadPacer(load, phits_per_packet(data_width, link.lane_width))
         self.words_offered = 0
         self.words_dropped = 0
 
@@ -193,7 +198,7 @@ class TileStreamDriver(ClockedComponent):
         self.lane = lane
         self.word_source = word_source
         self.mark_blocks = mark_blocks
-        self._pacer = _LoadPacer(
+        self._pacer = LoadPacer(
             load, phits_per_packet(router.data_width, router.lane_width)
         )
         self.words_offered = 0

@@ -16,6 +16,11 @@ Three ablations beyond the published figures:
 * **technology scaling** (extension) — both routers re-evaluated at 90 nm and
   65 nm with first-order constant-field scaling; the circuit-switched
   advantage is structural, not process-specific.
+* **slot-table size** (E-A4, extension) — the Æthereal-style TDMA router's
+  design knob: a larger table gives finer bandwidth granularity per slot but
+  a longer revolution, i.e. a larger worst-case injection latency — the
+  configuration-effort trade-off the paper raises against slot tables in
+  Section 4.
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ __all__ = [
     "lane_parameter_sweep",
     "window_counter_sweep",
     "technology_scaling_study",
+    "gt_slot_table_sweep",
 ]
 
 
@@ -181,6 +187,56 @@ def technology_scaling_study(
                 "ps_power_uw": packet.power.total_uw,
                 "power_ratio": packet.power.total_uw / circuit.power.total_uw,
                 "area_ratio": ps_synth.total_area_mm2 / cs_synth.total_area_mm2,
+            }
+        )
+    return rows
+
+
+def gt_slot_table_sweep(
+    slot_counts: tuple[int, ...] = (8, 16, 32, 64),
+    cycles: int = 2000,
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+    data_width: int = 16,
+) -> List[dict]:
+    """Slot-table size trade-off of the Æthereal-style TDMA router (E-A4).
+
+    Scenario IV is run with every stream owning a quarter of the revolving
+    table, so link utilisation stays constant while the table grows.  A
+    larger table refines the bandwidth granularity of one slot (total link
+    bandwidth divided by the table size) but stretches the revolution, which
+    bounds the worst-case wait for a connection's next slot — the structural
+    reason the paper prefers lanes over time slots for its traffic mix.
+    """
+    from repro.experiments.harness import run_gt_scenario
+
+    rows: List[dict] = []
+    for slots in slot_counts:
+        slots_per_stream = max(1, slots // 4)
+        run = run_gt_scenario(
+            "IV",
+            BitFlipPattern.TYPICAL,
+            frequency_hz=frequency_hz,
+            cycles=cycles,
+            slots=slots,
+            slots_per_stream=slots_per_stream,
+            data_width=data_width,
+        )
+        delivered_bits = sum(run.words_received.values()) * data_width
+        duration_s = cycles / frequency_hz
+        energy_pj_per_bit = (
+            run.power.total_uw * duration_s * 1e6 / delivered_bits
+            if delivered_bits
+            else float("inf")
+        )
+        rows.append(
+            {
+                "slot_table_size": slots,
+                "slots_per_stream": slots_per_stream,
+                "slot_bandwidth_mbps": data_width * frequency_hz / slots / 1e6,
+                "worst_case_wait_cycles": slots,
+                "words_delivered": sum(run.words_received.values()),
+                "total_uw": run.power.total_uw,
+                "energy_pj_per_bit": energy_pj_per_bit,
             }
         )
     return rows

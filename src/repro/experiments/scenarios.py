@@ -65,20 +65,34 @@ def collision_analysis() -> List[dict]:
     return rows
 
 
+#: Words legitimately in flight when a scenario simulation stops, keyed by
+#: canonical network kind: the packet-switched router keeps up to a few
+#: packets in VC FIFOs, the circuit-switched router a handful of words in
+#: its serialiser pipeline, the slot-table router at most one injection
+#: queue per stream.
+DELIVERY_TOLERANCE_WORDS = {
+    "circuit_switched": 8,
+    "packet_switched": 48,
+    "time_division_gt": 16,
+}
+
+
 def verify_scenarios(
     cycles: int = 2000,
     pattern: BitFlipPattern = BitFlipPattern.TYPICAL,
+    kinds: tuple = ("circuit", "packet", "gt"),
 ) -> Dict[str, Dict[str, bool]]:
-    """Run every scenario on both routers and check traffic delivery."""
+    """Run every scenario on every router kind (any registry alias) and
+    check traffic delivery."""
+    from repro.noc.fabric import resolve_network_kind
+
     results: Dict[str, Dict[str, bool]] = {}
-    for kind in ("circuit", "packet"):
+    for kind in kinds:
+        canonical = resolve_network_kind(kind).kind
+        tolerance = DELIVERY_TOLERANCE_WORDS.get(canonical, 48)
         results[kind] = {}
         for name in SCENARIOS:
             run = run_scenario(kind, name, pattern=pattern, cycles=cycles)
-            # The packet-switched router keeps up to a few packets in flight
-            # (packetisation buffer plus VC FIFOs); the circuit-switched router
-            # only a handful of words in its serialiser/deserialiser pipeline.
-            tolerance = 8 if kind == "circuit" else 48
             results[kind][name] = run.delivery_ok(tolerance_words=tolerance)
     return results
 

@@ -14,8 +14,13 @@ This package assembles full multi-router systems from the router models:
   under :class:`~repro.noc.network.CircuitSwitchedNoC` and
   :class:`~repro.noc.packet_network.PacketSwitchedNoC`, complete
   guaranteed-throughput networks built from either router,
-* :class:`~repro.noc.path_allocation.LaneAllocator` — lane-level circuit
-  allocation,
+* :class:`~repro.noc.admission.AdmissionController` — the network-agnostic
+  admission layer (route search over per-link resource pools), with
+  :class:`~repro.noc.path_allocation.LaneAllocator` (lane-level circuit
+  allocation) and :class:`~repro.noc.slot_table.SlotTableAllocator`
+  (contention-free TDMA slot scheduling) as its two resource models,
+* :class:`~repro.noc.gt_network.TimeDivisionNoC` — the simulated
+  Æthereal-style guaranteed-throughput network (``"gt"``/``"aethereal"``),
 * :class:`~repro.noc.mapping.SpatialMapper` — run-time process placement,
 * :class:`~repro.noc.be_network.BestEffortNetwork` — configuration transport,
 * :class:`~repro.noc.ccn.CentralCoordinationNode` — the admission pipeline
@@ -23,13 +28,20 @@ This package assembles full multi-router systems from the router models:
 """
 
 from repro.noc.topology import IrregularMesh, Mesh2D, Position, Topology, Torus2D
-from repro.noc.routing import RoutingTable
+from repro.noc.routing import RoutingTable, dimension_order_route
 from repro.noc.tile import DEFAULT_TILE_PATTERN, ProcessingTile, TileGrid
+from repro.noc.admission import AdmissionController
 from repro.noc.path_allocation import (
     CircuitAllocation,
     LaneAllocator,
     LaneCircuit,
     LaneHop,
+)
+from repro.noc.slot_table import (
+    SlotAllocation,
+    SlotCircuit,
+    SlotHop,
+    SlotTableAllocator,
 )
 from repro.noc.mapping import Mapping, SpatialMapper
 from repro.noc.be_network import (
@@ -37,9 +49,15 @@ from repro.noc.be_network import (
     BestEffortParameters,
     ConfigurationDelivery,
 )
-from repro.noc.fabric import NocBase, build_network, network_kinds
+from repro.noc.fabric import NocBase, build_network, network_kinds, resolve_network_kind
 from repro.noc.network import CircuitSwitchedNoC, StreamEndpoints
 from repro.noc.packet_network import PacketStreamEndpoints, PacketSwitchedNoC
+from repro.noc.gt_network import (
+    GtStreamEndpoints,
+    SlotTableRouter,
+    TdmaLink,
+    TimeDivisionNoC,
+)
 from repro.noc.ccn import ApplicationAdmission, CentralCoordinationNode, FeasibilityReport
 
 __all__ = [
@@ -49,13 +67,19 @@ __all__ = [
     "IrregularMesh",
     "Position",
     "RoutingTable",
+    "dimension_order_route",
     "DEFAULT_TILE_PATTERN",
     "ProcessingTile",
     "TileGrid",
+    "AdmissionController",
     "CircuitAllocation",
     "LaneAllocator",
     "LaneCircuit",
     "LaneHop",
+    "SlotAllocation",
+    "SlotCircuit",
+    "SlotHop",
+    "SlotTableAllocator",
     "Mapping",
     "SpatialMapper",
     "BestEffortNetwork",
@@ -64,10 +88,15 @@ __all__ = [
     "NocBase",
     "build_network",
     "network_kinds",
+    "resolve_network_kind",
     "CircuitSwitchedNoC",
     "StreamEndpoints",
     "PacketStreamEndpoints",
     "PacketSwitchedNoC",
+    "GtStreamEndpoints",
+    "SlotTableRouter",
+    "TdmaLink",
+    "TimeDivisionNoC",
     "ApplicationAdmission",
     "CentralCoordinationNode",
     "FeasibilityReport",

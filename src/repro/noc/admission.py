@@ -1,0 +1,184 @@
+"""Network-agnostic admission control: route search over per-link resource pools.
+
+Admitting a guaranteed-throughput channel always has the same shape,
+whatever the network kind multiplexes its links with:
+
+1. translate the channel's bandwidth requirement into a number of discrete
+   per-link resource *units*,
+2. find a route on which every directed link still has that many free units,
+3. reserve one unit set per link (plus the tile ingress/egress resources at
+   the endpoints) transactionally, rolling back on failure,
+4. remember the reservation so it can be torn down again.
+
+What a *unit* is differs per network: the paper's circuit-switched fabric
+divides every link into physically separate **lanes**
+(:class:`repro.noc.path_allocation.LaneAllocator`), while an Æthereal-style
+guaranteed-throughput fabric divides every link into **TDMA slots** of a
+revolving slot table (:class:`repro.noc.slot_table.SlotTableAllocator`), whose
+reservations must additionally be *aligned* along the route.  This module
+provides the shared machinery — the pools, the filtered shortest-path search,
+the allocation registry, utilization reporting and transactional release —
+so a concrete admission controller only implements the unit arithmetic and
+the per-circuit reservation rule.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Set, Tuple
+
+import networkx as nx
+
+from repro.common import AllocationError
+from repro.noc.topology import Position, Topology
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController(abc.ABC):
+    """Tracks free per-link resource units and allocates channels on any topology.
+
+    The controller works purely on the topology's directed-link graph, so the
+    same code admits channels over the paper's mesh, across a torus wraparound
+    link, or around the missing links of a degraded mesh.  Subclasses define
+
+    * :attr:`unit_name` — what one resource unit is called in messages,
+    * :meth:`units_required` — bandwidth → number of units,
+    * :meth:`_new_allocation` — the (empty) allocation record of one channel,
+    * :meth:`_allocate_circuits` — reserve the units of one channel along a
+      route (transactional: must roll back its own reservations on failure),
+    * :meth:`_release_circuit` — return one circuit's units to the pools.
+    """
+
+    #: Human-readable name of one resource unit (``"lane"``, ``"slot"``).
+    unit_name: str = "unit"
+
+    def __init__(self, topology: Topology, units_per_link: int) -> None:
+        if units_per_link < 1:
+            raise ValueError("units_per_link must be positive")
+        self.topology = topology
+        #: Backwards-compatible alias; the attribute predates non-mesh fabrics.
+        self.mesh = topology
+        self.units_per_link = units_per_link
+        all_units = set(range(units_per_link))
+        #: Free units of every directed router-to-router link.
+        self._free_link_units: Dict[Tuple[Position, Position], Set[int]] = {
+            link: set(all_units) for link in topology.directed_links()
+        }
+        #: Free tile-ingress units (tile → network) per router.
+        self._free_tile_tx: Dict[Position, Set[int]] = {
+            pos: set(all_units) for pos in topology.positions()
+        }
+        #: Free tile-egress units (network → tile) per router.
+        self._free_tile_rx: Dict[Position, Set[int]] = {
+            pos: set(all_units) for pos in topology.positions()
+        }
+        self._allocations: Dict[str, Any] = {}
+
+    # -- capacity arithmetic -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def units_required(self, bandwidth_mbps: float, frequency_hz: float) -> int:
+        """Units needed to carry *bandwidth_mbps* at the network clock."""
+
+    # -- queries ---------------------------------------------------------------------------
+
+    def free_units(self, src: Position, dst: Position) -> int:
+        """Number of free units on the directed link from *src* to *dst*."""
+        try:
+            return len(self._free_link_units[(src, dst)])
+        except KeyError:
+            raise AllocationError(f"no link from {src} to {dst} in the topology") from None
+
+    def allocation(self, channel_name: str) -> Any:
+        """The allocation previously made for *channel_name*."""
+        try:
+            return self._allocations[channel_name]
+        except KeyError:
+            raise AllocationError(f"no allocation for channel {channel_name!r}") from None
+
+    @property
+    def allocations(self) -> List[Any]:
+        """All current allocations in insertion order."""
+        return list(self._allocations.values())
+
+    def link_utilization(self) -> float:
+        """Fraction of all link units currently allocated."""
+        total = len(self._free_link_units) * self.units_per_link
+        free = sum(len(units) for units in self._free_link_units.values())
+        return (total - free) / total if total else 0.0
+
+    # -- route search ----------------------------------------------------------------------
+
+    def _route(self, src: Position, dst: Position, units_needed: int) -> List[Position]:
+        """Shortest path on which every link still has *units_needed* free units."""
+        graph = nx.DiGraph()
+        for position in self.topology.positions():
+            graph.add_node(position)
+        for (a, b), free in self._free_link_units.items():
+            if len(free) >= units_needed:
+                graph.add_edge(a, b)
+        try:
+            return nx.shortest_path(graph, src, dst)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            raise AllocationError(
+                f"no route with {units_needed} free {self.unit_name}(s) from {src} to {dst}"
+            ) from None
+
+    # -- allocation --------------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _new_allocation(
+        self, channel_name: str, src: Position, dst: Position, bandwidth_mbps: float
+    ) -> Any:
+        """A fresh (circuit-less) allocation record for one channel."""
+
+    @abc.abstractmethod
+    def _allocate_circuits(
+        self, channel_name: str, route: List[Position], units_needed: int
+    ) -> List[Any]:
+        """Reserve *units_needed* circuits along *route* (rolls back on failure)."""
+
+    def allocate(
+        self,
+        channel_name: str,
+        src: Position,
+        dst: Position,
+        bandwidth_mbps: float,
+        frequency_hz: float,
+    ) -> Any:
+        """Allocate the circuits for one channel; raises :class:`AllocationError`.
+
+        The allocation is transactional: if any resource along the chosen
+        route is unavailable the partial reservation is rolled back.
+        """
+        if channel_name in self._allocations:
+            raise AllocationError(f"channel {channel_name!r} is already allocated")
+        for position in (src, dst):
+            if not self.topology.contains(position):
+                raise AllocationError(f"position {position} is outside the topology")
+
+        allocation = self._new_allocation(channel_name, src, dst, bandwidth_mbps)
+        if src == dst:
+            # Tile-local channel: nothing to allocate on the network.
+            self._allocations[channel_name] = allocation
+            return allocation
+
+        units_needed = self.units_required(bandwidth_mbps, frequency_hz)
+        route = self._route(src, dst, units_needed)
+        allocation.circuits = self._allocate_circuits(channel_name, route, units_needed)
+        self._allocations[channel_name] = allocation
+        return allocation
+
+    # -- release -----------------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _release_circuit(self, circuit: Any) -> None:
+        """Return every unit held by one circuit to the pools."""
+
+    def release(self, channel_name: str) -> None:
+        """Free every resource held by *channel_name*."""
+        allocation = self.allocation(channel_name)
+        for circuit in allocation.circuits:
+            self._release_circuit(circuit)
+        del self._allocations[channel_name]

@@ -26,7 +26,14 @@ from repro.energy.technology import TSMC_130NM_LVHP, Technology
 from repro.noc.topology import Position, Topology
 from repro.sim.engine import SimulationKernel
 
-__all__ = ["NocBase", "WordSource", "register_network_kind", "network_kinds", "build_network"]
+__all__ = [
+    "NocBase",
+    "WordSource",
+    "register_network_kind",
+    "network_kinds",
+    "resolve_network_kind",
+    "build_network",
+]
 
 WordSource = Callable[[], int]
 
@@ -99,6 +106,51 @@ class NocBase:
 
     def _stream_received(self, endpoints: Any) -> int:
         """Words observed as delivered for one registered stream."""
+        raise NotImplementedError
+
+    # -- admission ------------------------------------------------------------------------
+
+    def _new_admission_controller(self) -> Any:
+        """Create this network's admission controller (kinds that need one)."""
+        raise ConfigurationError(
+            f"{self.kind} network performs no admission control"
+        )
+
+    @property
+    def admission(self) -> Any:
+        """The network's own admission controller, created on first use.
+
+        Circuit-switched networks hand out lanes
+        (:class:`~repro.noc.path_allocation.LaneAllocator`), TDMA networks
+        hand out aligned slots
+        (:class:`~repro.noc.slot_table.SlotTableAllocator`); packet-switched
+        networks need no admission and raise.  External controllers (the CCN)
+        may still be used instead — this one exists so that kind-agnostic
+        harnesses can admit channels without knowing the resource model.
+        """
+        controller = self.__dict__.get("_admission")
+        if controller is None:
+            controller = self._new_admission_controller()
+            self._admission = controller
+        return controller
+
+    def attach_channel(
+        self,
+        name: str,
+        src: Position,
+        dst: Position,
+        bandwidth_mbps: float,
+        word_source: "WordSource",
+        load: float = 1.0,
+    ) -> Any:
+        """Admit one guaranteed-throughput channel and attach its word stream.
+
+        The kind-agnostic entry point of the experiments harness: every
+        network kind performs whatever admission/configuration it needs
+        (lane circuits, slot schedules, or nothing at all for packet
+        switching) and registers a paced stream from the tile at *src* to
+        the tile at *dst*.
+        """
         raise NotImplementedError
 
     # -- access ---------------------------------------------------------------------------
@@ -196,6 +248,7 @@ def _ensure_registered() -> None:
     # them lazily here keeps fabric <- network dependencies one-directional.
     import repro.noc.network  # noqa: F401
     import repro.noc.packet_network  # noqa: F401
+    import repro.noc.gt_network  # noqa: F401
 
 
 def network_kinds() -> List[str]:
@@ -204,19 +257,23 @@ def network_kinds() -> List[str]:
     return sorted(_NETWORK_KINDS)
 
 
-def build_network(kind: str, topology: Topology, **params: Any) -> NocBase:
-    """Construct a network of *kind* on *topology*.
-
-    ``kind`` accepts the canonical names and the short aliases used by
-    :func:`repro.experiments.harness.run_scenario` (``circuit``,
-    ``circuit_switched``, ``cs``, ``packet``, ``packet_switched``, ``ps``);
-    ``params`` are forwarded to the network constructor.
-    """
+def resolve_network_kind(kind: str) -> Type[NocBase]:
+    """The network class registered under *kind* (accepting every alias)."""
     _ensure_registered()
     try:
-        cls = _NETWORK_KINDS[kind.lower()]
+        return _NETWORK_KINDS[kind.lower()]
     except KeyError:
         raise ReproError(
             f"unknown network kind {kind!r}; available: {', '.join(sorted(_NETWORK_KINDS))}"
         ) from None
-    return cls(topology, **params)
+
+
+def build_network(kind: str, topology: Topology, **params: Any) -> NocBase:
+    """Construct a network of *kind* on *topology*.
+
+    ``kind`` accepts the canonical names and the short aliases used by
+    :func:`repro.experiments.harness.run_scenario` (``circuit``/``cs``,
+    ``packet``/``ps``, ``gt``/``aethereal``/``tdma``);
+    ``params`` are forwarded to the network constructor.
+    """
+    return resolve_network_kind(kind)(topology, **params)

@@ -14,7 +14,7 @@ network builds on the paper's mesh, a torus or a degraded mesh.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 from repro.common import ConfigurationError
 from repro.core.lane import LaneLink
@@ -22,7 +22,7 @@ from repro.core.router import CircuitSwitchedRouter
 from repro.core.testbench import TileStreamConsumer, TileStreamDriver
 from repro.energy.technology import TSMC_130NM_LVHP, Technology
 from repro.noc.fabric import NocBase, WordSource, register_network_kind
-from repro.noc.path_allocation import CircuitAllocation, LaneCircuit
+from repro.noc.path_allocation import CircuitAllocation, LaneAllocator, LaneCircuit
 from repro.noc.topology import Position, Topology
 
 __all__ = ["StreamEndpoints", "CircuitSwitchedNoC"]
@@ -98,6 +98,11 @@ class CircuitSwitchedNoC(NocBase):
     def _stream_received(self, endpoints: StreamEndpoints) -> int:
         return endpoints.words_received
 
+    def _new_admission_controller(self) -> LaneAllocator:
+        return LaneAllocator(
+            self.topology, self.lanes_per_port, self.lane_width, self.data_width
+        )
+
     # -- configuration -----------------------------------------------------------------------
 
     def apply_circuit(self, circuit: LaneCircuit) -> None:
@@ -163,4 +168,41 @@ class CircuitSwitchedNoC(NocBase):
         self.kernel.add(sink)
         endpoints = StreamEndpoints(name, driver, sink, allocation)
         self.streams[name] = endpoints
+        return endpoints
+
+    def attach_channel(
+        self,
+        name: str,
+        src: Position,
+        dst: Position,
+        bandwidth_mbps: float,
+        word_source: WordSource,
+        load: float = 1.0,
+    ) -> List[StreamEndpoints]:
+        allocation = self.admission.allocate(name, src, dst, bandwidth_mbps, self.frequency_hz)
+        self.apply_allocation(allocation)
+        if allocation.is_local or not allocation.circuits:
+            return [self.add_stream(name, allocation, word_source, load)]
+        # Pace the channel at its requested bandwidth (× load), not at the
+        # allocated lanes' capacity, so every network kind offers the
+        # identical word stream.  A channel wider than one lane stripes its
+        # words across every allocated lane circuit (one driver/sink pair per
+        # lane, each carrying an equal share), exactly as the hardware's
+        # lane-division multiplexing does.
+        lane_capacity = self.admission.lane_capacity_mbps(self.frequency_hz)
+        share = min(1.0, load * bandwidth_mbps / (allocation.lanes_used * lane_capacity))
+        if allocation.lanes_used == 1:
+            return [self.add_stream(name, allocation, word_source, share)]
+        endpoints = []
+        for circuit in allocation.circuits:
+            lane_allocation = CircuitAllocation(
+                allocation.channel_name,
+                allocation.src,
+                allocation.dst,
+                allocation.bandwidth_mbps,
+                circuits=[circuit],
+            )
+            endpoints.append(
+                self.add_stream(f"{name}#{circuit.index}", lane_allocation, word_source, share)
+            )
         return endpoints

@@ -20,6 +20,7 @@ from repro.baseline.link import PacketLink
 from repro.baseline.router import PacketSwitchedRouter
 from repro.baseline.testbench import TilePacketDriver
 from repro.common import ConfigurationError
+from repro.core.header import phits_per_packet
 from repro.energy.technology import TSMC_130NM_LVHP, Technology
 from repro.noc.fabric import NocBase, WordSource, register_network_kind
 from repro.noc.routing import RoutingTable
@@ -104,6 +105,7 @@ class PacketSwitchedNoC(NocBase):
         word_source: WordSource,
         load: float = 1.0,
         vc: Optional[int] = None,
+        words_per_packet: Optional[int] = None,
     ) -> PacketStreamEndpoints:
         """Attach a paced word stream from the tile at *src* to the tile at *dst*."""
         if name in self.streams:
@@ -120,12 +122,42 @@ class PacketSwitchedNoC(NocBase):
             dest=dst,
             load=load,
             vc=vc,
-            words_per_packet=self.words_per_packet,
+            words_per_packet=words_per_packet or self.words_per_packet,
         )
         self.kernel.add(driver)
         endpoints = PacketStreamEndpoints(name, driver, src, dst)
         self.streams[name] = endpoints
         return endpoints
+
+    def attach_channel(
+        self,
+        name: str,
+        src: Position,
+        dst: Position,
+        bandwidth_mbps: float,
+        word_source: WordSource,
+        load: float = 1.0,
+    ) -> PacketStreamEndpoints:
+        # Packet switching needs no admission — packets simply contend for
+        # buffers and links, the flexibility-versus-energy trade the paper
+        # discusses — but the stream is paced at the channel's requested
+        # bandwidth (× load) so every network kind offers the identical word
+        # stream.  The tile driver's load=1.0 reference rate is one word per
+        # serialisation interval, i.e. the capacity of one 4-bit lane.
+        phits = phits_per_packet(self.data_width, 4)
+        lane_equivalent_mbps = self.data_width * self.frequency_hz / phits / 1e6
+        effective_load = min(1.0, load * bandwidth_mbps / lane_equivalent_mbps)
+        # Low-rate channels get packets short enough to fill within a bounded
+        # number of cycles (a 16-word packet would take longer than a whole
+        # experiment to fill at kbit/s rates), paying the packet fabric's
+        # real price for them: more header flits per payload word.  High-rate
+        # channels keep the network's full packet size.
+        fill_budget_cycles = 500
+        fillable_words = int(effective_load / phits * fill_budget_cycles)
+        words_per_packet = max(1, min(self.words_per_packet, fillable_words))
+        return self.add_stream(
+            name, src, dst, word_source, effective_load, words_per_packet=words_per_packet
+        )
 
     # -- reporting --------------------------------------------------------------------------
 

@@ -5,25 +5,28 @@ The CCN maps every guaranteed-throughput channel of an application onto a
 destination tile's router.  Because lanes are physically separate, an
 established circuit never collides with other traffic — which is exactly why
 the allocator only has to find lanes that are *free*, not to build a global
-time-slot schedule as the Æthereal/SoCBUS style routers must (Section 4).
+time-slot schedule as the Æthereal/SoCBUS style routers must (Section 4; the
+slot-schedule counterpart lives in :mod:`repro.noc.slot_table`).
 
 The allocator keeps track of the free lanes of every directed link and of the
 free tile-port lanes of every router, finds a shortest path with enough free
 lanes on every hop, and emits the per-router hop descriptions from which
 :func:`repro.core.configuration.commands_for_connection` builds the 10-bit
-configuration commands.
+configuration commands.  The pool bookkeeping, route search and transactional
+release are shared with every other admission kind through
+:class:`repro.noc.admission.AdmissionController`; this module only adds the
+lane-specific arithmetic and reservation rule.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
-
-import networkx as nx
+from typing import List, Tuple
 
 from repro.common import AllocationError, Port, opposite_port
 from repro.core.header import phits_per_packet
+from repro.noc.admission import AdmissionController
 from repro.noc.topology import Position, Topology
 
 __all__ = ["LaneHop", "LaneCircuit", "CircuitAllocation", "LaneAllocator"]
@@ -97,13 +100,15 @@ class CircuitAllocation:
         return self.circuits[0].hop_count if self.circuits else 0
 
 
-class LaneAllocator:
+class LaneAllocator(AdmissionController):
     """Tracks free lanes and allocates circuits on any topology.
 
     The allocator works purely on the topology's directed-link graph, so the
     same code routes circuits over the paper's mesh, across a torus
     wraparound link, or around the missing links of a degraded mesh.
     """
+
+    unit_name = "lane"
 
     def __init__(
         self,
@@ -114,26 +119,10 @@ class LaneAllocator:
     ) -> None:
         if lanes_per_link < 1:
             raise ValueError("lanes_per_link must be positive")
-        self.topology = topology
-        #: Backwards-compatible alias; the attribute predates non-mesh fabrics.
-        self.mesh = topology
+        super().__init__(topology, lanes_per_link)
         self.lanes_per_link = lanes_per_link
         self.lane_width = lane_width
         self.data_width = data_width
-        all_lanes = set(range(lanes_per_link))
-        #: Free lanes of every directed router-to-router link.
-        self._free_link_lanes: Dict[Tuple[Position, Position], Set[int]] = {
-            link: set(all_lanes) for link in topology.directed_links()
-        }
-        #: Free tile-port input lanes (tile → network) per router.
-        self._free_tile_tx: Dict[Position, Set[int]] = {
-            pos: set(all_lanes) for pos in topology.positions()
-        }
-        #: Free tile-port output lanes (network → tile) per router.
-        self._free_tile_rx: Dict[Position, Set[int]] = {
-            pos: set(all_lanes) for pos in topology.positions()
-        }
-        self._allocations: Dict[str, CircuitAllocation] = {}
 
     # -- capacity arithmetic -----------------------------------------------------------
 
@@ -158,76 +147,26 @@ class LaneAllocator:
             return 1
         return max(1, math.ceil(bandwidth_mbps / self.lane_capacity_mbps(frequency_hz)))
 
+    units_required = lanes_required
+
     # -- queries ---------------------------------------------------------------------------
 
     def free_lanes(self, src: Position, dst: Position) -> int:
         """Number of free lanes on the directed link from *src* to *dst*."""
-        try:
-            return len(self._free_link_lanes[(src, dst)])
-        except KeyError:
-            raise AllocationError(f"no link from {src} to {dst} in the topology") from None
-
-    def allocation(self, channel_name: str) -> CircuitAllocation:
-        """The allocation previously made for *channel_name*."""
-        try:
-            return self._allocations[channel_name]
-        except KeyError:
-            raise AllocationError(f"no allocation for channel {channel_name!r}") from None
-
-    @property
-    def allocations(self) -> List[CircuitAllocation]:
-        """All current allocations in insertion order."""
-        return list(self._allocations.values())
-
-    def link_utilization(self) -> float:
-        """Fraction of all link lanes currently allocated."""
-        total = len(self._free_link_lanes) * self.lanes_per_link
-        free = sum(len(lanes) for lanes in self._free_link_lanes.values())
-        return (total - free) / total if total else 0.0
+        return self.free_units(src, dst)
 
     # -- allocation --------------------------------------------------------------------------
 
-    def _route(self, src: Position, dst: Position, lanes_needed: int) -> List[Position]:
-        graph = nx.DiGraph()
-        for position in self.topology.positions():
-            graph.add_node(position)
-        for (a, b), free in self._free_link_lanes.items():
-            if len(free) >= lanes_needed:
-                graph.add_edge(a, b)
-        try:
-            return nx.shortest_path(graph, src, dst)
-        except (nx.NetworkXNoPath, nx.NodeNotFound):
-            raise AllocationError(
-                f"no route with {lanes_needed} free lane(s) from {src} to {dst}"
-            ) from None
-
-    def allocate(
-        self,
-        channel_name: str,
-        src: Position,
-        dst: Position,
-        bandwidth_mbps: float,
-        frequency_hz: float,
+    def _new_allocation(
+        self, channel_name: str, src: Position, dst: Position, bandwidth_mbps: float
     ) -> CircuitAllocation:
-        """Allocate the circuits for one channel; raises :class:`AllocationError`.
+        return CircuitAllocation(channel_name, src, dst, bandwidth_mbps)
 
-        The allocation is transactional: if any resource along the chosen
-        route is unavailable the partial reservation is rolled back.
-        """
-        if channel_name in self._allocations:
-            raise AllocationError(f"channel {channel_name!r} is already allocated")
-        for position in (src, dst):
-            if not self.topology.contains(position):
-                raise AllocationError(f"position {position} is outside the topology")
-
-        allocation = CircuitAllocation(channel_name, src, dst, bandwidth_mbps)
-        if src == dst:
-            # Tile-local channel: nothing to allocate on the network.
-            self._allocations[channel_name] = allocation
-            return allocation
-
-        lanes_needed = self.lanes_required(bandwidth_mbps, frequency_hz)
-        route = self._route(src, dst, lanes_needed)
+    def _allocate_circuits(
+        self, channel_name: str, route: List[Position], units_needed: int
+    ) -> List[LaneCircuit]:
+        src, dst = route[0], route[-1]
+        lanes_needed = units_needed
 
         if len(self._free_tile_tx[src]) < lanes_needed:
             raise AllocationError(
@@ -255,7 +194,7 @@ class LaneAllocator:
 
                 link_lanes: List[int] = []
                 for a, b in zip(route, route[1:]):
-                    free = self._free_link_lanes[(a, b)]
+                    free = self._free_link_units[(a, b)]
                     if not free:
                         raise AllocationError(
                             f"link {a}->{b} ran out of lanes while allocating {channel_name!r}"
@@ -294,23 +233,17 @@ class LaneAllocator:
         except AllocationError:
             # Roll back every reservation made so far.
             for (link, lane) in reserved_links:
-                self._free_link_lanes[link].add(lane)
+                self._free_link_units[link].add(lane)
             for lane in reserved_tx:
                 self._free_tile_tx[src].add(lane)
             for lane in reserved_rx:
                 self._free_tile_rx[dst].add(lane)
             raise
 
-        allocation.circuits = circuits
-        self._allocations[channel_name] = allocation
-        return allocation
+        return circuits
 
-    def release(self, channel_name: str) -> None:
-        """Free every resource held by *channel_name*."""
-        allocation = self.allocation(channel_name)
-        for circuit in allocation.circuits:
-            self._free_tile_tx[circuit.src].add(circuit.source_tile_lane)
-            self._free_tile_rx[circuit.dst].add(circuit.destination_tile_lane)
-            for a, b, hop in zip(circuit.route, circuit.route[1:], circuit.hops):
-                self._free_link_lanes[(a, b)].add(hop.out_lane)
-        del self._allocations[channel_name]
+    def _release_circuit(self, circuit: LaneCircuit) -> None:
+        self._free_tile_tx[circuit.src].add(circuit.source_tile_lane)
+        self._free_tile_rx[circuit.dst].add(circuit.destination_tile_lane)
+        for a, b, hop in zip(circuit.route, circuit.route[1:], circuit.hops):
+            self._free_link_units[(a, b)].add(hop.out_lane)

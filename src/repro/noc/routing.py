@@ -7,7 +7,8 @@ degraded mesh coordinate arithmetic no longer works, so this module
 precomputes a per-router routing table from the topology graph instead:
 
 * on a plain :class:`~repro.noc.topology.Mesh2D` the table *is* dimension
-  order (delegating to :func:`repro.baseline.routing.xy_route`), keeping the
+  order (:func:`dimension_order_route`, which the baseline's ``xy_route``
+  is an alias of), keeping the
   paper's routing — and every activity counter downstream of it —
   bit-identical to the hard-coded arithmetic it replaces;
 * on any other topology a breadth-first search per destination yields
@@ -24,11 +25,31 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List
 
-from repro.baseline.routing import xy_route
 from repro.common import ConfigurationError, Port
 from repro.noc.topology import Mesh2D, Position, Topology
 
-__all__ = ["RoutingTable"]
+__all__ = ["dimension_order_route", "RoutingTable"]
+
+
+def dimension_order_route(current: Position, dest: Position) -> Port:
+    """XY dimension-order routing: the output port chosen at *current*.
+
+    First corrects the x coordinate, then the y coordinate, and delivers to
+    the local tile when both match — deterministic, deadlock-free on a mesh,
+    and the paper's routing.  This is the single source of the dimension-order
+    arithmetic; :mod:`repro.baseline.routing` re-exports it as ``xy_route``.
+    """
+    cx, cy = current
+    dx, dy = dest
+    if dx > cx:
+        return Port.EAST
+    if dx < cx:
+        return Port.WEST
+    if dy > cy:
+        return Port.NORTH
+    if dy < cy:
+        return Port.SOUTH
+    return Port.TILE
 
 
 class RoutingTable:
@@ -84,7 +105,7 @@ class RoutingTable:
         if current == dest:
             return Port.TILE
         if self._dimension_order:
-            return xy_route(current, dest)
+            return dimension_order_route(current, dest)
         try:
             return self._table(dest)[current]
         except KeyError:

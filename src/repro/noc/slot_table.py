@@ -1,0 +1,252 @@
+"""TDMA slot-table admission for the Æthereal-style guaranteed-throughput NoC.
+
+The Philips Æthereal router (Dielissen et al.; the paper's Table 4 reference)
+multiplexes every link in *time* instead of in *space*: a revolving table of
+``slots_per_link`` slots divides each link into fixed time slices, and a
+guaranteed-throughput connection owns one slot per table revolution on every
+link of its route.  Because a word latched at slot *s* of one router appears
+on the wire one cycle later, the reservation must be **aligned**: a circuit
+that leaves its source router at slot ``s`` needs slot ``(s + i) % S`` on the
+*i*-th link of the route, which is the global scheduling problem the paper
+contrasts with lane-division multiplexing (Section 4 — lanes only need to be
+*free*, slots also have to *line up*).
+
+:class:`SlotTableAllocator` implements that admission rule on the shared
+:class:`repro.noc.admission.AdmissionController` machinery: the per-link
+resource pools hold free slot indices, the route search filters links with
+enough free slots, and the circuit reservation scans start slots until the
+whole route (tile ingress, every link, tile egress) is contention-free.  The
+resulting :class:`SlotAllocation` is what
+:class:`repro.noc.gt_network.TimeDivisionNoC` writes into its routers' slot
+tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common import AllocationError, Port, opposite_port
+from repro.noc.admission import AdmissionController
+from repro.noc.topology import Position, Topology
+
+__all__ = ["SlotHop", "SlotCircuit", "SlotAllocation", "SlotTableAllocator"]
+
+
+@dataclass(frozen=True)
+class SlotHop:
+    """How a slot circuit traverses one router.
+
+    ``slot`` is the table index at which this router latches the word into
+    the output register of ``out_port`` — i.e. the slot the circuit owns on
+    the outgoing link (or at the tile egress for the final hop).
+    """
+
+    position: Position
+    in_port: Port
+    out_port: Port
+    slot: int
+
+
+@dataclass(frozen=True)
+class SlotCircuit:
+    """One slot train: one word per table revolution along a fixed route."""
+
+    channel_name: str
+    index: int
+    src: Position
+    dst: Position
+    route: Tuple[Position, ...]
+    hops: Tuple[SlotHop, ...]
+
+    @property
+    def source_slot(self) -> int:
+        """Slot at which the source router pulls the word from its tile."""
+        return self.hops[0].slot
+
+    @property
+    def delivery_slot(self) -> int:
+        """Slot at which the destination router delivers the word to its tile."""
+        return self.hops[-1].slot
+
+    @property
+    def hop_count(self) -> int:
+        """Number of routers the circuit passes through."""
+        return len(self.hops)
+
+
+@dataclass
+class SlotAllocation:
+    """All slot trains allocated for one application channel."""
+
+    channel_name: str
+    src: Position
+    dst: Position
+    bandwidth_mbps: float
+    circuits: List[SlotCircuit] = field(default_factory=list)
+
+    @property
+    def is_local(self) -> bool:
+        """True when source and destination share a tile (no network resources)."""
+        return self.src == self.dst
+
+    @property
+    def slots_used(self) -> int:
+        """Number of slot trains (slots per table revolution) allocated."""
+        return len(self.circuits)
+
+    @property
+    def hop_count(self) -> int:
+        """Router hops of the (common) route, 0 for tile-local channels."""
+        return self.circuits[0].hop_count if self.circuits else 0
+
+
+class SlotTableAllocator(AdmissionController):
+    """Contention-free TDMA slot scheduling on any topology.
+
+    Parameters
+    ----------
+    topology:
+        The router fabric to admit connections on.
+    slots_per_link:
+        Size ``S`` of the revolving slot table (Æthereal publishes 256; the
+        cycle-driven simulation defaults to a smaller table so a revolution
+        fits in a few tens of cycles).
+    data_width:
+        Payload bits carried per slot (one word per owned slot per
+        revolution).
+    """
+
+    unit_name = "slot"
+
+    def __init__(
+        self,
+        topology: Topology,
+        slots_per_link: int = 16,
+        data_width: int = 16,
+    ) -> None:
+        if slots_per_link < 1:
+            raise ValueError("slots_per_link must be positive")
+        super().__init__(topology, slots_per_link)
+        self.slots_per_link = slots_per_link
+        self.data_width = data_width
+
+    # -- capacity arithmetic -----------------------------------------------------------
+
+    def slot_capacity_mbps(self, frequency_hz: float) -> float:
+        """Payload bandwidth of one slot per revolution at the network clock.
+
+        One owned slot carries ``data_width`` bits every ``slots_per_link``
+        cycles (e.g. 16 bits / 16 slots at 100 MHz = 100 Mbit/s).
+        """
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        return self.data_width * frequency_hz / self.slots_per_link / 1e6
+
+    def slots_required(self, bandwidth_mbps: float, frequency_hz: float) -> int:
+        """Slots per revolution needed to guarantee *bandwidth_mbps*."""
+        if bandwidth_mbps < 0:
+            raise ValueError("bandwidth must be non-negative")
+        if bandwidth_mbps == 0:
+            return 1
+        return max(1, math.ceil(bandwidth_mbps / self.slot_capacity_mbps(frequency_hz)))
+
+    units_required = slots_required
+
+    # -- queries ---------------------------------------------------------------------------
+
+    def free_slots(self, src: Position, dst: Position) -> int:
+        """Number of free slots on the directed link from *src* to *dst*."""
+        return self.free_units(src, dst)
+
+    # -- allocation --------------------------------------------------------------------------
+
+    def _new_allocation(
+        self, channel_name: str, src: Position, dst: Position, bandwidth_mbps: float
+    ) -> SlotAllocation:
+        return SlotAllocation(channel_name, src, dst, bandwidth_mbps)
+
+    def _schedule_start_slot(self, route: List[Position]) -> Optional[int]:
+        """Smallest start slot whose aligned schedule is free on the whole route.
+
+        A train starting at slot ``s`` occupies the tile ingress at ``s``,
+        link *i* of the route at ``(s + i) % S`` and the tile egress at
+        ``(s + hops - 1) % S``; all of those must be free simultaneously.
+        """
+        slots = self.slots_per_link
+        src, dst = route[0], route[-1]
+        hops = len(route)
+        for start in range(slots):
+            if start not in self._free_tile_tx[src]:
+                continue
+            if (start + hops - 1) % slots not in self._free_tile_rx[dst]:
+                continue
+            aligned = True
+            for i, (a, b) in enumerate(zip(route, route[1:])):
+                if (start + i) % slots not in self._free_link_units[(a, b)]:
+                    aligned = False
+                    break
+            if aligned:
+                return start
+        return None
+
+    def _reserve_train(self, channel_name: str, index: int, route: List[Position], start: int) -> SlotCircuit:
+        """Take the aligned slots of one train out of the pools and build its hops."""
+        slots = self.slots_per_link
+        src, dst = route[0], route[-1]
+        hops_count = len(route)
+        self._free_tile_tx[src].discard(start)
+        self._free_tile_rx[dst].discard((start + hops_count - 1) % slots)
+        for i, (a, b) in enumerate(zip(route, route[1:])):
+            self._free_link_units[(a, b)].discard((start + i) % slots)
+
+        hops: List[SlotHop] = []
+        for hop_index, position in enumerate(route):
+            if hop_index == 0:
+                in_port = Port.TILE
+            else:
+                previous = route[hop_index - 1]
+                in_port = opposite_port(self.topology.port_towards(previous, position))
+            if hop_index == hops_count - 1:
+                out_port = Port.TILE
+            else:
+                following = route[hop_index + 1]
+                out_port = self.topology.port_towards(position, following)
+            hops.append(SlotHop(position, in_port, out_port, (start + hop_index) % slots))
+
+        return SlotCircuit(
+            channel_name=channel_name,
+            index=index,
+            src=src,
+            dst=dst,
+            route=tuple(route),
+            hops=tuple(hops),
+        )
+
+    def _allocate_circuits(
+        self, channel_name: str, route: List[Position], units_needed: int
+    ) -> List[SlotCircuit]:
+        circuits: List[SlotCircuit] = []
+        try:
+            for index in range(units_needed):
+                start = self._schedule_start_slot(route)
+                if start is None:
+                    raise AllocationError(
+                        f"no contention-free slot schedule for {channel_name!r} on route "
+                        f"{route} ({units_needed} slot(s)/revolution needed, table size "
+                        f"{self.slots_per_link})"
+                    )
+                circuits.append(self._reserve_train(channel_name, index, route, start))
+        except AllocationError:
+            # Roll back the trains reserved so far.
+            for circuit in circuits:
+                self._release_circuit(circuit)
+            raise
+        return circuits
+
+    def _release_circuit(self, circuit: SlotCircuit) -> None:
+        self._free_tile_tx[circuit.src].add(circuit.source_slot)
+        self._free_tile_rx[circuit.dst].add(circuit.delivery_slot)
+        for (a, b), hop in zip(zip(circuit.route, circuit.route[1:]), circuit.hops):
+            self._free_link_units[(a, b)].add(hop.slot)

@@ -110,3 +110,25 @@ class TestWindowCounterSweep:
     def test_words_are_never_lost(self, rows):
         for row in rows:
             assert row["words_delivered"] <= row["offered_words"]
+
+
+class TestGtSlotTableSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.experiments.ablations import gt_slot_table_sweep
+
+        return gt_slot_table_sweep(slot_counts=(8, 16, 32), cycles=800)
+
+    def test_slot_bandwidth_granularity_refines_with_table_size(self, rows):
+        granularities = [row["slot_bandwidth_mbps"] for row in rows]
+        assert granularities == sorted(granularities, reverse=True)
+
+    def test_worst_case_wait_grows_with_table_size(self, rows):
+        waits = [row["worst_case_wait_cycles"] for row in rows]
+        assert waits == sorted(waits)
+        assert waits[-1] > waits[0]
+
+    def test_every_table_size_delivers(self, rows):
+        for row in rows:
+            assert row["words_delivered"] > 0
+            assert row["energy_pj_per_bit"] < float("inf")

@@ -140,3 +140,11 @@ class TestTable4:
     def test_report_renders(self):
         text = table4.format_report()
         assert "circuit_switched" in text and "Area ratio" in text
+        assert "provenance" in text
+
+    def test_aethereal_provenance_separates_quoted_from_simulated(self):
+        provenance = table4.aethereal_provenance()
+        assert provenance["total_area_mm2"].startswith("quoted")
+        assert provenance["max_frequency_mhz"].startswith("quoted")
+        assert provenance["slot-table scheduling"].startswith("simulated")
+        assert provenance["delivered traffic / energy per bit"].startswith("simulated")

@@ -17,10 +17,11 @@ from hypothesis import given, settings, strategies as st
 from repro.apps import hiperlan2, umts
 from repro.apps.traffic import BitFlipPattern, word_generator
 from repro.noc.ccn import CentralCoordinationNode
+from repro.noc.fabric import build_network
 from repro.noc.network import CircuitSwitchedNoC
 from repro.noc.packet_network import PacketSwitchedNoC
 from repro.noc.path_allocation import LaneAllocator
-from repro.noc.topology import Mesh2D
+from repro.noc.topology import Mesh2D, Torus2D
 
 FREQUENCY_HZ = 100e6
 
@@ -213,6 +214,107 @@ class TestResetClearsWires:
             nets[schedule] = network
         _assert_equivalent(nets["strict"], nets["auto"])
         assert nets["auto"].streams["s"].words_received > 0
+
+
+class TestGtNetwork:
+    """Strict-vs-auto equivalence of the Æthereal-style TDMA network."""
+
+    def test_idle_gt_mesh_is_identical_and_mostly_skipped(self):
+        nets = {}
+        for schedule in ("strict", "auto"):
+            network = build_network(
+                "gt", Mesh2D(3, 3), frequency_hz=FREQUENCY_HZ, schedule=schedule
+            )
+            network.run(500)
+            nets[schedule] = network
+        _assert_equivalent(nets["strict"], nets["auto"])
+        stats = nets["auto"].kernel.scheduler_stats
+        assert stats.skipped > stats.evaluated
+
+    def test_configured_but_unloaded_gt_mesh_sleeps(self):
+        """Programmed slot tables without traffic are still a fixed point."""
+        nets = {}
+        for schedule in ("strict", "auto"):
+            network = build_network(
+                "gt", Mesh2D(3, 3), frequency_hz=FREQUENCY_HZ, schedule=schedule
+            )
+            allocation = network.admission.allocate("s", (0, 0), (2, 2), 100.0, FREQUENCY_HZ)
+            network.apply_allocation(allocation)
+            network.run(400)
+            nets[schedule] = network
+        _assert_equivalent(nets["strict"], nets["auto"])
+        stats = nets["auto"].kernel.scheduler_stats
+        assert stats.skipped > 0
+
+    @pytest.mark.parametrize("load", [0.1, 0.6, 1.0])
+    def test_gt_streams_are_identical(self, load):
+        nets = {}
+        for schedule in ("strict", "auto"):
+            network = build_network(
+                "gt", Mesh2D(4, 2), frequency_hz=FREQUENCY_HZ, schedule=schedule
+            )
+            generator = word_generator(BitFlipPattern.TYPICAL, seed=17)
+            network.attach_channel("a", (0, 0), (3, 1), 200.0, generator, load=load)
+            network.attach_channel("b", (3, 0), (0, 0), 100.0, generator, load=load)
+            network.run(1000)
+            nets[schedule] = network
+        _assert_equivalent(nets["strict"], nets["auto"])
+        for endpoint in nets["auto"].streams.values():
+            assert endpoint.words_received > 0
+
+    @pytest.mark.parametrize("app", [hiperlan2, umts], ids=["hiperlan2", "umts"])
+    def test_gt_application_traffic_is_identical(self, app):
+        from repro.experiments.harness import run_app_traffic
+
+        nets = {}
+        for schedule in ("strict", "auto"):
+            result = run_app_traffic(
+                "gt", Mesh2D(4, 4), app.build_process_graph(),
+                frequency_hz=FREQUENCY_HZ, cycles=800, load=0.6, schedule=schedule,
+            )
+            nets[schedule] = result.network
+        _assert_equivalent(nets["strict"], nets["auto"])
+        delivered = sum(s["received"] for s in nets["auto"].stream_statistics().values())
+        assert delivered > 0
+
+    def test_gt_on_torus_is_identical(self):
+        nets = {}
+        for schedule in ("strict", "auto"):
+            network = build_network(
+                "gt", Torus2D(4, 4), frequency_hz=FREQUENCY_HZ, schedule=schedule
+            )
+            generator = word_generator(BitFlipPattern.TYPICAL, seed=5)
+            # The wraparound link makes this a 2-hop route instead of 4.
+            network.attach_channel("wrap", (0, 0), (3, 0), 300.0, generator, load=0.8)
+            network.run(600)
+            nets[schedule] = network
+        _assert_equivalent(nets["strict"], nets["auto"])
+        assert nets["auto"].streams["wrap"].words_received > 0
+        assert nets["auto"].streams["wrap"].allocation.hop_count == 2
+
+    def test_gt_mid_run_reconfiguration_is_identical(self):
+        """Tear a slot schedule down mid-run and program a new one through
+        routers that were quiescent the whole first phase."""
+        nets = {}
+        for schedule in ("strict", "auto"):
+            network = build_network(
+                "gt", Mesh2D(3, 3), frequency_hz=FREQUENCY_HZ, schedule=schedule
+            )
+            generator = word_generator(BitFlipPattern.TYPICAL, seed=23)
+            first = network.admission.allocate("first", (0, 0), (2, 0), 100.0, FREQUENCY_HZ)
+            network.apply_allocation(first)
+            network.add_stream("first", first, generator, load=0.7)
+            network.run(400)
+
+            network.remove_allocation(first)
+            network.admission.release("first")
+            second = network.admission.allocate("second", (0, 2), (2, 2), 100.0, FREQUENCY_HZ)
+            network.apply_allocation(second)
+            network.add_stream("second", second, generator, load=0.7)
+            network.run(400)
+            nets[schedule] = network
+        _assert_equivalent(nets["strict"], nets["auto"])
+        assert nets["auto"].streams["second"].words_received > 0
 
 
 class TestGenericComponentsNeverSkipped:

@@ -1,0 +1,248 @@
+"""Tests for the TDMA slot-table admission layer (repro.noc.slot_table)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import AllocationError, Port
+from repro.noc.admission import AdmissionController
+from repro.noc.path_allocation import LaneAllocator
+from repro.noc.slot_table import SlotTableAllocator
+from repro.noc.topology import Mesh2D, Torus2D
+
+FREQUENCY_HZ = 100e6
+
+
+def _pool_snapshot(allocator):
+    """Deep copy of every free-resource pool of an admission controller."""
+    return (
+        {link: set(units) for link, units in allocator._free_link_units.items()},
+        {pos: set(units) for pos, units in allocator._free_tile_tx.items()},
+        {pos: set(units) for pos, units in allocator._free_tile_rx.items()},
+    )
+
+
+class TestSlotCapacity:
+    def setup_method(self):
+        self.allocator = SlotTableAllocator(Mesh2D(4, 4), slots_per_link=16)
+
+    def test_slot_capacity(self):
+        # 16 bits every 16 cycles at 100 MHz -> 100 Mbit/s per slot.
+        assert self.allocator.slot_capacity_mbps(100e6) == pytest.approx(100.0)
+
+    def test_slots_required(self):
+        assert self.allocator.slots_required(100.0, 100e6) == 1
+        assert self.allocator.slots_required(250.0, 100e6) == 3
+        assert self.allocator.slots_required(0.0, 100e6) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            self.allocator.slot_capacity_mbps(0)
+        with pytest.raises(ValueError):
+            self.allocator.slots_required(-1.0, 100e6)
+        with pytest.raises(ValueError):
+            SlotTableAllocator(Mesh2D(2, 2), slots_per_link=0)
+
+
+class TestSlotAlignment:
+    def setup_method(self):
+        self.mesh = Mesh2D(4, 4)
+        self.allocator = SlotTableAllocator(self.mesh, slots_per_link=16)
+
+    def test_multi_hop_slots_advance_one_per_hop(self):
+        allocation = self.allocator.allocate("ch", (0, 0), (3, 2), 100.0, FREQUENCY_HZ)
+        circuit = allocation.circuits[0]
+        slots = self.allocator.slots_per_link
+        start = circuit.source_slot
+        for index, hop in enumerate(circuit.hops):
+            assert hop.slot == (start + index) % slots
+        assert circuit.hops[0].in_port == Port.TILE
+        assert circuit.hops[-1].out_port == Port.TILE
+        # Consecutive hops agree: the output port of one router faces the next.
+        for a, b, hop in zip(circuit.route, circuit.route[1:], circuit.hops):
+            assert self.mesh.port_towards(a, b) == hop.out_port
+
+    def test_slot_alignment_wraps_around_the_table(self):
+        allocator = SlotTableAllocator(self.mesh, slots_per_link=4)
+        # A 7-router route on a 4-slot table must wrap modulo the table size.
+        allocation = allocator.allocate("long", (0, 0), (3, 3), 1.0, FREQUENCY_HZ)
+        circuit = allocation.circuits[0]
+        assert circuit.hop_count == 7
+        assert [hop.slot for hop in circuit.hops] == [
+            (circuit.source_slot + i) % 4 for i in range(7)
+        ]
+
+    def test_high_bandwidth_channel_gets_multiple_trains(self):
+        allocation = self.allocator.allocate("wide", (0, 0), (1, 0), 250.0, FREQUENCY_HZ)
+        assert allocation.slots_used == 3
+        starts = {c.source_slot for c in allocation.circuits}
+        assert len(starts) == 3
+
+    def test_local_channel_uses_no_resources(self):
+        allocation = self.allocator.allocate("local", (1, 1), (1, 1), 100.0, FREQUENCY_HZ)
+        assert allocation.is_local
+        assert allocation.slots_used == 0
+        assert self.allocator.link_utilization() == 0.0
+
+
+class TestContentionFreedom:
+    def test_no_two_circuits_share_a_link_slot(self):
+        """The guarantee behind "guaranteed throughput": every (link, slot)
+        pair is owned by at most one circuit."""
+        allocator = SlotTableAllocator(Mesh2D(4, 4), slots_per_link=8)
+        used: dict[tuple, str] = {}
+        sources = [((0, 0), (3, 1)), ((0, 1), (3, 1)), ((1, 0), (2, 2)), ((0, 0), (2, 0))]
+        for index, (src, dst) in enumerate(sources):
+            allocation = allocator.allocate(f"ch{index}", src, dst, 200.0, FREQUENCY_HZ)
+            for circuit in allocation.circuits:
+                for (a, b), hop in zip(
+                    zip(circuit.route, circuit.route[1:]), circuit.hops
+                ):
+                    key = (a, b, hop.slot)
+                    assert key not in used, f"slot {key} shared by {used[key]}"
+                    used[key] = circuit.channel_name
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                st.tuples(st.integers(0, 3), st.integers(0, 3)),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_property_no_double_booking_on_torus(self, endpoints):
+        allocator = SlotTableAllocator(Torus2D(4, 4), slots_per_link=8)
+        used: dict[tuple, str] = {}
+        for index, (src, dst) in enumerate(endpoints):
+            name = f"ch{index}"
+            try:
+                allocation = allocator.allocate(name, src, dst, 150.0, FREQUENCY_HZ)
+            except AllocationError:
+                continue
+            for circuit in allocation.circuits:
+                for (a, b), hop in zip(
+                    zip(circuit.route, circuit.route[1:]), circuit.hops
+                ):
+                    key = (a, b, hop.slot)
+                    assert key not in used, f"slot {key} shared by {used[key]} and {name}"
+                    used[key] = name
+
+    def test_rejection_when_no_contention_free_schedule_exists(self):
+        """With a tiny table, a second channel over the same source tile runs
+        out of aligned slots and is rejected with all resources rolled back."""
+        allocator = SlotTableAllocator(Mesh2D(3, 1), slots_per_link=2)
+        allocator.allocate("a", (0, 0), (2, 0), 50.0, FREQUENCY_HZ)
+        allocator.allocate("b", (0, 0), (2, 0), 50.0, FREQUENCY_HZ)
+        snapshot = _pool_snapshot(allocator)
+        with pytest.raises(AllocationError):
+            # Both tile-ingress slots of (0, 0) are taken.
+            allocator.allocate("c", (0, 0), (2, 0), 50.0, FREQUENCY_HZ)
+        assert _pool_snapshot(allocator) == snapshot
+        assert {a.channel_name for a in allocator.allocations} == {"a", "b"}
+
+    def test_misaligned_free_slots_rejected(self):
+        """Free slots that do not line up hop-to-hop are no schedule: both
+        links still have a free slot, but never at consecutive indices."""
+        allocator = SlotTableAllocator(Mesh2D(3, 1), slots_per_link=2)
+        # Occupy slot 0 of both links with single-hop channels.
+        allocator.allocate("p", (0, 0), (1, 0), 50.0, FREQUENCY_HZ)
+        allocator.allocate("q", (1, 0), (2, 0), 50.0, FREQUENCY_HZ)
+        assert allocator.free_slots((0, 0), (1, 0)) == 1
+        assert allocator.free_slots((1, 0), (2, 0)) == 1
+        snapshot = _pool_snapshot(allocator)
+        with pytest.raises(AllocationError):
+            # (0,0)->(2,0) needs link 1 at s and link 2 at (s+1) % 2; the
+            # free slots are 1 and 1, which never align.
+            allocator.allocate("c", (0, 0), (2, 0), 50.0, FREQUENCY_HZ)
+        assert _pool_snapshot(allocator) == snapshot
+
+    def test_partial_multi_train_failure_rolls_back(self):
+        """First train schedules, second finds no aligned start: the first
+        train's reservations must be rolled back."""
+        allocator = SlotTableAllocator(Mesh2D(3, 1), slots_per_link=4)
+        # Shape the pools so exactly one aligned (s, s+1) pair survives:
+        # link 1 keeps slots {0, 2}, link 2 keeps slots {1, 2}, the
+        # destination tile keeps delivery slots {2, 3} — only s = 0 works.
+        for index in range(4):
+            allocator.allocate(f"c{index}", (0, 0), (1, 0), 50.0, FREQUENCY_HZ)
+            allocator.allocate(f"d{index}", (1, 0), (2, 0), 50.0, FREQUENCY_HZ)
+        for name in ("c0", "c2", "d1", "d2"):
+            allocator.release(name)
+        assert allocator.free_slots((0, 0), (1, 0)) == 2
+        assert allocator.free_slots((1, 0), (2, 0)) == 2
+        snapshot = _pool_snapshot(allocator)
+        with pytest.raises(AllocationError):
+            # Needs 2 aligned trains (500 Mbit/s at 400 Mbit/s per slot); the
+            # route filter passes on counts, train 1 reserves s = 0, train 2
+            # finds no second aligned start and everything rolls back.
+            allocator.allocate("b", (0, 0), (2, 0), 500.0, FREQUENCY_HZ)
+        assert _pool_snapshot(allocator) == snapshot
+
+
+class TestAllocateReleaseIdempotence:
+    def setup_method(self):
+        self.allocator = SlotTableAllocator(Mesh2D(4, 4), slots_per_link=16)
+
+    def test_release_restores_every_pool(self):
+        pristine = _pool_snapshot(self.allocator)
+        self.allocator.allocate("ch", (0, 0), (3, 3), 250.0, FREQUENCY_HZ)
+        assert self.allocator.link_utilization() > 0
+        self.allocator.release("ch")
+        assert _pool_snapshot(self.allocator) == pristine
+        assert self.allocator.link_utilization() == 0.0
+
+    def test_double_release_rejected(self):
+        self.allocator.allocate("ch", (0, 0), (1, 0), 10.0, FREQUENCY_HZ)
+        self.allocator.release("ch")
+        with pytest.raises(AllocationError):
+            self.allocator.release("ch")
+
+    def test_reallocation_after_release_is_identical(self):
+        first = self.allocator.allocate("ch", (0, 0), (2, 2), 150.0, FREQUENCY_HZ)
+        schedule = [(c.route, [h.slot for h in c.hops]) for c in first.circuits]
+        self.allocator.release("ch")
+        second = self.allocator.allocate("ch", (0, 0), (2, 2), 150.0, FREQUENCY_HZ)
+        assert [(c.route, [h.slot for h in c.hops]) for c in second.circuits] == schedule
+
+    def test_duplicate_channel_rejected(self):
+        self.allocator.allocate("ch", (0, 0), (1, 0), 10.0, FREQUENCY_HZ)
+        with pytest.raises(AllocationError):
+            self.allocator.allocate("ch", (0, 0), (1, 0), 10.0, FREQUENCY_HZ)
+
+    def test_outside_topology_rejected(self):
+        with pytest.raises(AllocationError):
+            self.allocator.allocate("ch", (0, 0), (9, 9), 10.0, FREQUENCY_HZ)
+
+
+class TestAdmissionLayerShape:
+    """Both resource models sit on the same admission-controller machinery."""
+
+    def test_both_allocators_are_admission_controllers(self):
+        mesh = Mesh2D(3, 3)
+        lanes = LaneAllocator(mesh)
+        slots = SlotTableAllocator(mesh)
+        for allocator in (lanes, slots):
+            assert isinstance(allocator, AdmissionController)
+            assert allocator.free_units((0, 0), (1, 0)) == allocator.units_per_link
+            assert allocator.link_utilization() == 0.0
+
+    def test_shared_interface_allocate_release(self):
+        mesh = Mesh2D(3, 3)
+        for allocator in (LaneAllocator(mesh), SlotTableAllocator(mesh)):
+            allocation = allocator.allocate("ch", (0, 0), (2, 1), 100.0, FREQUENCY_HZ)
+            assert allocator.allocation("ch") is allocation
+            assert allocator.link_utilization() > 0
+            allocator.release("ch")
+            assert allocator.link_utilization() == 0.0
+
+    def test_lane_allocator_unit_aliases(self):
+        allocator = LaneAllocator(Mesh2D(3, 3))
+        assert allocator.lanes_per_link == allocator.units_per_link
+        assert allocator.free_lanes((0, 0), (1, 0)) == allocator.free_units((0, 0), (1, 0))
+        assert allocator.units_required(100.0, FREQUENCY_HZ) == allocator.lanes_required(
+            100.0, FREQUENCY_HZ
+        )

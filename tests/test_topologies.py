@@ -259,3 +259,23 @@ class TestCcnOnAlternativeTopologies:
         network.run(600)
         delivered = sum(s["received"] for s in network.stream_statistics().values())
         assert delivered > 0
+
+
+class TestDimensionOrderSingleSource:
+    """The XY arithmetic lives in repro.noc.routing; baseline consumes it."""
+
+    def test_baseline_xy_route_delegates_to_noc_routing(self):
+        from repro.noc.routing import dimension_order_route
+
+        for current in Mesh2D(5, 5).positions():
+            for dest in Mesh2D(5, 5).positions():
+                assert xy_route(current, dest) == dimension_order_route(current, dest)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        current=st.tuples(st.integers(0, 4), st.integers(0, 4)),
+        dest=st.tuples(st.integers(0, 4), st.integers(0, 4)),
+    )
+    def test_routing_table_equals_xy_route_on_plain_mesh(self, current, dest):
+        table = RoutingTable(Mesh2D(5, 5))
+        assert table.port_for(current, dest) == xy_route(current, dest)
