@@ -12,6 +12,7 @@ Table 4   :mod:`repro.experiments.table4`         router synthesis results
 Fig. 9    :mod:`repro.experiments.figure9`        power per scenario
 Fig. 10   :mod:`repro.experiments.figure10`       power vs. bit flips
 ablations :mod:`repro.experiments.ablations`      clock gating, lanes, window
+dynamic   :mod:`repro.experiments.dynamic`        CCN-driven application churn
 ========  ======================================  ==========================
 """
 
@@ -23,8 +24,15 @@ from repro.experiments.harness import (
     run_packet_scenario,
     run_scenario,
 )
+from repro.experiments.dynamic import (
+    DynamicWorkloadResult,
+    WorkloadEvent,
+    paper_churn_events,
+    run_dynamic_workload,
+)
 from repro.experiments import (
     ablations,
+    dynamic,
     figure9,
     figure10,
     paper_data,
@@ -42,7 +50,12 @@ __all__ = [
     "run_circuit_scenario",
     "run_packet_scenario",
     "run_scenario",
+    "DynamicWorkloadResult",
+    "WorkloadEvent",
+    "paper_churn_events",
+    "run_dynamic_workload",
     "ablations",
+    "dynamic",
     "figure9",
     "figure10",
     "paper_data",

@@ -1,0 +1,279 @@
+"""Dynamic multi-application workloads: CCN-driven churn on live networks.
+
+The CCN exists because applications of a multi-mode terminal *come and go at
+run time* (Section 1: "the CCN performs the feasibility analysis, spatial
+mapping, process allocation and configuration … before the start of an
+application").  The static experiments admit one application and run it to
+completion; this module drives the full lifecycle instead: a deterministic
+schedule of arrival/departure events (UMTS + HiperLAN/2 + DRM churn) is
+replayed against a *live* network of any registered kind, with the
+:class:`~repro.noc.ccn.CentralCoordinationNode` admitting, programming,
+attaching, and transactionally releasing every application mid-simulation.
+
+Per epoch (the interval between consecutive event times) the engine reports
+delivered words, energy per delivered payload bit, link utilization, tile
+occupancy, the accumulated reconfiguration time and the admissions the CCN
+had to reject — the quantities on which the three fabrics differ under churn
+(Section 4: cheap 10-bit lane commands vs. aligned slot-table writes vs. no
+configuration at all but higher per-bit energy).
+
+Provenance note: delivered words, switching activity and thus energy/bit are
+*simulated*; the reconfiguration times are the *analytic* best-effort-network
+transport model of :mod:`repro.noc.be_network` applied to the simulated
+allocations' command counts (the paper's "<1 ms over the BE network" budget),
+not a cycle-accurate BE simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.apps import drm, hiperlan2, umts
+from repro.apps.kpn import ProcessGraph
+from repro.apps.traffic import BitFlipPattern, word_generator
+from repro.common import AllocationError, MappingError, ReproError
+from repro.noc.ccn import CentralCoordinationNode
+from repro.noc.fabric import build_network
+from repro.noc.topology import Mesh2D, Topology
+
+__all__ = [
+    "WorkloadEvent",
+    "EpochReport",
+    "DynamicWorkloadResult",
+    "paper_churn_events",
+    "run_dynamic_workload",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadEvent:
+    """One application arriving at or departing from the SoC."""
+
+    cycle: int
+    action: str  # "arrive" | "depart"
+    application: str
+    graph_factory: Optional[Callable[[], ProcessGraph]] = None
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError("event cycle must be non-negative")
+        if self.action not in ("arrive", "depart"):
+            raise ValueError(f"unknown workload action {self.action!r}")
+        if self.action == "arrive" and self.graph_factory is None:
+            raise ValueError("arrival events need a graph_factory")
+
+
+@dataclass
+class EpochReport:
+    """Observables of one inter-event interval of the simulation."""
+
+    start_cycle: int
+    end_cycle: int
+    #: Human-readable event descriptions applied at *start_cycle*.
+    events: List[str] = field(default_factory=list)
+    #: Applications admitted during this epoch (after the events applied).
+    admitted: List[str] = field(default_factory=list)
+    words_delivered: int = 0
+    energy_pj: float = 0.0
+    energy_pj_per_bit: float = float("inf")
+    link_utilization: float = 0.0
+    tile_occupancy: float = 0.0
+    #: BE-network transport time of the configuration shipped at this epoch's
+    #: start (arrivals admitted at *start_cycle*).
+    reconfiguration_time_s: float = 0.0
+    rejections: int = 0
+
+    @property
+    def cycles(self) -> int:
+        """Length of the epoch in network cycles."""
+        return self.end_cycle - self.start_cycle
+
+
+@dataclass
+class DynamicWorkloadResult:
+    """Outcome of one churn schedule on one network kind."""
+
+    kind: str
+    frequency_hz: float
+    total_cycles: int
+    load: float
+    data_width: int = 16
+    epochs: List[EpochReport] = field(default_factory=list)
+    rejected: List[str] = field(default_factory=list)
+
+    @property
+    def words_delivered(self) -> int:
+        """Payload words delivered across the whole schedule."""
+        return sum(e.words_delivered for e in self.epochs)
+
+    @property
+    def energy_pj_per_bit(self) -> float:
+        """Network energy per delivered payload bit over the whole schedule."""
+        energy = sum(e.energy_pj for e in self.epochs)
+        bits = self.words_delivered * self.data_width
+        return energy / bits if bits else float("inf")
+
+    @property
+    def reconfiguration_time_s(self) -> float:
+        """Total BE-network configuration transport time of all admissions."""
+        return sum(e.reconfiguration_time_s for e in self.epochs)
+
+    @property
+    def rejections(self) -> int:
+        """Arrivals the CCN had to turn away."""
+        return sum(e.rejections for e in self.epochs)
+
+    @property
+    def peak_tile_occupancy(self) -> float:
+        """Highest tile occupancy any epoch reached."""
+        return max((e.tile_occupancy for e in self.epochs), default=0.0)
+
+
+def paper_churn_events() -> List[WorkloadEvent]:
+    """The reference churn schedule: UMTS + HiperLAN/2 + DRM on one terminal.
+
+    Deterministic and deliberately over-subscribed once: the HiperLAN/2
+    re-arrival at cycle 1700 finds UMTS and DRM holding 17 of the 25 tiles
+    and no DSP/DSRH/FPGA slack left for its filters, so the CCN rejects it;
+    after UMTS departs, the retry at cycle 2300 succeeds.  Designed for the
+    default 5×5 grid.
+    """
+    return [
+        WorkloadEvent(0, "arrive", "hiperlan2", hiperlan2.build_process_graph),
+        WorkloadEvent(500, "arrive", "umts", umts.build_process_graph),
+        WorkloadEvent(1100, "depart", "hiperlan2"),
+        WorkloadEvent(1400, "arrive", "drm", drm.build_process_graph),
+        WorkloadEvent(1700, "arrive", "hiperlan2", hiperlan2.build_process_graph),
+        WorkloadEvent(2000, "depart", "umts"),
+        WorkloadEvent(2300, "arrive", "hiperlan2", hiperlan2.build_process_graph),
+    ]
+
+
+def _total_energy_pj(network) -> float:
+    """Cumulative network energy since construction (router power × time)."""
+    duration_s = network.kernel.cycle / network.frequency_hz
+    if duration_s == 0.0:
+        return 0.0
+    return network.total_power().total_uw * duration_s * 1e6
+
+
+def run_dynamic_workload(
+    kind: str,
+    topology: Optional[Topology] = None,
+    events: Optional[Sequence[WorkloadEvent]] = None,
+    frequency_hz: float = 100e6,
+    total_cycles: int = 3000,
+    load: float = 0.5,
+    seed: int = 0,
+    schedule: str = "auto",
+    **params,
+) -> DynamicWorkloadResult:
+    """Replay a churn schedule against a live network of *kind*.
+
+    Events are applied in cycle order; between events the network simulates
+    normally.  Arrivals run the full CCN pipeline (admit + program + attach
+    traffic); infeasible arrivals are counted as rejections and skipped.
+    Departures detach the application's streams and release every resource.
+    """
+    topology = topology if topology is not None else Mesh2D(5, 5)
+    events = list(events) if events is not None else paper_churn_events()
+    events.sort(key=lambda e: e.cycle)
+    if events and events[-1].cycle >= total_cycles:
+        raise ReproError("every event must happen before total_cycles")
+
+    network = build_network(
+        kind, topology, frequency_hz=frequency_hz, schedule=schedule, **params
+    )
+    ccn = CentralCoordinationNode(network=network)
+    generator = word_generator(BitFlipPattern.TYPICAL, seed=seed)
+
+    result = DynamicWorkloadResult(
+        kind=network.kind,
+        frequency_hz=frequency_hz,
+        total_cycles=total_cycles,
+        load=load,
+        data_width=network.data_width,
+    )
+    #: graph.name of every application label currently admitted.
+    live: Dict[str, str] = {}
+    #: Delivered-word baseline per live stream, recorded at attach time (the
+    #: packet fabric counts deliveries per tile pair, so a re-admitted
+    #: application must not re-count an earlier admission's words).  Caveat:
+    #: two *concurrently* live packet streams sharing one (src, dst) tile
+    #: pair would still each report the combined pair count — none of the
+    #: shipped application graphs map two GT channels onto the same pair.
+    baselines: Dict[str, int] = {}
+    #: Words delivered by already-detached streams (finalised at departure).
+    finalized_words = 0
+    prev_words = 0
+    prev_energy = 0.0
+
+    # Group events by cycle so one epoch boundary applies all of them.
+    boundaries: List[int] = sorted({e.cycle for e in events})
+    if not boundaries or boundaries[0] != 0:
+        boundaries.insert(0, 0)
+
+    def delivered_words() -> int:
+        stats = network.stream_statistics()
+        return finalized_words + sum(
+            stats[name]["received"] - baseline for name, baseline in baselines.items()
+        )
+
+    for index, start in enumerate(boundaries):
+        end = boundaries[index + 1] if index + 1 < len(boundaries) else total_cycles
+        epoch = EpochReport(start_cycle=start, end_cycle=end)
+
+        for event in (e for e in events if e.cycle == start):
+            if event.action == "arrive":
+                graph = event.graph_factory()
+                try:
+                    admission = ccn.admit(graph)
+                    ccn.attach_traffic(graph.name, generator, load=load)
+                except (MappingError, AllocationError) as error:
+                    epoch.rejections += 1
+                    result.rejected.append(event.application)
+                    epoch.events.append(
+                        f"reject {event.application} ({type(error).__name__})"
+                    )
+                else:
+                    live[event.application] = graph.name
+                    stats = network.stream_statistics()
+                    for name in admission.stream_names:
+                        baselines[name] = stats[name]["received"]
+                    epoch.reconfiguration_time_s += admission.reconfiguration_time_s
+                    epoch.events.append(f"arrive {event.application}")
+            else:
+                try:
+                    graph_name = live.pop(event.application)
+                except KeyError:
+                    raise ReproError(
+                        f"departure of {event.application!r} without a live admission"
+                    ) from None
+                # release() halts, drains and detaches; its return value is
+                # the post-drain count, so words delivered while draining are
+                # credited rather than lost with the detached streams.
+                final_counts = ccn.release(graph_name)
+                for name, count in final_counts.items():
+                    finalized_words += count - baselines.pop(name)
+                epoch.events.append(f"depart {event.application}")
+
+        # A departure's drain phase may already have run past the epoch
+        # boundary; later epochs re-synchronise at their own end cycles.
+        network.run(max(0, end - network.kernel.cycle))
+
+        words = delivered_words()
+        energy = _total_energy_pj(network)
+        epoch.admitted = ccn.admitted_applications
+        epoch.words_delivered = words - prev_words
+        epoch.energy_pj = energy - prev_energy
+        bits = epoch.words_delivered * network.data_width
+        epoch.energy_pj_per_bit = epoch.energy_pj / bits if bits else float("inf")
+        epoch.link_utilization = (
+            ccn.allocator.link_utilization() if ccn.allocator is not None else 0.0
+        )
+        epoch.tile_occupancy = ccn.grid.occupancy()
+        prev_words, prev_energy = words, energy
+        result.epochs.append(epoch)
+
+    return result

@@ -56,8 +56,7 @@ from repro.noc.gt_network import (
     SlotTableRouter,
     TdmaLink,
 )
-from repro.noc.mapping import Mapping, SpatialMapper
-from repro.noc.tile import TileGrid
+from repro.noc.mapping import Mapping
 from repro.noc.topology import Topology
 from repro.sim.engine import SimulationKernel
 
@@ -552,24 +551,26 @@ def run_app_traffic(
     network = build_network(
         kind, topology, frequency_hz=frequency_hz, schedule=schedule, **params
     )
-    grid = TileGrid(topology)
-    mapping = SpatialMapper(grid).map(graph)
-    generator = word_generator(BitFlipPattern.TYPICAL, seed=seed)
+    # The whole admission pipeline runs through the CCN lifecycle engine:
+    # feasibility, deterministic mapping, allocation on the network's own
+    # admission controller, router programming, then stream attachment —
+    # identical placement and traffic on every kind.
+    from repro.noc.ccn import CentralCoordinationNode
 
-    gt_channels = [
-        c for c in graph.channels if c.traffic_class == TrafficClass.GUARANTEED_THROUGHPUT
-    ]
-    gt_channels.sort(key=lambda c: c.bandwidth_mbps, reverse=True)
+    ccn = CentralCoordinationNode(network=network)
+    admission = ccn.admit(graph)
+    mapping = admission.mapping
+    generator = word_generator(BitFlipPattern.TYPICAL, seed=seed)
+    ccn.attach_traffic(graph.name, generator, load=load)
 
     route_hops = 0
-    for channel in gt_channels:
+    for channel in graph.channels:
+        if channel.traffic_class != TrafficClass.GUARANTEED_THROUGHPUT:
+            continue
         src = mapping.position_of(channel.src)
         dst = mapping.position_of(channel.dst)
         if src == dst:
             continue  # tile-local: no network resources on any kind
-        network.attach_channel(
-            f"{graph.name}:{channel.name}", src, dst, channel.bandwidth_mbps, generator, load=load
-        )
         route_hops += topology.distance(src, dst) + 1
 
     network.run(cycles)

@@ -17,7 +17,14 @@ from repro.common import Port
 from repro.experiments.harness import run_scenario
 from repro.experiments.report import format_table
 
-__all__ = ["table3_rows", "scenario_rows", "collision_analysis", "verify_scenarios", "format_report"]
+__all__ = [
+    "table3_rows",
+    "scenario_rows",
+    "collision_analysis",
+    "verify_scenarios",
+    "verify_lifecycle",
+    "format_report",
+]
 
 
 def table3_rows() -> List[dict]:
@@ -94,6 +101,49 @@ def verify_scenarios(
         for name in SCENARIOS:
             run = run_scenario(kind, name, pattern=pattern, cycles=cycles)
             results[kind][name] = run.delivery_ok(tolerance_words=tolerance)
+    return results
+
+
+def verify_lifecycle(
+    cycles: int = 600,
+    kinds: tuple = ("circuit", "packet", "gt"),
+) -> Dict[str, Dict[str, bool]]:
+    """Run one CCN admit → stream → release → re-admit cycle on every kind.
+
+    The lifecycle analogue of :func:`verify_scenarios`: for each network kind
+    the HiperLAN/2 receiver is admitted onto a live 4×4 network through the
+    :class:`~repro.noc.ccn.CentralCoordinationNode`, its paced streams run
+    for *cycles*, the application is released (checking that no lanes, slots
+    or tiles leak) and admitted again (checking the re-admission is
+    bit-identical).  Returns per-kind pass/fail flags.
+    """
+    from repro.apps import hiperlan2
+    from repro.apps.traffic import word_generator
+    from repro.noc.ccn import CentralCoordinationNode
+    from repro.noc.fabric import build_network
+    from repro.noc.topology import Mesh2D
+
+    results: Dict[str, Dict[str, bool]] = {}
+    for kind in kinds:
+        network = build_network(kind, Mesh2D(4, 4), frequency_hz=100e6)
+        ccn = CentralCoordinationNode(network=network)
+        graph = hiperlan2.build_process_graph()
+        first = ccn.admit(graph)
+        ccn.attach_traffic(graph.name, word_generator(pattern=BitFlipPattern.TYPICAL, seed=7), load=0.5)
+        network.run(cycles)
+        delivered = sum(s["received"] for s in network.stream_statistics().values())
+        ccn.release(graph.name)
+        leak_free = ccn.leak_free()
+        second = ccn.admit(graph)
+        results[kind] = {
+            "delivered": delivered > 0,
+            "leak_free": leak_free,
+            "readmission_identical": (
+                second.mapping.placement == first.mapping.placement
+                and [c.circuits for c in second.allocations]
+                == [c.circuits for c in first.allocations]
+            ),
+        }
     return results
 
 

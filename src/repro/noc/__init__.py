@@ -59,6 +59,7 @@ from repro.noc.gt_network import (
     TimeDivisionNoC,
 )
 from repro.noc.ccn import ApplicationAdmission, CentralCoordinationNode, FeasibilityReport
+from repro.noc.selection import FabricCandidate, FabricDecision, FabricSelector
 
 __all__ = [
     "Topology",
@@ -100,4 +101,7 @@ __all__ = [
     "ApplicationAdmission",
     "CentralCoordinationNode",
     "FeasibilityReport",
+    "FabricCandidate",
+    "FabricDecision",
+    "FabricSelector",
 ]

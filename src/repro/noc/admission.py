@@ -78,6 +78,10 @@ class AdmissionController(abc.ABC):
     # -- capacity arithmetic -----------------------------------------------------------
 
     @abc.abstractmethod
+    def unit_capacity_mbps(self, frequency_hz: float) -> float:
+        """Payload bandwidth one resource unit guarantees at the network clock."""
+
+    @abc.abstractmethod
     def units_required(self, bandwidth_mbps: float, frequency_hz: float) -> int:
         """Units needed to carry *bandwidth_mbps* at the network clock."""
 

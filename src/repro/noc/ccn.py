@@ -1,4 +1,4 @@
-"""The Central Coordination Node (Section 1.1).
+"""The Central Coordination Node (Section 1.1): run-time application lifecycle.
 
 "The SoC system is organized as a centralized system: one node, called
 Central Coordination Node (CCN), performs system coordination functions. …
@@ -6,29 +6,50 @@ The CCN performs the feasibility analysis, spatial mapping, process
 allocation and configuration of the tiles and the NoC before the start of an
 application."
 
-The CCN implemented here runs exactly that admission pipeline:
+The CCN implemented here runs exactly that admission pipeline — and it runs
+it against *any* registered network kind (``"circuit"``/``"packet"``/
+``"gt"`` plus every :func:`repro.noc.fabric.build_network` alias):
 
 1. **feasibility analysis** — every guaranteed-throughput channel must fit in
-   the lane capacity available at the network clock,
+   the per-link resource units (lanes or TDMA slots) available at the network
+   clock; packet switching performs no admission and is feasible whenever the
+   processes fit,
 2. **spatial mapping** — :class:`repro.noc.mapping.SpatialMapper`,
-3. **path/lane allocation** — :class:`repro.noc.path_allocation.LaneAllocator`,
-4. **configuration** — 10-bit commands per lane, transported over the
-   best-effort network (:class:`repro.noc.be_network.BestEffortNetwork`) and,
-   when a live :class:`repro.noc.network.CircuitSwitchedNoC` is attached,
-   written into the routers' configuration memories.
+3. **resource allocation** — any
+   :class:`repro.noc.admission.AdmissionController`:
+   :class:`repro.noc.path_allocation.LaneAllocator` for the paper's lane
+   circuits, :class:`repro.noc.slot_table.SlotTableAllocator` for
+   Æthereal-style aligned slot schedules,
+4. **configuration** — one command per router hop of every circuit, sized by
+   the network kind (10-bit lane commands vs. wider slot-table writes — the
+   Section 4 contrast), transported over the best-effort network
+   (:class:`repro.noc.be_network.BestEffortNetwork`) and, when a live
+   :class:`repro.noc.fabric.NocBase` network is attached, written into the
+   routers (crossbar configuration memories or revolving slot tables),
+5. **traffic attach / release** — :meth:`CentralCoordinationNode
+   .attach_traffic` registers the admitted channels' paced word streams on
+   the live network, and :meth:`CentralCoordinationNode.release` tears
+   streams, router configuration, resources and tiles down transactionally,
+   so applications can arrive and depart mid-simulation.
+
+Reconfiguration-cost provenance: the *number and size* of configuration
+commands are derived from the simulated allocations; their transport time
+uses the analytic best-effort network model (store-and-forward latency), not
+a cycle-accurate BE simulation — exactly the quantity the paper budgets
+("less than 1 ms over the BE network").
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.apps.kpn import ProcessGraph, TrafficClass
-from repro.common import AllocationError, MappingError
+from repro.common import AllocationError, ConfigurationError, MappingError
+from repro.noc.admission import AdmissionController
 from repro.noc.be_network import BestEffortNetwork, ConfigurationDelivery
+from repro.noc.fabric import NocBase, WordSource, resolve_network_kind
 from repro.noc.mapping import Mapping, SpatialMapper
-from repro.noc.network import CircuitSwitchedNoC
-from repro.noc.path_allocation import CircuitAllocation, LaneAllocator
 from repro.noc.tile import TileGrid
 from repro.noc.topology import Position, Topology
 
@@ -41,9 +62,25 @@ class FeasibilityReport:
 
     application: str
     feasible: bool
-    lane_capacity_mbps: float
-    channel_lanes: Dict[str, int] = field(default_factory=dict)
+    #: Payload bandwidth one resource unit guarantees (``inf`` for kinds
+    #: without admission: packet switching admits anything that maps).
+    unit_capacity_mbps: float
+    #: What one unit is called for this kind (``"lane"``, ``"slot"``).
+    unit_name: str = "lane"
+    channel_units: Dict[str, int] = field(default_factory=dict)
     problems: List[str] = field(default_factory=list)
+
+    # -- backwards-compatible aliases (the report predates non-lane kinds) --
+
+    @property
+    def lane_capacity_mbps(self) -> float:
+        """Alias of :attr:`unit_capacity_mbps`."""
+        return self.unit_capacity_mbps
+
+    @property
+    def channel_lanes(self) -> Dict[str, int]:
+        """Alias of :attr:`channel_units`."""
+        return self.channel_units
 
 
 @dataclass
@@ -52,15 +89,36 @@ class ApplicationAdmission:
 
     application: str
     mapping: Mapping
-    allocations: List[CircuitAllocation] = field(default_factory=list)
+    #: Canonical kind of the fabric the application was admitted on.
+    kind: str = "circuit_switched"
+    #: Per-channel allocations (:class:`~repro.noc.path_allocation
+    #: .CircuitAllocation` or :class:`~repro.noc.slot_table.SlotAllocation`);
+    #: empty for kinds without admission.
+    allocations: List[Any] = field(default_factory=list)
     configuration_commands: int = 0
+    #: Bits of one configuration command for this kind (Section 4 contrast).
+    command_bits: int = 0
     delivery: Optional[ConfigurationDelivery] = None
     best_effort_channels: List[str] = field(default_factory=list)
+    #: Stream registry names created by :meth:`CentralCoordinationNode
+    #: .attach_traffic` (empty while no traffic is attached).
+    stream_names: List[str] = field(default_factory=list)
+    #: The admitted process graph (needed to attach packet-switched traffic,
+    #: which has no allocation records to recover channels from).
+    graph: Optional[ProcessGraph] = field(default=None, repr=False)
 
     @property
-    def total_lanes_used(self) -> int:
-        """Lane circuits allocated across all channels."""
-        return sum(a.lanes_used for a in self.allocations)
+    def total_units_used(self) -> int:
+        """Resource units (lane circuits / slot trains) across all channels."""
+        return sum(len(a.circuits) for a in self.allocations)
+
+    #: Backwards-compatible alias; the attribute predates non-lane kinds.
+    total_lanes_used = total_units_used
+
+    @property
+    def configuration_bits(self) -> int:
+        """Total configuration payload shipped over the BE network."""
+        return self.configuration_commands * self.command_bits
 
     @property
     def reconfiguration_time_s(self) -> float:
@@ -69,25 +127,57 @@ class ApplicationAdmission:
 
 
 class CentralCoordinationNode:
-    """Run-time resource manager of the multi-tile SoC."""
+    """Run-time resource manager of the multi-tile SoC, generic over fabrics.
+
+    The CCN can be used two ways:
+
+    * **analytic** — construct with a *topology* and a *kind* (default the
+      paper's circuit switching); admissions are planned on the CCN's own
+      admission controller without any live network,
+    * **bound** — construct with a live ``network=``; the CCN shares the
+      network's own admission controller (so ``attach_channel`` calls and CCN
+      admissions draw from the same pools), programs routers on admission and
+      can attach/detach the admitted applications' paced word streams.
+
+    A live network may also be passed per call to :meth:`admit` /
+    :meth:`release` (the pre-lifecycle API); it must be of the CCN's kind.
+    """
 
     def __init__(
         self,
-        topology: Topology,
+        topology: Optional[Topology] = None,
         grid: Optional[TileGrid] = None,
-        allocator: Optional[LaneAllocator] = None,
+        allocator: Optional[AdmissionController] = None,
         be_network: Optional[BestEffortNetwork] = None,
-        network_frequency_hz: float = 1075e6,
+        network_frequency_hz: Optional[float] = None,
         ccn_position: Position = (0, 0),
+        kind: str = "circuit",
+        network: Optional[NocBase] = None,
     ) -> None:
+        if topology is None:
+            if network is None:
+                raise ConfigurationError("a topology or a live network is required")
+            topology = network.topology
         self.topology = topology
         #: Backwards-compatible alias; the attribute predates non-mesh fabrics.
         self.mesh = topology
+        self.network = network
+        self._network_cls = type(network) if network is not None else resolve_network_kind(kind)
+        #: Canonical kind name of the managed fabric.
+        self.kind = self._network_cls.kind
         self.grid = grid if grid is not None else TileGrid(topology)
-        self.allocator = allocator if allocator is not None else LaneAllocator(topology)
+        if allocator is None and self._network_cls.performs_admission:
+            if network is not None:
+                allocator = network.admission
+            else:
+                allocator = self._network_cls.default_admission_controller(topology)
+        #: The admission controller (``None`` for kinds without admission).
+        self.allocator = allocator
         self.be_network = (
             be_network if be_network is not None else BestEffortNetwork(topology, ccn_position)
         )
+        if network_frequency_hz is None:
+            network_frequency_hz = network.frequency_hz if network is not None else 1075e6
         self.network_frequency_hz = network_frequency_hz
         self.mapper = SpatialMapper(self.grid)
         self._admissions: Dict[str, ApplicationAdmission] = {}
@@ -95,37 +185,62 @@ class CentralCoordinationNode:
     # -- feasibility ------------------------------------------------------------------------
 
     def feasibility(self, graph: ProcessGraph) -> FeasibilityReport:
-        """Check whether every GT channel can be carried by the available lanes."""
-        capacity = self.allocator.lane_capacity_mbps(self.network_frequency_hz)
-        report = FeasibilityReport(graph.name, True, capacity)
+        """Check whether every GT channel fits the kind's per-link resources."""
+        allocator = self.allocator
+        if allocator is None:
+            report = FeasibilityReport(graph.name, True, float("inf"), unit_name="")
+        else:
+            capacity = allocator.unit_capacity_mbps(self.network_frequency_hz)
+            report = FeasibilityReport(
+                graph.name, True, capacity, unit_name=allocator.unit_name
+            )
         if len(graph.processes) > self.topology.size:
             report.feasible = False
             report.problems.append(
                 f"{len(graph.processes)} processes exceed the {self.topology.size} available tiles"
             )
+        if allocator is None:
+            return report
         for channel in graph.channels:
             if channel.traffic_class != TrafficClass.GUARANTEED_THROUGHPUT:
                 continue
-            lanes = self.allocator.lanes_required(channel.bandwidth_mbps, self.network_frequency_hz)
-            report.channel_lanes[channel.name] = lanes
-            if lanes > self.allocator.lanes_per_link:
+            units = allocator.units_required(channel.bandwidth_mbps, self.network_frequency_hz)
+            report.channel_units[channel.name] = units
+            if units > allocator.units_per_link:
                 report.feasible = False
                 report.problems.append(
-                    f"channel {channel.name!r} needs {lanes} lanes but a link only has "
-                    f"{self.allocator.lanes_per_link}"
+                    f"channel {channel.name!r} needs {units} {allocator.unit_name}s but a "
+                    f"link only has {allocator.units_per_link}"
                 )
         return report
 
     # -- admission ------------------------------------------------------------------------------
 
+    def _resolve_network(self, network: Optional[NocBase]) -> Optional[NocBase]:
+        """The live network of one call (argument wins over the bound one)."""
+        network = network if network is not None else self.network
+        if network is not None and type(network).kind != self.kind:
+            raise ConfigurationError(
+                f"CCN manages a {self.kind!r} fabric but was given a "
+                f"{type(network).kind!r} network"
+            )
+        return network
+
     def admit(
         self,
         graph: ProcessGraph,
-        network: Optional[CircuitSwitchedNoC] = None,
+        network: Optional[NocBase] = None,
     ) -> ApplicationAdmission:
-        """Map, allocate and configure one application (raises on infeasibility)."""
+        """Map, allocate and configure one application (raises on infeasibility).
+
+        With a live network (bound or passed here) the allocations are also
+        written into the routers — crossbar configuration memories for lane
+        circuits, revolving slot tables for slot trains.  Rolls everything
+        back if any channel cannot be allocated.
+        """
         if graph.name in self._admissions:
             raise MappingError(f"application {graph.name!r} is already admitted")
+        network = self._resolve_network(network)
         report = self.feasibility(graph)
         if not report.feasible:
             raise MappingError(
@@ -133,7 +248,13 @@ class CentralCoordinationNode:
             )
 
         mapping = self.mapper.map(graph)
-        admission = ApplicationAdmission(graph.name, mapping)
+        admission = ApplicationAdmission(
+            graph.name,
+            mapping,
+            kind=self.kind,
+            command_bits=self._network_cls.config_command_bits,
+            graph=graph,
+        )
 
         gt_channels = [
             c for c in graph.channels if c.traffic_class == TrafficClass.GUARANTEED_THROUGHPUT
@@ -143,35 +264,40 @@ class CentralCoordinationNode:
             c.name for c in graph.channels if c.traffic_class == TrafficClass.BEST_EFFORT
         ]
 
-        allocated: List[CircuitAllocation] = []
-        try:
-            for channel in gt_channels:
-                src = mapping.position_of(channel.src)
-                dst = mapping.position_of(channel.dst)
-                allocation = self.allocator.allocate(
-                    f"{graph.name}:{channel.name}",
-                    src,
-                    dst,
-                    channel.bandwidth_mbps,
-                    self.network_frequency_hz,
-                )
-                allocated.append(allocation)
-        except AllocationError:
-            for allocation in allocated:
-                self.allocator.release(allocation.channel_name)
-            self.mapper.unmap(mapping)
-            raise
+        allocated: List[Any] = []
+        if self.allocator is not None:
+            try:
+                for channel in gt_channels:
+                    src = mapping.position_of(channel.src)
+                    dst = mapping.position_of(channel.dst)
+                    allocation = self.allocator.allocate(
+                        f"{graph.name}:{channel.name}",
+                        src,
+                        dst,
+                        channel.bandwidth_mbps,
+                        self.network_frequency_hz,
+                    )
+                    allocated.append(allocation)
+            except AllocationError:
+                for allocation in allocated:
+                    self.allocator.release(allocation.channel_name)
+                self.mapper.unmap(mapping)
+                raise
 
         admission.allocations = allocated
 
-        # One 10-bit command per router hop of every lane circuit.
+        # One configuration command per router hop of every circuit; command
+        # width is the kind's (10-bit lane command vs. slot-table write).
         commands_per_router: Dict[Position, int] = {}
         for allocation in allocated:
             for circuit in allocation.circuits:
                 for hop in circuit.hops:
                     commands_per_router[hop.position] = commands_per_router.get(hop.position, 0) + 1
         admission.configuration_commands = sum(commands_per_router.values())
-        admission.delivery = self.be_network.deliver(commands_per_router)
+        if commands_per_router:
+            admission.delivery = self.be_network.deliver(
+                commands_per_router, admission.command_bits
+            )
 
         if network is not None:
             for allocation in allocated:
@@ -180,21 +306,194 @@ class CentralCoordinationNode:
         self._admissions[graph.name] = admission
         return admission
 
+    # -- traffic ----------------------------------------------------------------------------
+
+    def attach_traffic(
+        self,
+        application: str,
+        word_source: WordSource,
+        load: float = 1.0,
+        network: Optional[NocBase] = None,
+    ) -> List[str]:
+        """Attach the admitted application's paced GT word streams to a live network.
+
+        For kinds with admission the streams ride the allocations made by
+        :meth:`admit` (the network's routers are already programmed); packet
+        switching attaches contention-based streams per mapped channel.
+        Returns the created stream-registry names (recorded on the admission
+        so :meth:`release` can detach them again).
+        """
+        admission = self.admission(application)
+        network = self._resolve_network(network)
+        if network is None:
+            raise ConfigurationError("attaching traffic requires a live network")
+        if admission.stream_names:
+            raise ConfigurationError(
+                f"application {application!r} already has traffic attached"
+            )
+        graph = admission.graph
+        names: List[str] = []
+        current: Optional[str] = None
+        try:
+            if self.allocator is not None:
+                for allocation in admission.allocations:
+                    if allocation.is_local or not allocation.circuits:
+                        continue
+                    current = allocation.channel_name
+                    endpoints = network.attach_channel(
+                        allocation.channel_name,
+                        allocation.src,
+                        allocation.dst,
+                        allocation.bandwidth_mbps,
+                        word_source,
+                        load,
+                        allocation=allocation,
+                    )
+                    if isinstance(endpoints, list):
+                        names.extend(ep.name for ep in endpoints)
+                    else:
+                        names.append(endpoints.name)
+            else:
+                if graph is None:
+                    raise ConfigurationError(
+                        f"admission of {application!r} has no process graph to attach"
+                    )
+                for channel in graph.channels:
+                    if channel.traffic_class != TrafficClass.GUARANTEED_THROUGHPUT:
+                        continue
+                    src = admission.mapping.position_of(channel.src)
+                    dst = admission.mapping.position_of(channel.dst)
+                    if src == dst:
+                        continue
+                    current = f"{application}:{channel.name}"
+                    endpoints = network.attach_channel(
+                        current,
+                        src,
+                        dst,
+                        channel.bandwidth_mbps,
+                        word_source,
+                        load,
+                    )
+                    names.append(endpoints.name)
+        except Exception:
+            # Transactional: detach exactly the streams this call attached —
+            # the recorded names plus any "name#i" partial of the channel
+            # that failed mid-striping.  A *foreign* stream whose name
+            # collided (the usual failure) is left alone.
+            cleanup = set(names)
+            if current is not None:
+                cleanup.update(
+                    stream_name
+                    for stream_name in network.streams
+                    if stream_name.startswith(f"{current}#")
+                )
+            for stream_name in cleanup:
+                if stream_name in network.streams:
+                    network.detach_stream(stream_name)
+            raise
+        admission.stream_names = names
+        return names
+
+    # -- release ----------------------------------------------------------------------------
+
+    def _drain_streams(
+        self,
+        network: NocBase,
+        names: List[str],
+        chunk_cycles: int,
+        max_cycles: int,
+    ) -> None:
+        """Run the network until the halted streams stop delivering words.
+
+        Injection has already been stopped; the remaining in-flight words
+        reach their sinks within a bounded number of cycles (serialiser
+        queues, slot-table revolutions, packet worms).  A chunk with no new
+        deliveries on any of the application's streams means the pipeline is
+        dry — then it is safe to deconfigure the routers underneath.
+        """
+
+        def snapshot() -> List[int]:
+            stats = network.stream_statistics()
+            return [stats[name]["received"] for name in names]
+
+        spent = 0
+        previous = snapshot()
+        while spent < max_cycles:
+            network.run(chunk_cycles)
+            spent += chunk_cycles
+            current = snapshot()
+            if current == previous:
+                return
+            previous = current
+
     def release(
         self,
         application: str,
-        network: Optional[CircuitSwitchedNoC] = None,
-    ) -> None:
-        """Tear an admitted application down again (frees tiles and lanes)."""
-        try:
-            admission = self._admissions.pop(application)
-        except KeyError:
-            raise MappingError(f"application {application!r} is not admitted") from None
+        network: Optional[NocBase] = None,
+        drain_chunk_cycles: int = 64,
+        max_drain_cycles: int = 4096,
+    ) -> Dict[str, int]:
+        """Tear an admitted application down (streams, configuration, resources, tiles).
+
+        An application with attached traffic is stopped the way the hardware
+        would stop it: injection halts first, the network then runs until the
+        application's in-flight words have drained to their sinks (other
+        applications keep running meanwhile), and only then are the streams
+        detached, the routers deconfigured and the resources and tiles
+        released.  Set ``drain_chunk_cycles=0`` to tear down immediately
+        (in-flight words are lost; residual wire state may linger).
+
+        Returns the final post-drain delivered-word count per detached
+        stream, so churn accounting can credit the words that arrived during
+        the drain.
+        """
+        network = self._resolve_network(network)
+        admission = self.admission(application)
+        if admission.stream_names and network is None:
+            raise ConfigurationError(
+                f"application {application!r} has live streams; release needs the network"
+            )
+        del self._admissions[application]
+        final_counts: Dict[str, int] = {}
+        if admission.stream_names:
+            for name in admission.stream_names:
+                network.halt_stream(name)
+            if drain_chunk_cycles:
+                self._drain_streams(
+                    network, admission.stream_names, drain_chunk_cycles, max_drain_cycles
+                )
+            stats = network.stream_statistics()
+            for name in admission.stream_names:
+                final_counts[name] = stats[name]["received"]
+                network.detach_stream(name)
+            admission.stream_names = []
         for allocation in admission.allocations:
             if network is not None:
                 network.remove_allocation(allocation)
-            self.allocator.release(allocation.channel_name)
+            if self.allocator is not None:
+                self.allocator.release(allocation.channel_name)
         self.mapper.unmap(admission.mapping)
+        return final_counts
+
+    # -- queries -----------------------------------------------------------------------------
+
+    def leak_free(self, network: Optional[NocBase] = None) -> bool:
+        """True when no run-time resources are held anywhere.
+
+        The post-release invariant the lifecycle tests and benchmarks check:
+        no admissions, every resource unit back in its pool, every tile
+        unoccupied and (with a live network) no registered streams.
+        """
+        network = network if network is not None else self.network
+        if self._admissions:
+            return False
+        if self.allocator is not None and self.allocator.link_utilization() != 0.0:
+            return False
+        if self.grid.occupancy() != 0.0:
+            return False
+        if network is not None and network.streams:
+            return False
+        return True
 
     @property
     def admitted_applications(self) -> List[str]:

@@ -52,6 +52,13 @@ class NocBase:
     kind: str = "abstract"
     #: Name under which :meth:`merged_activity` folds the router counters.
     activity_name: str = "network"
+    #: True for kinds whose channels must be admitted before they can flow
+    #: (lane circuits, slot schedules); False for contention-based fabrics.
+    performs_admission: bool = False
+    #: Bits of one configuration command written into a router of this kind
+    #: (what the CCN ships over the best-effort network per circuit hop);
+    #: 0 when the kind needs no per-connection configuration.
+    config_command_bits: int = 0
 
     def __init__(
         self,
@@ -116,6 +123,17 @@ class NocBase:
             f"{self.kind} network performs no admission control"
         )
 
+    @classmethod
+    def default_admission_controller(cls, topology: Topology) -> Any:
+        """A fresh admission controller with this kind's default geometry.
+
+        The class-level counterpart of :attr:`admission` — what an *external*
+        resource manager (the CCN) uses to plan admissions for this kind
+        without building a live network first.  ``None`` for kinds that
+        perform no admission control (packet switching).
+        """
+        return None
+
     @property
     def admission(self) -> Any:
         """The network's own admission controller, created on first use.
@@ -134,6 +152,20 @@ class NocBase:
             self._admission = controller
         return controller
 
+    # -- configuration ------------------------------------------------------------------
+
+    def apply_allocation(self, allocation: Any) -> None:
+        """Program one channel allocation into the routers (no-op by default).
+
+        Kinds with admission (lane circuits, slot schedules) override this;
+        contention-based kinds have nothing to configure.
+        """
+
+    def remove_allocation(self, allocation: Any) -> None:
+        """Erase one channel allocation from the routers again (no-op by default)."""
+
+    # -- traffic ------------------------------------------------------------------------
+
     def attach_channel(
         self,
         name: str,
@@ -142,6 +174,7 @@ class NocBase:
         bandwidth_mbps: float,
         word_source: "WordSource",
         load: float = 1.0,
+        allocation: Any = None,
     ) -> Any:
         """Admit one guaranteed-throughput channel and attach its word stream.
 
@@ -150,8 +183,85 @@ class NocBase:
         (lane circuits, slot schedules, or nothing at all for packet
         switching) and registers a paced stream from the tile at *src* to
         the tile at *dst*.
+
+        When *allocation* is given the caller (the CCN) has already admitted
+        the channel and programmed the routers; only the paced stream
+        endpoints are attached then.
         """
         raise NotImplementedError
+
+    def _remove_component(self, component: Any) -> None:
+        """Take one endpoint component off the kernel (tolerates absence).
+
+        Halting a stream removes its source driver early; the later full
+        detach must not trip over the already-removed component.
+        """
+        if component is not None and component._scheduler is self.kernel:
+            self.kernel.remove(component)
+
+    def _detach_stream_components(self, endpoints: Any) -> None:
+        """Take one stream's driver/sink components off the kernel."""
+        raise NotImplementedError
+
+    def halt_stream(self, name: str) -> None:
+        """Stop one stream's injection (its source driver leaves the kernel).
+
+        The first phase of a clean run-time teardown: the application stops
+        producing, but the sink endpoints stay attached so words already in
+        the fabric can drain before :meth:`detach_stream` removes the rest
+        and the configuration is torn down.
+        """
+        try:
+            endpoints = self.streams[name]
+        except KeyError:
+            raise ConfigurationError(f"no stream named {name!r}") from None
+        self._remove_component(getattr(endpoints, "source", None))
+
+    def detach_stream(self, name: str) -> Any:
+        """Remove one registered stream's endpoints from the network.
+
+        The run-time counterpart of stream attachment: the departing
+        application's drivers and sinks leave the simulation kernel (their
+        names become reusable), while routers, links and any admitted
+        configuration stay untouched — tearing those down is
+        :meth:`remove_allocation` / :meth:`detach_channel` territory.
+        Returns the removed endpoints record.
+        """
+        try:
+            endpoints = self.streams.pop(name)
+        except KeyError:
+            raise ConfigurationError(f"no stream named {name!r}") from None
+        self._detach_stream_components(endpoints)
+        return endpoints
+
+    def detach_channel(self, name: str, drain_cycles: int = 0) -> None:
+        """Tear one :meth:`attach_channel` channel fully down again.
+
+        Removes every stream the channel registered (a lane-striped channel
+        registers ``name#i`` per lane circuit), erases the router
+        configuration and releases the admitted resources — the inverse of
+        :meth:`attach_channel` for channels admitted through the network's
+        own controller.  A non-zero *drain_cycles* halts injection first and
+        runs the network that long so in-flight words reach their sinks
+        before the configuration disappears under them (the CCN's
+        :meth:`~repro.noc.ccn.CentralCoordinationNode.release` drains
+        adaptively instead).
+        """
+        stream_names = [
+            n for n in self.streams if n == name or n.startswith(f"{name}#")
+        ]
+        if not stream_names:
+            raise ConfigurationError(f"no stream named {name!r}")
+        if drain_cycles:
+            for stream_name in stream_names:
+                self.halt_stream(stream_name)
+            self.run(drain_cycles)
+        for stream_name in stream_names:
+            self.detach_stream(stream_name)
+        if self.performs_admission:
+            allocation = self.admission.allocation(name)
+            self.remove_allocation(allocation)
+            self.admission.release(name)
 
     # -- access ---------------------------------------------------------------------------
 

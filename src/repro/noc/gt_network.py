@@ -169,6 +169,11 @@ class TdmaTileInterface:
         """Words delivered to this tile on *connection*."""
         return len(self.received.get(connection, ()))
 
+    def forget(self, connection: str) -> None:
+        """Drop one departed connection's queued and delivered words."""
+        self._tx.pop(connection, None)
+        self.received.pop(connection, None)
+
     def reset(self) -> None:
         """Drop all queued and received data."""
         self._tx.clear()
@@ -581,6 +586,12 @@ class TimeDivisionNoC(NocBase):
 
     kind = "time_division_gt"
     activity_name = "gt_network"
+    performs_admission = True
+    #: One slot-table write per router hop: 3-bit output port + 8-bit slot
+    #: index (Æthereal publishes 256-slot tables) + 3-bit input port.  Wider
+    #: than the 10-bit lane command *and* there is one per owned slot per
+    #: revolution — the configuration-effort contrast of Section 4.
+    config_command_bits = 14
 
     def __init__(
         self,
@@ -621,6 +632,10 @@ class TimeDivisionNoC(NocBase):
 
     def _new_admission_controller(self) -> SlotTableAllocator:
         return SlotTableAllocator(self.topology, self.slots, self.data_width)
+
+    @classmethod
+    def default_admission_controller(cls, topology: Topology) -> SlotTableAllocator:
+        return SlotTableAllocator(topology)
 
     # -- slot-table configuration ------------------------------------------------------------
 
@@ -686,6 +701,14 @@ class TimeDivisionNoC(NocBase):
         self.streams[name] = endpoints
         return endpoints
 
+    def _detach_stream_components(self, endpoints: GtStreamEndpoints) -> None:
+        self._remove_component(endpoints.source)
+        if endpoints.sink is not None:
+            # Drop the departed connection's queued and delivered words so a
+            # later same-name admission starts from a clean tile interface,
+            # like the other kinds' fresh endpoint objects do.
+            endpoints.sink.forget(endpoints.allocation.channel_name)
+
     def attach_channel(
         self,
         name: str,
@@ -694,9 +717,13 @@ class TimeDivisionNoC(NocBase):
         bandwidth_mbps: float,
         word_source: WordSource,
         load: float = 1.0,
+        allocation: Optional[SlotAllocation] = None,
     ) -> GtStreamEndpoints:
-        allocation = self.admission.allocate(name, src, dst, bandwidth_mbps, self.frequency_hz)
-        self.apply_allocation(allocation)
+        if allocation is None:
+            allocation = self.admission.allocate(
+                name, src, dst, bandwidth_mbps, self.frequency_hz
+            )
+            self.apply_allocation(allocation)
         # Pace the stream at the channel's requested bandwidth (× load), not
         # at the allocated slots' capacity, so every network kind offers the
         # identical word stream for the same channel.

@@ -82,11 +82,32 @@ class SpatialMapper:
 
     # -- greedy construction --------------------------------------------------------------
 
+    def _centroid(self) -> tuple[float, float]:
+        """Mean coordinate of the topology's *actual* router positions.
+
+        On a full grid this equals ``((width-1)/2, (height-1)/2)``; on an
+        irregular topology (dead routers, floorplan holes) the centroid
+        shifts with the surviving positions, so the first process is centred
+        among tiles that really exist.
+        """
+        positions = list(self.mesh.positions())
+        count = len(positions)
+        return (
+            sum(x for x, _ in positions) / count,
+            sum(y for _, y in positions) / count,
+        )
+
     def _greedy(self, graph: ProcessGraph) -> Dict[str, Position]:
         placement: Dict[str, Position] = {}
+        used: set = set()
+        cx, cy = self._centroid()
         for process in self._placement_order(graph):
-            candidates = self.grid.free_tiles_for(process)
-            candidates = [t for t in candidates if t.position not in placement.values()]
+            # Grid-level occupancy is applied only after the whole placement
+            # is final, so tiles taken earlier in *this* mapping are excluded
+            # via the running set (not by rescanning placement.values()).
+            candidates = [
+                t for t in self.grid.free_tiles_for(process) if t.position not in used
+            ]
             if not candidates:
                 raise MappingError(
                     f"no free tile of a suitable type for process {process.name!r} "
@@ -100,14 +121,13 @@ class SpatialMapper:
                 cost = self._cost(graph, trial)
                 # Prefer central tiles for the first (highest-bandwidth) process.
                 if not placement:
-                    cx = (self.mesh.width - 1) / 2
-                    cy = (self.mesh.height - 1) / 2
                     cost = abs(tile.position[0] - cx) + abs(tile.position[1] - cy)
                 if cost < best_cost:
                     best_cost = cost
                     best_position = tile.position
             assert best_position is not None
             placement[process.name] = best_position
+            used.add(best_position)
         return placement
 
     # -- local search ----------------------------------------------------------------------

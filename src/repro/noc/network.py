@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.common import ConfigurationError
+from repro.core.configuration import COMMAND_BITS
 from repro.core.lane import LaneLink
 from repro.core.router import CircuitSwitchedRouter
 from repro.core.testbench import TileStreamConsumer, TileStreamDriver
@@ -54,6 +55,9 @@ class CircuitSwitchedNoC(NocBase):
 
     kind = "circuit_switched"
     activity_name = "network"
+    performs_admission = True
+    #: One 10-bit lane command per router hop (Section 5.1).
+    config_command_bits = COMMAND_BITS
 
     def __init__(
         self,
@@ -102,6 +106,10 @@ class CircuitSwitchedNoC(NocBase):
         return LaneAllocator(
             self.topology, self.lanes_per_port, self.lane_width, self.data_width
         )
+
+    @classmethod
+    def default_admission_controller(cls, topology: Topology) -> LaneAllocator:
+        return LaneAllocator(topology)
 
     # -- configuration -----------------------------------------------------------------------
 
@@ -170,6 +178,10 @@ class CircuitSwitchedNoC(NocBase):
         self.streams[name] = endpoints
         return endpoints
 
+    def _detach_stream_components(self, endpoints: StreamEndpoints) -> None:
+        self._remove_component(endpoints.source)
+        self._remove_component(endpoints.sink)
+
     def attach_channel(
         self,
         name: str,
@@ -178,9 +190,13 @@ class CircuitSwitchedNoC(NocBase):
         bandwidth_mbps: float,
         word_source: WordSource,
         load: float = 1.0,
+        allocation: Optional[CircuitAllocation] = None,
     ) -> List[StreamEndpoints]:
-        allocation = self.admission.allocate(name, src, dst, bandwidth_mbps, self.frequency_hz)
-        self.apply_allocation(allocation)
+        if allocation is None:
+            allocation = self.admission.allocate(
+                name, src, dst, bandwidth_mbps, self.frequency_hz
+            )
+            self.apply_allocation(allocation)
         if allocation.is_local or not allocation.circuits:
             return [self.add_stream(name, allocation, word_source, load)]
         # Pace the channel at its requested bandwidth (× load), not at the

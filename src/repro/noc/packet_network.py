@@ -129,6 +129,9 @@ class PacketSwitchedNoC(NocBase):
         self.streams[name] = endpoints
         return endpoints
 
+    def _detach_stream_components(self, endpoints: PacketStreamEndpoints) -> None:
+        self._remove_component(endpoints.source)
+
     def attach_channel(
         self,
         name: str,
@@ -137,6 +140,7 @@ class PacketSwitchedNoC(NocBase):
         bandwidth_mbps: float,
         word_source: WordSource,
         load: float = 1.0,
+        allocation: object = None,
     ) -> PacketStreamEndpoints:
         # Packet switching needs no admission — packets simply contend for
         # buffers and links, the flexibility-versus-energy trade the paper

@@ -148,6 +148,7 @@ class LaneAllocator(AdmissionController):
         return max(1, math.ceil(bandwidth_mbps / self.lane_capacity_mbps(frequency_hz)))
 
     units_required = lanes_required
+    unit_capacity_mbps = lane_capacity_mbps
 
     # -- queries ---------------------------------------------------------------------------
 

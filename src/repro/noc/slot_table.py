@@ -153,6 +153,7 @@ class SlotTableAllocator(AdmissionController):
         return max(1, math.ceil(bandwidth_mbps / self.slot_capacity_mbps(frequency_hz)))
 
     units_required = slots_required
+    unit_capacity_mbps = slot_capacity_mbps
 
     # -- queries ---------------------------------------------------------------------------
 

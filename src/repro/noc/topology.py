@@ -227,30 +227,42 @@ def _undirected(link: Link) -> Link:
 
 @dataclass(frozen=True)
 class IrregularMesh(GridTopology):
-    """A topology with selected links removed (fault model / floorplan holes).
+    """A topology with selected links or routers removed (fault model / holes).
 
     Decorates any base topology and drops the given links in *both*
-    directions, modelling broken wires or routers placed around hard macros.
-    Construction validates that every removed link exists in the base topology
-    and that the surviving network is still connected, so routing and
-    allocation always succeed.
+    directions — modelling broken wires or routers placed around hard
+    macros — and/or removes whole router positions (a dead router takes its
+    tile and every incident link with it).  Construction validates that every
+    removed link and router exists in the base topology and that the
+    surviving network is still connected, so routing and allocation always
+    succeed.
     """
 
     base: Topology
-    broken_links: Iterable[Link]
+    broken_links: Iterable[Link] = ()
+    broken_routers: Iterable[Position] = ()
     _broken: frozenset = field(init=False, repr=False, compare=False)
+    _dead: frozenset = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        dead = frozenset(tuple(position) for position in self.broken_routers)
+        outside = sorted(p for p in dead if not self.base.contains(p))
+        if outside:
+            raise ValueError(f"cannot break routers absent from the base topology: {outside}")
+        if len(dead) >= self.base.size:
+            raise ValueError("cannot break every router of the topology")
         broken = frozenset(_undirected(link) for link in self.broken_links)
         base_links = {_undirected(link) for link in self.base.directed_links()}
         missing = sorted(link for link in broken if link not in base_links)
         if missing:
             raise ValueError(f"cannot break links absent from the base topology: {missing}")
         object.__setattr__(self, "broken_links", tuple(sorted(broken)))
+        object.__setattr__(self, "broken_routers", tuple(sorted(dead)))
         object.__setattr__(self, "_broken", broken)
+        object.__setattr__(self, "_dead", dead)
         graph = self.to_networkx()
         if not nx.is_strongly_connected(graph):
-            raise ValueError("removing these links disconnects the topology")
+            raise ValueError("removing these links/routers disconnects the topology")
 
     # -- delegation to the base topology ---------------------------------------------
 
@@ -262,15 +274,32 @@ class IrregularMesh(GridTopology):
     def height(self) -> int:  # type: ignore[override]
         return self.base.height
 
+    @property
+    def size(self) -> int:
+        """Number of surviving routers (= tiles)."""
+        return self.base.size - len(self._dead)
+
     def contains(self, position: Position) -> bool:
-        return self.base.contains(position)
+        return self.base.contains(position) and position not in self._dead
+
+    def positions(self) -> Iterator[Position]:
+        for position in self.base.positions():
+            if position not in self._dead:
+                yield position
 
     def router_name(self, position: Position) -> str:
+        if position in self._dead:
+            raise ValueError(f"router at {position} is broken in this topology")
         return self.base.router_name(position)
 
     def neighbor(self, position: Position, port: Port) -> Position | None:
         neighbor = self.base.neighbor(position, port)
-        if neighbor is None or _undirected((position, neighbor)) in self._broken:
+        if (
+            neighbor is None
+            or neighbor in self._dead
+            or position in self._dead
+            or _undirected((position, neighbor)) in self._broken
+        ):
             return None
         return neighbor
 

@@ -159,6 +159,9 @@ class SimulationKernel:
         self.schedule = schedule
         self._components: list[ClockedComponent] = []
         self._names: set[str] = set()
+        #: Monotonic registration counter; indices stay unique across
+        #: :meth:`remove`, so the awake-set ordering never becomes ambiguous.
+        self._next_index = 0
         self._cycle = 0
         self._pre_cycle_hooks: list[Callable[[int], None]] = []
         self._post_cycle_hooks: list[Callable[[int], None]] = []
@@ -184,11 +187,49 @@ class SimulationKernel:
                 f"duplicate component name {component.name!r} in kernel"
             )
         self._names.add(component.name)
-        component._kernel_index = len(self._components)
+        component._kernel_index = self._next_index
+        self._next_index += 1
         self._components.append(component)
         component._scheduler = self
         component._asleep = False
         self._awake.append(component)
+        return component
+
+    def remove(self, component: ClockedComponent) -> ClockedComponent:
+        """Unregister a component (run-time departure of a stream endpoint).
+
+        The component's deferred idle accounting is flushed first, so its
+        activity counters stay exact; its name becomes available again for a
+        later :meth:`add` (re-admission of a released application).  Must not
+        be called from within a component's ``evaluate``/``commit`` — remove
+        between :meth:`run` calls, where both schedules observe the identical
+        component set.
+        """
+        if component._scheduler is not self:
+            raise SimulationError(
+                f"component {component.name!r} is not registered with this kernel"
+            )
+        if self._phase != "idle":
+            raise SimulationError("components can only be removed between cycles")
+        if component._asleep:
+            start = self._sleeping.pop(component)
+            if self._cycle > start:
+                component.idle_tick(start, self._cycle - start)
+                self.scheduler_stats.skipped += self._cycle - start
+            component._asleep = False
+        else:
+            try:
+                self._awake.remove(component)
+            except ValueError:
+                pass
+            try:
+                self._woken.remove(component)
+            except ValueError:
+                pass
+        self._components.remove(component)
+        self._names.discard(component.name)
+        component._scheduler = None
+        component._kernel_index = -1
         return component
 
     def add_all(self, components: Iterable[ClockedComponent]) -> None:

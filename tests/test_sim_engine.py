@@ -162,3 +162,76 @@ class TestTwoPhaseSemantics:
             return (counter.value, follower_a.value, follower_b.value)
 
         assert build(order) == build([0, 1, 2])
+
+
+class _Sleeper(ClockedComponent):
+    """Quiescence-capable component used to test removal accounting."""
+
+    supports_quiescence = True
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.ticks = 0
+        self.idle_cycles = 0
+
+    def evaluate(self, cycle: int) -> None:
+        pass
+
+    def commit(self, cycle: int) -> None:
+        self.ticks += 1
+
+    def quiescent(self) -> bool:
+        return True
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
+        self.idle_cycles += cycles
+
+
+class TestComponentRemoval:
+    def test_removed_component_stops_running_and_frees_its_name(self):
+        kernel = SimulationKernel()
+        first = kernel.add(_Counter("a"))
+        second = kernel.add(_Counter("b"))
+        kernel.run(10)
+        kernel.remove(first)
+        kernel.run(5)
+        assert first.value == 10
+        assert second.value == 15
+        # The name is reusable (re-admission of a released application).
+        replacement = kernel.add(_Counter("a"))
+        kernel.run(3)
+        assert replacement.value == 3
+
+    def test_remove_foreign_component_rejected(self):
+        kernel = SimulationKernel()
+        kernel.add(_Counter("a"))
+        other = _Counter("b")
+        with pytest.raises(SimulationError):
+            kernel.remove(other)
+
+    def test_removing_a_sleeper_flushes_idle_accounting(self):
+        kernel = SimulationKernel()
+        sleeper = kernel.add(_Sleeper("s"))
+        kernel.add(_Counter("keepalive"))
+        kernel.run(20)
+        assert sleeper.ticks == 1  # slept after the first commit
+        kernel.remove(sleeper)
+        # Every skipped cycle was idle-accounted exactly once.
+        assert sleeper.ticks + sleeper.idle_cycles == 20
+        kernel.run(4)
+        assert sleeper.ticks + sleeper.idle_cycles == 20
+
+    def test_registration_order_survives_interleaved_removal(self):
+        kernel = SimulationKernel()
+        counter = kernel.add(_Counter("src"))
+        kernel.add(_Follower("f1", counter))
+        doomed = kernel.add(_Counter("doomed"))
+        follower = kernel.add(_Follower("f2", counter))
+        kernel.run(5)
+        kernel.remove(doomed)
+        late = kernel.add(_Follower("late", counter))
+        kernel.run(5)
+        # Followers registered after the counter still observe the committed
+        # value of the same cycle (one-cycle delay), before and after removal.
+        assert follower.value == counter.value - 1
+        assert late.value == counter.value - 1

@@ -279,3 +279,86 @@ class TestDimensionOrderSingleSource:
     def test_routing_table_equals_xy_route_on_plain_mesh(self, current, dest):
         table = RoutingTable(Mesh2D(5, 5))
         assert table.port_for(current, dest) == xy_route(current, dest)
+
+
+class TestBrokenRouters:
+    """IrregularMesh with whole router positions removed (dead routers)."""
+
+    DEAD = (1, 1)
+
+    def _topology(self):
+        return IrregularMesh(Mesh2D(4, 3), broken_routers=[self.DEAD])
+
+    def test_membership_and_size(self):
+        topology = self._topology()
+        assert topology.size == 11
+        assert not topology.contains(self.DEAD)
+        assert self.DEAD not in list(topology.positions())
+        with pytest.raises(ValueError):
+            topology.router_name(self.DEAD)
+
+    def test_links_incident_to_the_dead_router_vanish(self):
+        topology = self._topology()
+        for src, dst in topology.directed_links():
+            assert self.DEAD not in (src, dst)
+        base_links = len(Mesh2D(4, 3).directed_links())
+        # The dead router had four neighbours: eight directed links gone.
+        assert len(topology.directed_links()) == base_links - 8
+        for port, neighbor in topology.neighbors((1, 0)).items():
+            assert neighbor != self.DEAD
+
+    def test_distance_routes_around_the_hole(self):
+        topology = self._topology()
+        # (1, 0) -> (1, 2) is 2 hops on the full mesh, 4 around the hole.
+        assert topology.distance((1, 0), (1, 2)) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IrregularMesh(Mesh2D(3, 3), broken_routers=[(9, 9)])
+        # Removing the centre of a 3x3 plus a corner-adjacent link may
+        # disconnect; removing a full row certainly does on a 3x1.
+        with pytest.raises(ValueError):
+            IrregularMesh(Mesh2D(3, 1), broken_routers=[(1, 0)])
+        with pytest.raises(ValueError):
+            IrregularMesh(
+                Mesh2D(3, 3),
+                broken_routers=[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2), (2, 0), (2, 1), (2, 2)],
+            )
+
+    def test_broken_links_and_routers_combine(self):
+        topology = IrregularMesh(
+            Mesh2D(4, 3), broken_links=[((2, 0), (3, 0))], broken_routers=[self.DEAD]
+        )
+        assert topology.size == 11
+        assert ((2, 0), (3, 0)) not in topology.directed_links()
+        assert topology.distance((2, 0), (3, 0)) == 3
+
+    def test_network_builds_without_a_router_at_the_hole(self):
+        topology = self._topology()
+        network = build_network("circuit", topology, frequency_hz=FREQUENCY_HZ)
+        assert self.DEAD not in network.routers
+        assert len(network.routers) == 11
+        assert len(network.links) == len(topology.directed_links())
+
+    def test_tile_grid_and_mapper_skip_the_hole(self):
+        from repro.apps import hiperlan2
+        from repro.noc import SpatialMapper, TileGrid
+
+        topology = self._topology()
+        grid = TileGrid(topology)
+        assert len(grid.tiles) == 11
+        mapping = SpatialMapper(grid).map(hiperlan2.build_process_graph())
+        assert self.DEAD not in mapping.placement.values()
+
+    def test_centroid_follows_surviving_positions(self):
+        from repro.noc import SpatialMapper, TileGrid
+
+        full = SpatialMapper(TileGrid(Mesh2D(4, 3)))
+        # On the full grid the centroid equals the closed-form centre.
+        assert full._centroid() == ((4 - 1) / 2, (3 - 1) / 2)
+        holed = SpatialMapper(TileGrid(self._topology()))
+        cx, cy = holed._centroid()
+        assert (cx, cy) != ((4 - 1) / 2, (3 - 1) / 2)
+        positions = list(self._topology().positions())
+        assert cx == pytest.approx(sum(x for x, _ in positions) / len(positions))
+        assert cy == pytest.approx(sum(y for _, y in positions) / len(positions))
