@@ -6,6 +6,13 @@ occupancy carries one full-load lane circuit west→east, so the fabric's lane
 occupancy is at most the row fraction), under both the strict
 (seed-equivalent) schedule and the quiescence-aware ``auto`` schedule.
 
+A second scenario family exercises the timed tier: ``paced-stream`` rows
+carry the same row circuits at a low offered load (one word per 50 cycles —
+the pacing a bandwidth-admitted application channel produces), so between
+word injections the only scheduled components are timed drivers/sinks and
+the kernel leaps the clock from word to word instead of iterating every
+cycle.
+
 Every measurement also verifies the tentpole invariant: both schedules must
 produce bit-identical merged activity counters and delivered word counts.
 
@@ -14,11 +21,13 @@ at the repository root::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py
 
-``--quick`` runs only the 8×8 low-occupancy scenario with fewer cycles and
-asserts ``identical_results`` without touching the JSON file (the CI smoke).
+``--quick`` runs the 8×8 low-occupancy scenario plus the 8×8 paced-stream
+scenario with fewer cycles and asserts ``identical_results`` without
+touching the JSON file (the CI smoke).
 
 Future PRs regress against that file: the 8×8 mesh at ≤25 % occupancy must
-stay ≥3× faster under ``auto`` than under ``strict``.
+stay ≥3× faster under ``auto`` than under ``strict``, and the 8×8
+paced-stream row must stay ≥8× (cycle leaping).
 """
 
 from __future__ import annotations
@@ -41,10 +50,18 @@ OCCUPANCIES = (0.0, 0.25, 1.0)
 #: first cycles run every component before quiescence engages).
 CYCLES = {2: 8000, 4: 1500, 8: 800}
 SPEEDUP_TARGET = 3.0
+#: Offered load of the paced-stream scenario: one word per 50 cycles — what
+#: a bandwidth-admitted application channel typically paces at.
+PACED_LOAD = 0.1
+#: The timed tier must make paced traffic at least this much faster.
+PACED_SPEEDUP_TARGET = 8.0
+PACED_CYCLES = {4: 2500, 8: 1200}
 
 
-def build_scenario(size: int, occupancy: float, schedule: str) -> CircuitSwitchedNoC:
-    """A size×size mesh with ceil(size·occupancy) full-load row streams."""
+def build_scenario(
+    size: int, occupancy: float, schedule: str, load: float = 1.0
+) -> CircuitSwitchedNoC:
+    """A size×size mesh with ceil(size·occupancy) row streams at *load*."""
     mesh = Mesh2D(size, size)
     network = CircuitSwitchedNoC(mesh, frequency_hz=FREQUENCY_HZ, schedule=schedule)
     allocator = LaneAllocator(mesh)
@@ -53,7 +70,7 @@ def build_scenario(size: int, occupancy: float, schedule: str) -> CircuitSwitche
         allocation = allocator.allocate(name, (0, row), (size - 1, row), 100.0, FREQUENCY_HZ)
         network.apply_allocation(allocation)
         generator = word_generator(BitFlipPattern.TYPICAL, seed=row)
-        network.add_stream(name, allocation, generator, load=1.0)
+        network.add_stream(name, allocation, generator, load=load)
     return network
 
 
@@ -63,12 +80,12 @@ def _measure(network: CircuitSwitchedNoC, cycles: int) -> float:
     return time.perf_counter() - start
 
 
-def run_benchmark(size: int, occupancy: float, cycles: int) -> dict:
+def run_benchmark(size: int, occupancy: float, cycles: int, load: float = 1.0) -> dict:
     """Time strict vs auto on one scenario and verify bit-identical results."""
     results = {}
     observables = {}
     for schedule in ("strict", "auto"):
-        network = build_scenario(size, occupancy, schedule)
+        network = build_scenario(size, occupancy, schedule, load=load)
         elapsed = _measure(network, cycles)
         results[schedule] = cycles / elapsed
         observables[schedule] = (
@@ -80,14 +97,18 @@ def run_benchmark(size: int, occupancy: float, cycles: int) -> dict:
             scheduler = network.kernel.scheduler_stats
     identical = observables["strict"] == observables["auto"]
     return {
+        "scenario": "row-stream" if load >= 1.0 else "paced-stream",
         "mesh": f"{size}x{size}",
         "occupancy": occupancy,
         "active_rows": math.ceil(size * occupancy),
+        "load": load,
         "cycles": cycles,
         "strict_cycles_per_sec": round(results["strict"], 1),
         "auto_cycles_per_sec": round(results["auto"], 1),
         "speedup": round(results["auto"] / results["strict"], 2),
         "auto_schedule_occupancy": round(scheduler.occupancy, 4),
+        "leaps": scheduler.leaps,
+        "leaped_cycles": scheduler.leaped_cycles,
         "identical_results": identical,
     }
 
@@ -98,6 +119,12 @@ def run_all(cycles_override: int | None = None) -> list[dict]:
         for occupancy in OCCUPANCIES:
             cycles = cycles_override or CYCLES[size]
             rows.append(run_benchmark(size, occupancy, cycles))
+    # Paced traffic: the same circuits, one word per 50 cycles — the timed
+    # tier leaps from word to word instead of iterating the silent cycles.
+    for size, cycles in PACED_CYCLES.items():
+        rows.append(
+            run_benchmark(size, 0.25, cycles_override or cycles, load=PACED_LOAD)
+        )
     return rows
 
 
@@ -125,18 +152,30 @@ def test_kernel_full_load_has_no_regression(once):
     assert row["speedup"] >= 0.85
 
 
+def test_kernel_paced_stream_leaps_past_silent_cycles(once):
+    """Paced traffic: the timed tier must leap, not iterate, between words."""
+    row = once(run_benchmark, 8, 0.25, 1000, PACED_LOAD)
+    assert row["identical_results"]
+    assert row["leaps"] > 0
+    assert row["speedup"] >= PACED_SPEEDUP_TARGET
+
+
 # -- perf-trajectory file -------------------------------------------------------
 
 
 def quick_smoke() -> None:
-    """CI smoke: one 8×8 low-occupancy measurement, identical results required."""
-    row = run_benchmark(8, 0.25, 300)
-    print(
-        f"{row['mesh']} occ={row['occupancy']} speedup={row['speedup']}x "
-        f"identical={row['identical_results']}"
-    )
-    if not row["identical_results"]:
-        raise SystemExit("schedule results diverged — the kernel optimisation is unsound")
+    """CI smoke: 8×8 full-load and paced measurements, identical results required."""
+    for load, cycles in ((1.0, 300), (PACED_LOAD, 600)):
+        row = run_benchmark(8, 0.25, cycles, load=load)
+        print(
+            f"{row['scenario']} {row['mesh']} occ={row['occupancy']} "
+            f"speedup={row['speedup']}x leaps={row['leaps']} "
+            f"identical={row['identical_results']}"
+        )
+        if not row["identical_results"]:
+            raise SystemExit(
+                "schedule results diverged — the kernel optimisation is unsound"
+            )
 
 
 def main() -> None:
@@ -156,10 +195,14 @@ def main() -> None:
             "Simulated cycles/second of the circuit-switched mesh under the "
             "strict (every-component) and quiescence-aware (auto) schedules; "
             "identical_results asserts bit-identical activity counters and "
-            "delivered words between the two."
+            "delivered words between the two.  row-stream rows carry "
+            "full-load circuits; paced-stream rows carry the same circuits "
+            "at one word per 50 cycles, where the timed tier leaps the "
+            "clock between word injections."
         ),
         "frequency_hz": FREQUENCY_HZ,
         "speedup_target_8x8_low_occupancy": SPEEDUP_TARGET,
+        "speedup_target_paced_stream": PACED_SPEEDUP_TARGET,
         "results": rows,
     }
     out_path = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
@@ -167,7 +210,7 @@ def main() -> None:
     print(f"wrote {out_path}")
     for row in rows:
         print(
-            f"{row['mesh']} occ={row['occupancy']:<4} "
+            f"{row['scenario']:<13} {row['mesh']} occ={row['occupancy']:<4} "
             f"strict={row['strict_cycles_per_sec']:>9} cyc/s "
             f"auto={row['auto_cycles_per_sec']:>9} cyc/s "
             f"speedup={row['speedup']:>7}x identical={row['identical_results']}"

@@ -16,6 +16,7 @@ from repro.baseline.flit import Flit, Packet, packetize
 from repro.baseline.link import PacketLink
 from repro.baseline.router import PacketSwitchedRouter
 from repro.core.header import phits_per_packet
+from repro.core.testbench import LoadPacer
 from repro.sim.engine import ClockedComponent
 
 __all__ = [
@@ -28,28 +29,19 @@ __all__ = [
 WordSource = Callable[[], int]
 
 
-class _WordPacer:
+class _WordPacer(LoadPacer):
     """Accumulates stream words at the scenario's offered load.
 
     A "stream" in the paper's scenarios is a 16-bit word every five cycles at
     100 % load (80 Mbit/s at 25 MHz), regardless of which router carries it —
-    this keeps the circuit- and packet-switched experiments identical.
+    this keeps the circuit- and packet-switched experiments identical.  The
+    exact (and therefore leapable) credit arithmetic lives in
+    :class:`repro.core.testbench.LoadPacer`.
     """
-
-    def __init__(self, load: float, cycles_per_word: int = 5) -> None:
-        if not 0.0 <= load <= 1.0:
-            raise ValueError("load must be within [0, 1]")
-        self.load = load
-        self.cycles_per_word = cycles_per_word
-        self._credit = 0.0
 
     def words_this_cycle(self) -> int:
         """Number of new stream words produced this cycle (0 or 1)."""
-        self._credit += self.load
-        if self._credit >= self.cycles_per_word:
-            self._credit -= self.cycles_per_word
-            return 1
-        return 0
+        return 1 if self.should_emit() else 0
 
 
 class PacketStreamDriver(ClockedComponent):
@@ -116,6 +108,22 @@ class PacketStreamDriver(ClockedComponent):
         else:
             self.link.drive(None)
 
+    # -- timed protocol ------------------------------------------------------
+
+    supports_timed_wake = True
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        if (
+            self._flit_queue
+            or self.link.credits[self.vc]
+            or self.link.forward is not None
+        ):
+            return cycle
+        return self._pacer.next_emit_cycle(cycle)
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
+        self._pacer.skip(cycles)
+
     def reset(self) -> None:
         self._flit_queue.clear()
         self._pending_words.clear()
@@ -146,6 +154,18 @@ class PacketStreamConsumer(ClockedComponent):
             self.received_words.append(flit.payload)
         # An always-consuming downstream immediately frees the buffer slot.
         self.link.return_credit(flit.vc, 1)
+
+    # -- timed protocol: a pure sink never generates events of its own -------
+
+    supports_timed_wake = True
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        if self.link.forward is not None or self._sampled is not None:
+            return cycle
+        return None
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
+        pass
 
     @property
     def words_received(self) -> int:
@@ -199,6 +219,16 @@ class TilePacketDriver(ClockedComponent):
     def commit(self, cycle: int) -> None:  # the router owns all clocked state
         pass
 
+    # -- timed protocol: the pacer is the driver's only per-cycle state ------
+
+    supports_timed_wake = True
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        return self._pacer.next_emit_cycle(cycle)
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
+        self._pacer.skip(cycles)
+
     def reset(self) -> None:
         self._pending_words.clear()
         self.words_offered = 0
@@ -216,6 +246,16 @@ class TilePacketConsumer(ClockedComponent):
         pass
 
     def commit(self, cycle: int) -> None:
+        pass
+
+    # -- timed protocol: pure statistics façade, never an event source -------
+
+    supports_timed_wake = True
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        return None
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
         pass
 
     @property

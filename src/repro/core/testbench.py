@@ -27,7 +27,7 @@ from repro.core.flow_control import FlowControlConfig
 from repro.core.header import LaneHeader, LanePacket, phits_per_packet
 from repro.core.lane import LaneLink
 from repro.core.router import CircuitSwitchedRouter
-from repro.energy.activity import ActivityCounters
+from repro.energy.activity import ActivityCounters, ActivityKeys
 from repro.sim.engine import ClockedComponent
 
 __all__ = [
@@ -49,6 +49,13 @@ class LoadPacer:
     A lane transports one word every ``phits_per_packet`` cycles at 100 %
     load; the pacer accumulates ``load`` credits per cycle and releases a word
     whenever a full packet's worth of credit is available.
+
+    The credit arithmetic is exact: the load is split into its integer
+    numerator/denominator (every float is a dyadic rational) and the credit
+    is an integer in units of ``1/denominator``.  Exactness is what makes the
+    pacer *leapable* — :meth:`cycles_until_emit` predicts the next emission
+    cycle in closed form and :meth:`skip` fast-forwards over known-silent
+    cycles, both bit-identical to calling :meth:`should_emit` once per cycle.
     """
 
     def __init__(self, load: float, cycles_per_word: int) -> None:
@@ -58,15 +65,49 @@ class LoadPacer:
             raise ValueError("cycles_per_word must be positive")
         self.load = load
         self.cycles_per_word = cycles_per_word
-        self._credit = 0.0
+        numerator, denominator = float(load).as_integer_ratio()
+        self._step = numerator
+        self._threshold = cycles_per_word * denominator
+        self._credit = 0
 
     def should_emit(self) -> bool:
         """Advance one cycle and report whether a word should be offered now."""
-        self._credit += self.load
-        if self._credit >= self.cycles_per_word:
-            self._credit -= self.cycles_per_word
+        credit = self._credit + self._step
+        if credit >= self._threshold:
+            self._credit = credit - self._threshold
             return True
+        self._credit = credit
         return False
+
+    def cycles_until_emit(self) -> Optional[int]:
+        """Number of :meth:`should_emit` calls until the next ``True``.
+
+        ``1`` means the very next call emits; ``None`` means never (zero
+        load).  Pure prediction — the pacer state is not advanced.
+        """
+        if self._step == 0:
+            return None
+        deficit = self._threshold - self._credit
+        return -(-deficit // self._step) if deficit > 0 else 1
+
+    def skip(self, cycles: int) -> None:
+        """Fast-forward over *cycles* calls known not to emit.
+
+        Exactly equivalent to *cycles* :meth:`should_emit` calls that all
+        return ``False``; the caller guarantees the emission horizon from
+        :meth:`cycles_until_emit` is not crossed.
+        """
+        self._credit += self._step * cycles
+
+    def next_emit_cycle(self, cycle: int) -> Optional[int]:
+        """The cycle of the next emission, for one call per cycle from *cycle*.
+
+        The timed-driver protocol in one place: a driver that consults the
+        pacer once per evaluate can report this directly as its
+        ``next_event_cycle`` (``None`` = zero load, never).
+        """
+        gap = self.cycles_until_emit()
+        return None if gap is None else cycle + gap - 1
 
 
 #: Backwards-compatible alias (the pacer predates the GT network reusing it).
@@ -127,6 +168,21 @@ class LaneStreamDriver(ClockedComponent):
         self.serializer.tick(ack)
         self.link.drive_forward(self.lane, self.serializer.output_phit)
 
+    # -- timed protocol: between emissions an idle serialiser only clocks ----
+
+    supports_timed_wake = True
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        if not self.serializer.quiescent or self.link.read_ack(self.lane):
+            return cycle
+        return self._pacer.next_emit_cycle(cycle)
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
+        self._pacer.skip(cycles)
+        # What `cycles` idle serialiser ticks would have recorded.
+        self.activity.add(ActivityKeys.REG_CLOCKED_BITS, self.serializer.idle_cycle_bits * cycles)
+        self.activity.add(ActivityKeys.REG_TOGGLE_BITS, 0)
+
     @property
     def words_sent(self) -> int:
         """Words actually loaded into the lane."""
@@ -170,6 +226,24 @@ class LaneStreamConsumer(ClockedComponent):
             if word is not None:
                 self.received.append(word)
         self.link.drive_ack(self.lane, self.deserializer.ack_pulse)
+
+    # -- timed protocol: a pure sink never generates events of its own -------
+
+    supports_timed_wake = True
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        if (
+            self.link.read_forward(self.lane)
+            or not self.deserializer.quiescent
+            or self.deserializer.available()
+        ):
+            return cycle
+        return None
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
+        # What `cycles` idle deserialiser ticks would have recorded.
+        self.activity.add(ActivityKeys.REG_CLOCKED_BITS, self.deserializer.idle_cycle_bits * cycles)
+        self.activity.add(ActivityKeys.REG_TOGGLE_BITS, 0)
 
     @property
     def words_received(self) -> int:
@@ -224,6 +298,16 @@ class TileStreamDriver(ClockedComponent):
     def commit(self, cycle: int) -> None:  # the router itself owns the clocked state
         pass
 
+    # -- timed protocol: the pacer is the driver's only per-cycle state ------
+
+    supports_timed_wake = True
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        return self._pacer.next_emit_cycle(cycle)
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
+        self._pacer.skip(cycles)
+
     def reset(self) -> None:
         self.words_offered = 0
         self.words_sent = 0
@@ -249,6 +333,16 @@ class TileStreamConsumer(ClockedComponent):
             if word is None:
                 break
             self.received.append(word)
+
+    # -- timed protocol: a pure sink never generates events of its own -------
+
+    supports_timed_wake = True
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        return cycle if self.router.tile.rx_available(self.lane) else None
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
+        pass
 
     @property
     def words_received(self) -> int:

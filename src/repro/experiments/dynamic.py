@@ -35,6 +35,7 @@ from repro.apps.traffic import BitFlipPattern, word_generator
 from repro.common import AllocationError, MappingError, ReproError
 from repro.noc.ccn import CentralCoordinationNode
 from repro.noc.fabric import build_network
+from repro.noc.selection import FabricSelector
 from repro.noc.topology import Mesh2D, Topology
 
 __all__ = [
@@ -101,6 +102,9 @@ class DynamicWorkloadResult:
     data_width: int = 16
     epochs: List[EpochReport] = field(default_factory=list)
     rejected: List[str] = field(default_factory=list)
+    #: Per-arrival fabric recommendation (application -> chosen kind) when a
+    #: :class:`~repro.noc.selection.FabricSelector` was consulted.
+    fabric_choices: Dict[str, Optional[str]] = field(default_factory=dict)
 
     @property
     def words_delivered(self) -> int:
@@ -167,6 +171,7 @@ def run_dynamic_workload(
     load: float = 0.5,
     seed: int = 0,
     schedule: str = "auto",
+    selector: Optional[FabricSelector] = None,
     **params,
 ) -> DynamicWorkloadResult:
     """Replay a churn schedule against a live network of *kind*.
@@ -175,6 +180,13 @@ def run_dynamic_workload(
     normally.  Arrivals run the full CCN pipeline (admit + program + attach
     traffic); infeasible arrivals are counted as rejections and skipped.
     Departures detach the application's streams and release every resource.
+
+    With a *selector* every arrival is first scored across the candidate
+    fabrics and the recommendation recorded in
+    :attr:`DynamicWorkloadResult.fabric_choices` (the engine still runs on
+    *kind* — the selection is the resource manager's advisory view).  The
+    selector's probe cache makes repeat arrivals of the same application
+    effectively free, which is what makes per-arrival selection viable.
     """
     topology = topology if topology is not None else Mesh2D(5, 5)
     events = list(events) if events is not None else paper_churn_events()
@@ -227,6 +239,12 @@ def run_dynamic_workload(
         for event in (e for e in events if e.cycle == start):
             if event.action == "arrive":
                 graph = event.graph_factory()
+                if selector is not None:
+                    decision = selector.select(graph)
+                    result.fabric_choices[event.application] = decision.chosen_kind
+                    epoch.events.append(
+                        f"select {decision.chosen_kind} for {event.application}"
+                    )
                 try:
                     admission = ccn.admit(graph)
                     ccn.attach_traffic(graph.name, generator, load=load)

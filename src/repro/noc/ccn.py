@@ -396,36 +396,6 @@ class CentralCoordinationNode:
 
     # -- release ----------------------------------------------------------------------------
 
-    def _drain_streams(
-        self,
-        network: NocBase,
-        names: List[str],
-        chunk_cycles: int,
-        max_cycles: int,
-    ) -> None:
-        """Run the network until the halted streams stop delivering words.
-
-        Injection has already been stopped; the remaining in-flight words
-        reach their sinks within a bounded number of cycles (serialiser
-        queues, slot-table revolutions, packet worms).  A chunk with no new
-        deliveries on any of the application's streams means the pipeline is
-        dry — then it is safe to deconfigure the routers underneath.
-        """
-
-        def snapshot() -> List[int]:
-            stats = network.stream_statistics()
-            return [stats[name]["received"] for name in names]
-
-        spent = 0
-        previous = snapshot()
-        while spent < max_cycles:
-            network.run(chunk_cycles)
-            spent += chunk_cycles
-            current = snapshot()
-            if current == previous:
-                return
-            previous = current
-
     def release(
         self,
         application: str,
@@ -459,8 +429,12 @@ class CentralCoordinationNode:
             for name in admission.stream_names:
                 network.halt_stream(name)
             if drain_chunk_cycles:
-                self._drain_streams(
-                    network, admission.stream_names, drain_chunk_cycles, max_drain_cycles
+                # Delivery-stability drain, strided so the timed scheduler
+                # can leap across the idle tail of each chunk.
+                network.drain_streams(
+                    admission.stream_names,
+                    check_every=drain_chunk_cycles,
+                    max_cycles=max_drain_cycles,
                 )
             stats = network.stream_statistics()
             for name in admission.stream_names:

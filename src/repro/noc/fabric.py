@@ -263,6 +263,47 @@ class NocBase:
             self.remove_allocation(allocation)
             self.admission.release(name)
 
+    def drain_streams(
+        self,
+        names: List[str],
+        check_every: int = 64,
+        max_cycles: int = 4096,
+    ) -> None:
+        """Run until the named streams stop delivering new words.
+
+        The delivery-stability drain of a clean teardown: injection must
+        already be halted (:meth:`halt_stream`); the network then runs in
+        *check_every*-cycle strides until one full stride delivers nothing
+        new on any named stream — the in-flight words (serialiser queues,
+        slot revolutions, packet worms) have reached their sinks.  Built on
+        :meth:`SimulationKernel.run_until` with the same stride, so the
+        timed scheduler can leap across the idle tail of each stride instead
+        of single-stepping it.  Gives up silently after *max_cycles* (a
+        bounded teardown deadline, not an error).
+        """
+        if not names:
+            return
+        start = self.kernel.cycle
+        previous: Optional[List[int]] = None
+
+        def settled(cycle: int) -> bool:
+            nonlocal previous
+            if cycle - start >= max_cycles:
+                return True  # drain deadline: teardown proceeds regardless
+            stats = self.stream_statistics()
+            current = [stats[name]["received"] for name in names]
+            if current == previous:
+                return True
+            previous = current
+            return False
+
+        # The deadline is part of the predicate, so run_until never raises
+        # for it — a SimulationError out of here is a real kernel error
+        # (wake during a leap, empty kernel) and must stay loud.
+        self.kernel.run_until(
+            settled, max_cycles=max_cycles + check_every, check_every=check_every
+        )
+
     # -- access ---------------------------------------------------------------------------
 
     def router_at(self, position: Position) -> Any:

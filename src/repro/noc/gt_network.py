@@ -369,6 +369,10 @@ class SlotTableRouter(ClockedComponent):
         """
         if self.tile._has_backlog():
             return False
+        return self._datapath_idle()
+
+    def _datapath_idle(self) -> bool:
+        """True when wires and output registers hold no word anywhere."""
         for port in NEIGHBOR_PORTS:
             rx = self._rx_by_port[port]
             if rx is not None and rx.forward is not None:
@@ -380,6 +384,35 @@ class SlotTableRouter(ClockedComponent):
             if word is not None:
                 return False
         return True
+
+    # -- timed protocol ------------------------------------------------------
+
+    supports_timed_wake = True
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """First cycle whose slot can latch a word, given unchanged inputs.
+
+        With words anywhere in the datapath the router is dense (it must run
+        every cycle).  With an idle datapath but backlog queued at the tile,
+        the only future work is injecting a queued word when the revolving
+        table next reaches a ``TILE`` entry of a backlogged connection — a
+        pure function of the cycle count, so the kernel can leap straight to
+        that slot.  No backlog at all means no self-generated events.
+        """
+        if not self._datapath_idle():
+            return cycle
+        if not self.tile._has_backlog():
+            return None
+        table = self._table
+        slots = self.slots
+        backlog = self.tile.backlog
+        for offset in range(slots):
+            slot = (cycle + offset) % slots
+            for out_port in range(self.NUM_PORTS):
+                entry = table[out_port][slot]
+                if entry is not None and entry[0] == Port.TILE and backlog(entry[1]):
+                    return cycle + offset
+        return None
 
     def idle_tick(self, start_cycle: int, cycles: int) -> None:
         """Apply *cycles* of the constant idle activity contribution."""
@@ -459,6 +492,16 @@ class GtStreamDriver(ClockedComponent):
     def commit(self, cycle: int) -> None:  # the router itself owns the clocked state
         pass
 
+    # -- timed protocol: the pacer is the driver's only per-cycle state ------
+
+    supports_timed_wake = True
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        return self._pacer.next_emit_cycle(cycle)
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
+        self._pacer.skip(cycles)
+
     def reset(self) -> None:
         self.words_offered = 0
         self.words_sent = 0
@@ -491,6 +534,9 @@ class GtLinkStreamDriver(ClockedComponent):
         self.inject_slots = frozenset(inject_slots)
         self.word_source = word_source
         self._pacer = LoadPacer(load, 1)  # gated once per slot opportunity
+        #: Cycle residues (mod slots) at which this driver commits into an
+        #: owned slot: cycle c feeds slot (c+1) % slots.
+        self._inject_residues = sorted((s - 1) % slots for s in self.inject_slots)
         self.words_sent = 0
 
     def evaluate(self, cycle: int) -> None:  # the wire is driven at the clock edge
@@ -505,6 +551,40 @@ class GtLinkStreamDriver(ClockedComponent):
             self.words_sent += 1
         else:
             self.link.drive(None)
+
+    # -- timed protocol ------------------------------------------------------
+    # The pacer is consulted once per owned slot opportunity (never on other
+    # cycles), so its credit counts *opportunities*: the next emission falls
+    # on the k-th future opportunity cycle, k = cycles_until_emit(), and a
+    # leaped window fast-forwards the pacer by the number of opportunity
+    # cycles it contains.  The cycle after driving a word stays dense (the
+    # word must be replaced by idle).
+
+    supports_timed_wake = True
+
+    def _opportunities_in(self, start_cycle: int, cycles: int) -> int:
+        """Owned slot opportunities in the window [start_cycle, start_cycle + cycles)."""
+        revolutions, remainder = divmod(cycles, self.slots)
+        count = revolutions * len(self._inject_residues)
+        for residue in self._inject_residues:
+            if (residue - start_cycle) % self.slots < remainder:
+                count += 1
+        return count
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        if self.link.forward is not None:
+            return cycle
+        emit_calls = self._pacer.cycles_until_emit()
+        if emit_calls is None:
+            return None  # zero load: every opportunity drives idle onto idle
+        offsets = sorted(
+            (residue - cycle) % self.slots for residue in self._inject_residues
+        )
+        revolutions, index = divmod(emit_calls - 1, len(offsets))
+        return cycle + offsets[index] + revolutions * self.slots
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
+        self._pacer.skip(self._opportunities_in(start_cycle, cycles))
 
     def reset(self) -> None:
         self.words_sent = 0
@@ -542,6 +622,18 @@ class GtLinkStreamConsumer(ClockedComponent):
             owner = self.slot_owner.get(self._sampled_slot, -1)
             self.received[owner] = self.received.get(owner, 0) + 1
             self._sampled = None
+
+    # -- timed protocol: a pure sink never generates events of its own -------
+
+    supports_timed_wake = True
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        if self.link.forward is not None or self._sampled is not None:
+            return cycle
+        return None
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
+        pass
 
     def words_received_for(self, stream_id: int) -> int:
         """Words attributed to *stream_id*."""

@@ -23,7 +23,7 @@ reconfiguration time tie-breaks at one pJ/bit per millisecond by default).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.kpn import ProcessGraph
 from repro.apps.traffic import BitFlipPattern, word_generator
@@ -94,6 +94,14 @@ class FabricSelector:
         How many pJ/bit one millisecond of reconfiguration time is worth in
         the score (energy dominates with the default 1.0 — the measured
         energy gaps between the kinds are far larger).
+
+    Probe results are cached per ``(application, topology, kind)``: the
+    probe simulation is deterministic, so re-scoring an application that
+    arrives again (churn) is a dictionary lookup — cheap enough to run on
+    every arrival inside the dynamic workload engine.  The application is
+    identified by its graph name (one graph per name everywhere in this
+    code base); assigning a new :attr:`topology` invalidates the whole
+    cache, as does :meth:`invalidate_cache`.
     """
 
     def __init__(
@@ -109,6 +117,9 @@ class FabricSelector:
     ) -> None:
         if probe_cycles < 1:
             raise ValueError("probe_cycles must be positive")
+        self._cache: Dict[Tuple[str, str], FabricCandidate] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
         self.topology = topology
         self.kinds = tuple(kinds)
         self.frequency_hz = frequency_hz
@@ -118,11 +129,44 @@ class FabricSelector:
         self.reconfig_weight_pj_per_ms = reconfig_weight_pj_per_ms
         self.schedule = schedule
 
+    # -- probe cache -----------------------------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        """Fabric the scratch probes are built on; assignment drops the cache."""
+        return self._topology
+
+    @topology.setter
+    def topology(self, topology: Topology) -> None:
+        self._topology = topology
+        self.invalidate_cache()
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached probe result (topology changed, models retuned)."""
+        self._cache.clear()
+
     # -- scoring ---------------------------------------------------------------------------
 
     def evaluate(self, graph: ProcessGraph, kind: str) -> FabricCandidate:
-        """Run the full CCN lifecycle for *graph* on a scratch network of *kind*."""
+        """Run the full CCN lifecycle for *graph* on a scratch network of *kind*.
+
+        Deterministic, so the result is cached per (application, topology,
+        kind); repeated arrivals of the same application cost one dictionary
+        lookup per kind.
+        """
         canonical = resolve_network_kind(kind).kind
+        key = (graph.name, canonical)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        candidate = self._probe(graph, kind, canonical)
+        self._cache[key] = candidate
+        return candidate
+
+    def _probe(self, graph: ProcessGraph, kind: str, canonical: str) -> FabricCandidate:
+        """The uncached probe: scratch network, CCN lifecycle, short simulation."""
         network = build_network(
             kind, self.topology, frequency_hz=self.frequency_hz, schedule=self.schedule
         )

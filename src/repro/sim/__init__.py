@@ -49,6 +49,41 @@ Components opt in via the quiescence protocol of
 :class:`repro.sim.engine.ClockedComponent` (``supports_quiescence``,
 ``quiescent()``, ``idle_tick()``); everything else is simply always
 scheduled.
+
+Timed components and event-horizon cycle leaping
+------------------------------------------------
+
+Quiescence makes the cost per cycle proportional to *component* activity,
+but the kernel still pays one Python iteration per simulated cycle — and a
+paced traffic driver is never quiescent, so a single stream keeps the whole
+clock ticking.  The **timed tier** removes the per-cycle iteration too:
+
+* A component sets ``supports_timed_wake`` and implements
+  ``next_event_cycle(cycle)`` — the first cycle at which its
+  evaluate/commit could do more than an idle tick, given unchanged inputs
+  (``None`` = never; traffic pacers predict their next emission in closed
+  form, the GT slot-table router predicts its next owned injection slot as a
+  pure function of the cycle count).
+* When everything on the schedule is timed (sleeping components do not
+  count — they have no events by definition) and no dense per-cycle hook is
+  registered, ``SimulationKernel._advance`` **leaps** the clock straight to
+  the earliest predicted event, bulk-applying the skipped cycles through
+  the same ``idle_tick`` machinery (which for timed components also
+  fast-forwards their deterministic bookkeeping, e.g. pacer credit).
+* Leaping is legal exactly when every scheduled component has declared the
+  window an idle tick; since nothing executes inside the window, no wire
+  can change and no sleeping component can wake — the kernel asserts this
+  by rejecting ``wake()`` calls during a leap.
+* Cycle hooks are *timed* as well: ``add_pre_cycle_hook(hook, every=N)``
+  runs the hook on cycles divisible by ``N`` under both schedules, and
+  leaps never skip a scheduled hook cycle.  A dense hook (``every=1``)
+  disables leaping, preserving strict-mode bit-identity for external
+  per-cycle observers.
+
+The strict schedule never leaps; ``tests/test_kernel_equivalence.py`` and
+``tests/test_timed_scheduling.py`` assert bit-identical results with and
+without leaping, and ``BENCH_kernel.json`` tracks the paced-stream speedup
+the tier buys (≥8× required at 25 % row occupancy on the 8×8 mesh).
 """
 
 from repro.sim.engine import ClockedComponent, SimulationKernel

@@ -40,8 +40,34 @@ and implementing two methods:
   :meth:`SimulationKernel.sync`), so a sleeping component costs *zero* work
   per cycle.
 
-Components that do not opt in (traffic drivers, ad-hoc test components) are
-always on the schedule, which keeps the kernel a drop-in replacement.
+Components that do not opt in (ad-hoc test components) are always on the
+schedule, which keeps the kernel a drop-in replacement.
+
+Timed components and cycle leaping
+----------------------------------
+
+Quiescence alone cannot skip *cycles*: a paced traffic driver is never
+quiescent (it will emit again), so one driver keeps the kernel iterating
+every simulated cycle even while the whole fabric sleeps.  The timed tier
+fixes that.  A component sets ``supports_timed_wake`` and implements
+
+* :meth:`ClockedComponent.next_event_cycle` — given unchanged inputs, the
+  first cycle at which its evaluate/commit could do anything beyond the
+  constant accounting of :meth:`ClockedComponent.idle_tick` (``None`` =
+  never), and
+* :meth:`ClockedComponent.idle_tick` — which for a timed component must also
+  fast-forward its deterministic per-cycle bookkeeping (pacer credit) over
+  the skipped cycles.
+
+When every component on the schedule is timed (and no dense per-cycle hook
+is registered), :meth:`SimulationKernel._advance` leaps the clock straight
+to the earliest next event — the *event horizon* — in one jump: the skipped
+cycles are bulk-applied through ``idle_tick``, sleeping components stay
+asleep (nothing runs during a leap, so nothing can wake them — asserted),
+and the event cycle itself is then executed normally.  Leaping is exact by
+construction: a cycle is only skipped when every scheduled component has
+declared it an idle tick, which is precisely what the strict schedule would
+have executed.
 """
 
 from __future__ import annotations
@@ -71,6 +97,10 @@ class ClockedComponent(abc.ABC):
 
     #: Set by subclasses that implement :meth:`quiescent` / :meth:`idle_tick`.
     supports_quiescence: ClassVar[bool] = False
+    #: Set by subclasses that implement :meth:`next_event_cycle` /
+    #: :meth:`idle_tick`: the component can predict its next interesting
+    #: cycle, so the kernel may leap over the gap (see the module docstring).
+    supports_timed_wake: ClassVar[bool] = False
 
     def __init__(self, name: str) -> None:
         if not name:
@@ -78,6 +108,9 @@ class ClockedComponent(abc.ABC):
         self.name = name
         #: True while the kernel has taken this component off the schedule.
         self._asleep = False
+        #: True while the component sits in the kernel's woken list (woken
+        #: but not yet merged back into the awake set).
+        self._pending_wake = False
         #: Set by :meth:`wake`, cleared when the component next evaluates.
         #: Guards the sleep decision against inputs that change *after* the
         #: component sampled them (e.g. during the commit phase of the same
@@ -107,14 +140,34 @@ class ClockedComponent(abc.ABC):
         return False
 
     def idle_tick(self, start_cycle: int, cycles: int) -> None:
-        """Apply *cycles* skipped cycles of constant idle accounting.
+        """Apply *cycles* skipped cycles worth of idle evaluate/commit rounds.
 
-        Only called on components with ``supports_quiescence``; must leave
-        all functional state untouched.
+        Must have exactly the effect *cycles* known-idle evaluate/commit
+        rounds would have had: for quiescence-only components that is the
+        constant per-cycle activity accounting (functional state untouched);
+        a ``supports_timed_wake`` component must additionally fast-forward
+        its deterministic per-cycle bookkeeping (pacer credit) so that
+        leaping is bit-identical to single-stepping.  It must never change
+        an input another component observes.
         """
         raise NotImplementedError(
-            f"{type(self).__name__} declares supports_quiescence but does "
-            "not implement idle_tick()"
+            f"{type(self).__name__} declares supports_quiescence or "
+            "supports_timed_wake but does not implement idle_tick()"
+        )
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """First cycle ≥ *cycle* whose evaluate/commit may exceed an idle tick.
+
+        Only called on components with ``supports_timed_wake``, and only
+        while the component is on the schedule.  The contract: given that no
+        input changes in the meantime, every cycle in ``[cycle, result)`` is
+        an idle tick for this component.  Return *cycle* itself when the
+        component is (or may be) active right now, and ``None`` when no
+        future self-generated event exists (a pure sink).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares supports_timed_wake but does "
+            "not implement next_event_cycle()"
         )
 
     def wake(self) -> None:
@@ -150,6 +203,13 @@ class SimulationKernel:
         equivalence tests and for debugging.
     """
 
+    #: Cycles to wait before re-scanning the event horizon after a failed
+    #: leap attempt (some component pinned the horizon to "now").  A busy
+    #: fabric thus pays for at most one scan per interval instead of one per
+    #: cycle; a component going to sleep — the usual moment a horizon opens —
+    #: or leaving the kernel resets the wait immediately.
+    LEAP_RETRY_CYCLES = 8
+
     def __init__(self, frequency_hz: float = 25e6, schedule: str = "auto") -> None:
         if frequency_hz <= 0:
             raise ValueError("frequency_hz must be positive")
@@ -163,8 +223,11 @@ class SimulationKernel:
         #: :meth:`remove`, so the awake-set ordering never becomes ambiguous.
         self._next_index = 0
         self._cycle = 0
-        self._pre_cycle_hooks: list[Callable[[int], None]] = []
-        self._post_cycle_hooks: list[Callable[[int], None]] = []
+        #: Hooks as ``(hook, every)`` pairs; a hook runs on cycles divisible
+        #: by its stride.  Dense hooks (``every == 1``) disable cycle leaping.
+        self._pre_cycle_hooks: list[tuple[Callable[[int], None], int]] = []
+        self._post_cycle_hooks: list[tuple[Callable[[int], None], int]] = []
+        self._has_dense_hooks = False
         # Scheduling state: components currently on the schedule, sleeping
         # components mapped to their first unaccounted cycle, and components
         # woken during the current phase (joining the schedule next round).
@@ -172,6 +235,9 @@ class SimulationKernel:
         self._sleeping: dict[ClockedComponent, int] = {}
         self._woken: list[ClockedComponent] = []
         self._phase = "idle"
+        #: First cycle at which a leap may be attempted again (backoff after
+        #: a failed horizon scan; see LEAP_RETRY_CYCLES).
+        self._next_leap_attempt = 0
         self.scheduler_stats = SchedulerStats()
 
     # -- construction -----------------------------------------------------
@@ -192,6 +258,7 @@ class SimulationKernel:
         self._components.append(component)
         component._scheduler = self
         component._asleep = False
+        component._pending_wake = False
         self._awake.append(component)
         return component
 
@@ -217,19 +284,19 @@ class SimulationKernel:
                 component.idle_tick(start, self._cycle - start)
                 self.scheduler_stats.skipped += self._cycle - start
             component._asleep = False
+        elif component._pending_wake:
+            # An awake component sits in exactly one of the two lists; the
+            # pending-wake flag says which, so one scan suffices.
+            self._woken.remove(component)
+            component._pending_wake = False
         else:
-            try:
-                self._awake.remove(component)
-            except ValueError:
-                pass
-            try:
-                self._woken.remove(component)
-            except ValueError:
-                pass
+            self._awake.remove(component)
         self._components.remove(component)
         self._names.discard(component.name)
         component._scheduler = None
         component._kernel_index = -1
+        # A departing component may have been the one pinning the horizon.
+        self._next_leap_attempt = 0
         return component
 
     def add_all(self, components: Iterable[ClockedComponent]) -> None:
@@ -237,13 +304,30 @@ class SimulationKernel:
         for component in components:
             self.add(component)
 
-    def add_pre_cycle_hook(self, hook: Callable[[int], None]) -> None:
-        """Run *hook(cycle)* before the evaluate phase of every cycle."""
-        self._pre_cycle_hooks.append(hook)
+    def add_pre_cycle_hook(self, hook: Callable[[int], None], every: int = 1) -> None:
+        """Run *hook(cycle)* before the evaluate phase of matching cycles.
 
-    def add_post_cycle_hook(self, hook: Callable[[int], None]) -> None:
-        """Run *hook(cycle)* after the commit phase of every cycle."""
-        self._post_cycle_hooks.append(hook)
+        With the default ``every=1`` the hook is *dense*: it runs every cycle
+        and disables cycle leaping entirely (the kernel must single-step so
+        the hook observes every cycle — bit-identical to the strict
+        schedule).  With ``every=N`` the hook is *timed*: it runs only on
+        cycles divisible by *N* in both schedules, and leaps are bounded so
+        no scheduled hook cycle is ever skipped.
+        """
+        if every < 1:
+            raise ValueError("hook stride must be positive")
+        self._pre_cycle_hooks.append((hook, every))
+        self._has_dense_hooks = self._has_dense_hooks or every == 1
+
+    def add_post_cycle_hook(self, hook: Callable[[int], None], every: int = 1) -> None:
+        """Run *hook(cycle)* after the commit phase of matching cycles.
+
+        The stride semantics match :meth:`add_pre_cycle_hook`.
+        """
+        if every < 1:
+            raise ValueError("hook stride must be positive")
+        self._post_cycle_hooks.append((hook, every))
+        self._has_dense_hooks = self._has_dense_hooks or every == 1
 
     # -- inspection --------------------------------------------------------
 
@@ -276,6 +360,14 @@ class SimulationKernel:
 
     def _wake_component(self, component: ClockedComponent) -> None:
         """Flush a sleeping component's idle accounting and reschedule it."""
+        if self._phase == "leap":
+            # Nothing executes during a leap, so nothing can legally change a
+            # sleeping component's inputs; a wake here means a timed
+            # component's next_event_cycle/idle_tick had a side effect.
+            raise SimulationError(
+                f"component {component.name!r} was woken during a cycle leap; "
+                "next_event_cycle()/idle_tick() must not change observable inputs"
+            )
         component._asleep = False
         start = self._sleeping.pop(component)
         cycle = self._cycle
@@ -297,6 +389,7 @@ class SimulationKernel:
             # changed since it went to sleep, so this matches the strict
             # schedule exactly) and commit with everybody else.
             component.evaluate(cycle)
+        component._pending_wake = True
         self._woken.append(component)
         self.scheduler_stats.wakes += 1
 
@@ -323,6 +416,7 @@ class SimulationKernel:
         self._sleeping.clear()
         self._woken.clear()
         self._phase = "idle"
+        self._next_leap_attempt = 0
         self.scheduler_stats = SchedulerStats()
         # Clear all scheduling flags before any component reset runs: a
         # resetting component may drive shared wires, which would otherwise
@@ -330,24 +424,105 @@ class SimulationKernel:
         for component in self._components:
             component._asleep = False
             component._input_dirty = False
+            component._pending_wake = False
         for component in self._components:
             component.reset()
         self._awake = list(self._components)
 
-    def _advance(self) -> None:
-        """Run one clock cycle without flushing deferred idle accounting."""
+    def _hook_bound(self, cycle: int, limit: int) -> int:
+        """Earliest of *limit* and the next cycle any timed hook is due."""
+        target = limit
+        for hooks in (self._pre_cycle_hooks, self._post_cycle_hooks):
+            for _hook, every in hooks:
+                remainder = cycle % every
+                due = cycle if remainder == 0 else cycle + every - remainder
+                if due < target:
+                    if due <= cycle:
+                        return cycle
+                    target = due
+        return target
+
+    def _component_horizon(self, cycle: int, limit: int) -> int:
+        """Earliest of *limit* and the next event any scheduled component
+        predicts.  Any component without the timed protocol (or with a
+        freshly dirtied input) pins the horizon to the current cycle."""
+        target = limit
+        for component in self._awake:
+            if not component.supports_timed_wake or component._input_dirty:
+                return cycle
+            event = component.next_event_cycle(cycle)
+            if event is not None and event < target:
+                if event <= cycle:
+                    return cycle
+                target = event
+        return target
+
+    def _leap(self, cycle: int, target: int) -> None:
+        """Skip cycles ``[cycle, target)`` in one jump (all declared idle)."""
+        skipped = target - cycle
+        # idle_tick must not wake anybody: _wake_component asserts against
+        # this phase, making a wake during the leap window a loud error.
+        self._phase = "leap"
+        for component in self._awake:
+            component.idle_tick(cycle, skipped)
+        self._phase = "idle"
+        self._cycle = target
+        stats = self.scheduler_stats
+        stats.skipped += skipped * len(self._awake)
+        stats.leaps += 1
+        stats.leaped_cycles += skipped
+
+    def _advance(self, limit: Optional[int] = None) -> None:
+        """Run one clock cycle without flushing deferred idle accounting.
+
+        Under the ``auto`` schedule, when every scheduled component is timed
+        (and no dense hook is registered), the kernel first leaps over the
+        skippable gap up to *limit* (exclusive bound of this run); if the
+        whole remaining window is skippable no cycle is executed at all.
+        """
         if not self._components:
             raise SimulationError("cannot step a kernel with no components")
         cycle = self._cycle
+        if (
+            limit is not None
+            and limit > cycle
+            and cycle >= self._next_leap_attempt
+            and self.schedule == "auto"
+            and not self._has_dense_hooks
+            and not self._woken
+        ):
+            bound = self._hook_bound(cycle, limit)
+            if bound > cycle:  # a hook due right now is no reason to back off
+                # The leap phase covers the horizon scan as well: a
+                # next_event_cycle() that wakes a sleeper is rejected just
+                # as loudly as a side-effecting idle_tick().
+                self._phase = "leap"
+                try:
+                    target = self._component_horizon(cycle, bound)
+                finally:
+                    self._phase = "idle"
+                if target > cycle:
+                    self._leap(cycle, target)
+                    if target >= limit:
+                        return
+                    cycle = target
+                else:
+                    # A component pinned the horizon; back off before paying
+                    # for another scan (sleeps/removals reset the wait).
+                    self._next_leap_attempt = cycle + self.LEAP_RETRY_CYCLES
         awake = self._awake
-        for hook in self._pre_cycle_hooks:
-            hook(cycle)
+        for hook, every in self._pre_cycle_hooks:
+            if cycle % every == 0:
+                hook(cycle)
         # Components woken since the previous commit phase (between runs, by
         # a pre-cycle hook, or at the previous cycle's clock edge) join the
         # schedule before the evaluate phase so they run this full cycle.
-        if self._woken:
-            awake.extend(self._woken)
-            self._woken.clear()
+        woken = self._woken
+        if woken:
+            for component in woken:
+                component._pending_wake = False
+            awake.extend(woken)
+            woken.clear()
             # The strict schedule runs components in registration order, and
             # testbench components observe each other through commit-phase
             # method calls — rejoining components must slot back into their
@@ -357,18 +532,21 @@ class SimulationKernel:
         for component in awake:
             component._input_dirty = False
             component.evaluate(cycle)
-        if self._woken:
+        if woken:
             # Woken mid-evaluate; already evaluated inside _wake_component.
-            awake.extend(self._woken)
-            self._woken.clear()
+            for component in woken:
+                component._pending_wake = False
+            awake.extend(woken)
+            woken.clear()
             awake.sort(key=_registration_index)
         self._phase = "commit"
         for component in awake:
             component.commit(cycle)
         self._phase = "idle"
         self._cycle = cycle + 1
-        for hook in self._post_cycle_hooks:
-            hook(cycle)
+        for hook, every in self._post_cycle_hooks:
+            if cycle % every == 0:
+                hook(cycle)
         stats = self.scheduler_stats
         stats.evaluated += len(awake)
         if self.schedule == "auto":
@@ -386,11 +564,14 @@ class SimulationKernel:
                 else:
                     awake[write] = component
                     write += 1
+            if write != len(awake):
+                # Somebody just went to sleep: the horizon may have opened.
+                self._next_leap_attempt = 0
             del awake[write:]
 
     def step(self) -> int:
         """Advance the simulation by one clock cycle and return the new count."""
-        self._advance()
+        self._advance(self._cycle + 1)
         self.sync()
         return self._cycle
 
@@ -398,9 +579,10 @@ class SimulationKernel:
         """Run for *cycles* additional clock cycles; return the total count."""
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
+        end = self._cycle + cycles
         advance = self._advance
-        for _ in range(cycles):
-            advance()
+        while self._cycle < end:
+            advance(end)
         self.sync()
         return self._cycle
 
@@ -411,7 +593,12 @@ class SimulationKernel:
         cycles = int(round(seconds * self.frequency_hz))
         return self.run(cycles)
 
-    def run_until(self, predicate: Callable[[int], bool], max_cycles: int = 1_000_000) -> int:
+    def run_until(
+        self,
+        predicate: Callable[[int], bool],
+        max_cycles: int = 1_000_000,
+        check_every: int = 1,
+    ) -> int:
         """Run until ``predicate(cycle)`` is true or *max_cycles* have elapsed.
 
         Returns the cycle count at which the predicate first held.  Raises
@@ -419,7 +606,16 @@ class SimulationKernel:
         simulation fails loudly instead of spinning forever.  The deferred
         idle accounting is flushed before every predicate call, so predicates
         may read activity counters.
+
+        *check_every* is the stride between predicate checks: with the
+        default ``1`` the predicate sees every cycle (the original
+        behaviour); a larger stride runs that many cycles per check, which
+        both amortises an expensive predicate and opens a leap window for
+        the timed scheduler between checks.  The returned cycle count may
+        then overshoot the first satisfying cycle by up to one stride.
         """
+        if check_every < 1:
+            raise ValueError("check_every must be positive")
         start = self._cycle
         self.sync()
         while not predicate(self._cycle):
@@ -427,6 +623,10 @@ class SimulationKernel:
                 raise SimulationError(
                     f"run_until exceeded {max_cycles} cycles without satisfying the predicate"
                 )
-            self._advance()
+            # The stride never runs past the max_cycles budget: the bound is
+            # a hard simulation limit, not a check-granularity hint.
+            end = min(self._cycle + check_every, start + max_cycles)
+            while self._cycle < end:
+                self._advance(end)
             self.sync()
         return self._cycle

@@ -19,15 +19,21 @@ class SchedulerStats:
     """Scheduling counters of the quiescence-aware simulation kernel.
 
     ``evaluated`` counts component-cycles that actually ran evaluate/commit;
-    ``skipped`` counts component-cycles covered by deferred idle accounting.
-    Together they measure how well the kernel exploits fabric idleness: the
-    :attr:`occupancy` of a fully loaded mesh is 1.0, of an idle mesh near 0.
+    ``skipped`` counts component-cycles covered by deferred idle accounting —
+    both cycles slept through by quiescent components and cycles the kernel
+    leapt over for timed components.  Together they measure how well the
+    kernel exploits fabric idleness: the :attr:`occupancy` of a fully loaded
+    mesh is 1.0, of an idle mesh near 0.  ``leaps`` counts event-horizon
+    jumps and ``leaped_cycles`` the clock cycles they covered — cycles on
+    which the kernel did no per-cycle work at all.
     """
 
     evaluated: int = 0
     skipped: int = 0
     wakes: int = 0
     sleeps: int = 0
+    leaps: int = 0
+    leaped_cycles: int = 0
 
     @property
     def total(self) -> int:
@@ -47,6 +53,8 @@ class SchedulerStats:
             "skipped": float(self.skipped),
             "wakes": float(self.wakes),
             "sleeps": float(self.sleeps),
+            "leaps": float(self.leaps),
+            "leaped_cycles": float(self.leaped_cycles),
             "occupancy": self.occupancy,
         }
 

@@ -308,6 +308,33 @@ class TestFabricSelection:
         with pytest.raises(Exception):
             decision.candidate("optical")
 
+    def test_probe_results_are_cached_per_application_and_kind(self):
+        selector = FabricSelector(Mesh2D(4, 4), probe_cycles=200, seed=3)
+        first = selector.select(hiperlan2.build_process_graph())
+        assert selector.cache_misses == len(selector.kinds)
+        assert selector.cache_hits == 0
+        # A re-arrival of the same application is pure cache.
+        second = selector.select(hiperlan2.build_process_graph())
+        assert selector.cache_hits == len(selector.kinds)
+        assert selector.cache_misses == len(selector.kinds)
+        assert second.chosen_kind == first.chosen_kind
+        for kind in ("circuit_switched", "time_division_gt", "packet_switched"):
+            assert second.candidate(kind) is first.candidate(kind)
+        # A different application probes again.
+        selector.select(umts.build_process_graph())
+        assert selector.cache_misses == 2 * len(selector.kinds)
+
+    def test_topology_change_invalidates_the_probe_cache(self):
+        selector = FabricSelector(Mesh2D(4, 4), probe_cycles=200, seed=3)
+        selector.select(hiperlan2.build_process_graph())
+        misses = selector.cache_misses
+        selector.topology = Mesh2D(5, 5)
+        selector.select(hiperlan2.build_process_graph())
+        assert selector.cache_misses == 2 * misses  # probed afresh
+        selector.invalidate_cache()
+        selector.select(hiperlan2.build_process_graph())
+        assert selector.cache_misses == 3 * misses
+
 
 class TestDeadRouterAdmission:
     """End-to-end: admit an application around a dead router (ROADMAP item)."""

@@ -116,3 +116,27 @@ class TestValidation:
             ["depart umts"],
             ["arrive umts"],
         ]
+
+    def test_selector_runs_on_every_arrival_and_hits_its_cache(self):
+        """Per-arrival fabric selection (the cached probes make churn cheap)."""
+        from repro.noc.selection import FabricSelector
+
+        events = [
+            WorkloadEvent(0, "arrive", "umts", umts.build_process_graph),
+            WorkloadEvent(300, "depart", "umts"),
+            WorkloadEvent(400, "arrive", "umts", umts.build_process_graph),
+        ]
+        topology = Mesh2D(4, 4)
+        selector = FabricSelector(topology, probe_cycles=200, seed=5)
+        result = run_dynamic_workload(
+            "circuit", topology, events, total_cycles=800, seed=5, selector=selector
+        )
+        assert result.fabric_choices == {"umts": "circuit_switched"}
+        assert any(
+            e.startswith("select circuit_switched")
+            for epoch in result.epochs
+            for e in epoch.events
+        )
+        # The second arrival re-used every probe of the first.
+        assert selector.cache_misses == len(selector.kinds)
+        assert selector.cache_hits == len(selector.kinds)

@@ -1,0 +1,491 @@
+"""Tests for the timed-component tier and event-horizon cycle leaping.
+
+The quiescence protocol (PR 1) made simulation cost proportional to
+*component* activity; the timed tier makes it proportional to *event*
+activity: when everything on the schedule can predict its next interesting
+cycle, the kernel leaps the clock straight there.  These tests pin down the
+leap semantics — exact emission schedules, leap boundaries, the
+impossibility of wakes inside a leap window, removal of timed components —
+and the strict-vs-auto bit-identity with mixed timed/untimed components.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.traffic import BitFlipPattern, word_generator
+from repro.common import SimulationError
+from repro.core.testbench import LoadPacer
+from repro.noc.fabric import build_network
+from repro.noc.network import CircuitSwitchedNoC
+from repro.noc.path_allocation import LaneAllocator
+from repro.noc.topology import Mesh2D
+from repro.sim.engine import ClockedComponent, SimulationKernel
+
+FREQUENCY_HZ = 100e6
+
+
+class _PacedEmitter(ClockedComponent):
+    """Minimal timed component: a load pacer plus execution bookkeeping."""
+
+    supports_timed_wake = True
+
+    def __init__(self, name: str, load: float, cycles_per_word: int = 5) -> None:
+        super().__init__(name)
+        self._pacer = LoadPacer(load, cycles_per_word)
+        self.executed: list[int] = []
+        self.emissions: list[int] = []
+        self.idle_cycles = 0
+
+    def evaluate(self, cycle: int) -> None:
+        self.executed.append(cycle)
+        if self._pacer.should_emit():
+            self.emissions.append(cycle)
+
+    def commit(self, cycle: int) -> None:
+        pass
+
+    def next_event_cycle(self, cycle: int):
+        gap = self._pacer.cycles_until_emit()
+        return None if gap is None else cycle + gap - 1
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
+        self._pacer.skip(cycles)
+        self.idle_cycles += cycles
+
+
+class _Sink(ClockedComponent):
+    """Timed pure sink: never generates an event of its own."""
+
+    supports_timed_wake = True
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.executed = 0
+
+    def evaluate(self, cycle: int) -> None:
+        self.executed += 1
+
+    def commit(self, cycle: int) -> None:
+        pass
+
+    def next_event_cycle(self, cycle: int):
+        return None
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
+        pass
+
+
+class _Plain(ClockedComponent):
+    """A component without any scheduling protocol: always dense."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.ticks = 0
+
+    def evaluate(self, cycle: int) -> None:
+        pass
+
+    def commit(self, cycle: int) -> None:
+        self.ticks += 1
+
+
+class _Sleeper(ClockedComponent):
+    """Quiescence-only component that sleeps immediately."""
+
+    supports_quiescence = True
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.ticks = 0
+        self.idle_cycles = 0
+
+    def evaluate(self, cycle: int) -> None:
+        pass
+
+    def commit(self, cycle: int) -> None:
+        self.ticks += 1
+
+    def quiescent(self) -> bool:
+        return True
+
+    def idle_tick(self, start_cycle: int, cycles: int) -> None:
+        self.idle_cycles += cycles
+
+
+class TestLoadPacerExactness:
+    @pytest.mark.parametrize("load", [0.05, 0.1, 0.25, 0.3, 0.6, 0.8, 1.0])
+    def test_prediction_matches_sequential_emission(self, load):
+        """cycles_until_emit + skip reproduce should_emit cycle for cycle."""
+        stepped = LoadPacer(load, 5)
+        leaped = LoadPacer(load, 5)
+        stepped_emissions = [c for c in range(2000) if stepped.should_emit()]
+        leaped_emissions = []
+        cycle = 0
+        while cycle < 2000:
+            gap = leaped.cycles_until_emit()
+            assert gap is not None and gap >= 1
+            # Skip the silent prefix, then emit on the predicted call.
+            leaped.skip(gap - 1)
+            cycle += gap - 1
+            if cycle >= 2000:
+                break
+            assert leaped.should_emit()
+            leaped_emissions.append(cycle)
+            cycle += 1
+        assert leaped_emissions == stepped_emissions
+
+    def test_zero_load_never_emits(self):
+        pacer = LoadPacer(0.0, 5)
+        assert pacer.cycles_until_emit() is None
+        assert not pacer.should_emit()
+
+    def test_full_load_period_is_exact(self):
+        pacer = LoadPacer(1.0, 5)
+        emissions = [c for c in range(50) if pacer.should_emit()]
+        assert emissions == [4, 9, 14, 19, 24, 29, 34, 39, 44, 49]
+
+
+class TestCycleLeaping:
+    def _run(self, schedule: str, load: float, cycles: int):
+        kernel = SimulationKernel(schedule=schedule)
+        emitter = kernel.add(_PacedEmitter("emitter", load))
+        sink = kernel.add(_Sink("sink"))
+        kernel.run(cycles)
+        return kernel, emitter, sink
+
+    def test_leaped_schedule_emits_on_identical_cycles(self):
+        strict_kernel, strict_emitter, _ = self._run("strict", 0.1, 1000)
+        auto_kernel, auto_emitter, _ = self._run("auto", 0.1, 1000)
+        assert auto_emitter.emissions == strict_emitter.emissions
+        assert auto_kernel.cycle == strict_kernel.cycle == 1000
+        # The auto schedule really leapt: only emission cycles were executed.
+        assert auto_kernel.scheduler_stats.leaps > 0
+        assert auto_emitter.executed == auto_emitter.emissions
+        # Every skipped cycle was idle-accounted exactly once.
+        assert len(auto_emitter.executed) + auto_emitter.idle_cycles == 1000
+
+    def test_event_exactly_at_leap_target_runs(self):
+        """The event cycle itself is executed, never skipped."""
+        kernel = SimulationKernel(schedule="auto")
+        emitter = kernel.add(_PacedEmitter("emitter", 0.5, cycles_per_word=10))
+        kernel.run(20)
+        # load 0.5, threshold 10: emission on the 20th call (cycle 19).
+        assert emitter.emissions == [19]
+        assert emitter.executed == [19]
+
+    def test_run_boundary_inside_leap_window(self):
+        """A run ending before the next event executes no cycle at all, and
+        the event still lands on the correct absolute cycle afterwards."""
+        kernel = SimulationKernel(schedule="auto")
+        emitter = kernel.add(_PacedEmitter("emitter", 0.5, cycles_per_word=10))
+        kernel.run(7)  # entirely inside the [0, 19) silent window
+        assert kernel.cycle == 7
+        assert emitter.executed == []
+        assert emitter.idle_cycles == 7
+        kernel.run(13)
+        assert kernel.cycle == 20
+        assert emitter.emissions == [19]
+
+    def test_sink_only_kernel_leaps_to_the_horizon(self):
+        kernel = SimulationKernel(schedule="auto")
+        sink = kernel.add(_Sink("sink"))
+        kernel.run(500)
+        assert kernel.cycle == 500
+        assert sink.executed == 0
+        assert kernel.scheduler_stats.leaps == 1
+        assert kernel.scheduler_stats.leaped_cycles == 500
+
+    def test_sleeping_components_stay_asleep_across_leaps(self):
+        kernel = SimulationKernel(schedule="auto")
+        sleeper = kernel.add(_Sleeper("sleeper"))
+        emitter = kernel.add(_PacedEmitter("emitter", 0.05))
+        kernel.run(600)
+        assert kernel.scheduler_stats.leaps > 0
+        assert sleeper.ticks + sleeper.idle_cycles == 600
+        assert len(emitter.executed) + emitter.idle_cycles == 600
+
+    def test_wake_during_leap_window_is_impossible_and_asserted(self):
+        """idle_tick must not change observable inputs; the kernel turns a
+        wake inside the leap window into a loud error."""
+
+        class _Malicious(_PacedEmitter):
+            def __init__(self, name, victim):
+                super().__init__(name, 0.1)
+                self.victim = victim
+
+            def idle_tick(self, start_cycle, cycles):
+                super().idle_tick(start_cycle, cycles)
+                self.victim.wake()  # nothing runs during a leap: illegal
+
+        kernel = SimulationKernel(schedule="auto")
+        victim = kernel.add(_Sleeper("victim"))
+        kernel.add(_Malicious("malicious", victim))
+        with pytest.raises(SimulationError, match="cycle leap"):
+            kernel.run(300)
+
+    def test_wake_during_horizon_scan_is_asserted_too(self):
+        """next_event_cycle must be a pure prediction; a side-effecting one
+        is rejected as loudly as a side-effecting idle_tick."""
+
+        class _ImpureScanner(_PacedEmitter):
+            def __init__(self, name, victim):
+                super().__init__(name, 0.1)
+                self.victim = victim
+
+            def next_event_cycle(self, cycle):
+                self.victim.wake()  # scanning must not change inputs
+                return super().next_event_cycle(cycle)
+
+        kernel = SimulationKernel(schedule="auto")
+        victim = kernel.add(_Sleeper("victim"))
+        kernel.add(_ImpureScanner("impure", victim))
+        with pytest.raises(SimulationError, match="cycle leap"):
+            kernel.run(300)
+
+    def test_strict_schedule_never_leaps(self):
+        kernel, emitter, _ = self._run("strict", 0.05, 400)
+        assert kernel.scheduler_stats.leaps == 0
+        assert len(emitter.executed) == 400
+
+
+class TestMixedTimedAndUntimed:
+    def test_untimed_component_pins_the_horizon(self):
+        """One plain component forces single-stepping; results stay exact."""
+        strict = SimulationKernel(schedule="strict")
+        strict_emitter = strict.add(_PacedEmitter("emitter", 0.1))
+        strict.add(_Plain("plain"))
+        strict.run(500)
+
+        auto = SimulationKernel(schedule="auto")
+        auto_emitter = auto.add(_PacedEmitter("emitter", 0.1))
+        plain = auto.add(_Plain("plain"))
+        auto.run(500)
+
+        assert auto.scheduler_stats.leaps == 0
+        assert plain.ticks == 500
+        assert auto_emitter.emissions == strict_emitter.emissions
+        assert len(auto_emitter.executed) == 500
+
+    def test_input_dirty_component_blocks_the_leap(self):
+        """A freshly woken component must run before leaping resumes."""
+        kernel = SimulationKernel(schedule="auto")
+        sleeper = kernel.add(_Sleeper("sleeper"))
+        kernel.add(_PacedEmitter("emitter", 0.05))
+        kernel.run(100)
+        assert sleeper._asleep
+        sleeper.wake()  # external wake between runs
+        kernel.run(100)
+        assert kernel.cycle == 200
+        # The woken component ran again (then went back to sleep).
+        assert sleeper.ticks >= 2
+        assert sleeper.ticks + sleeper.idle_cycles == 200
+
+
+class TestTimedComponentRemoval:
+    def test_remove_timed_component_after_leaps(self):
+        kernel = SimulationKernel(schedule="auto")
+        emitter = kernel.add(_PacedEmitter("emitter", 0.05))
+        keep = kernel.add(_Sink("sink"))
+        kernel.run(300)
+        assert kernel.scheduler_stats.leaps > 0
+        kernel.remove(emitter)
+        assert len(emitter.executed) + emitter.idle_cycles == 300
+        kernel.run(200)  # only the sink remains: pure horizon leaps
+        assert kernel.cycle == 500
+        assert len(emitter.executed) + emitter.idle_cycles == 300
+        assert keep._scheduler is kernel
+        # The name is immediately reusable.
+        kernel.add(_PacedEmitter("emitter", 0.5))
+
+    def test_remove_sleeping_component_mid_leap_era_flushes_exactly(self):
+        kernel = SimulationKernel(schedule="auto")
+        sleeper = kernel.add(_Sleeper("sleeper"))
+        kernel.add(_PacedEmitter("emitter", 0.05))
+        kernel.run(250)
+        kernel.remove(sleeper)
+        assert sleeper.ticks + sleeper.idle_cycles == 250
+
+    def test_remove_pending_wake_component_between_runs(self):
+        """A component woken but not yet rescheduled leaves via the woken list."""
+        kernel = SimulationKernel(schedule="auto")
+        sleeper = kernel.add(_Sleeper("sleeper"))
+        kernel.add(_Plain("keepalive"))
+        kernel.run(50)
+        assert sleeper._asleep
+        sleeper.wake()
+        assert sleeper._pending_wake
+        kernel.remove(sleeper)
+        assert not sleeper._pending_wake
+        kernel.run(10)
+        assert sleeper.ticks + sleeper.idle_cycles == 50
+
+
+class TestTimedHooks:
+    def test_timed_hook_runs_identical_cycles_under_both_schedules(self):
+        seen = {}
+        for schedule in ("strict", "auto"):
+            kernel = SimulationKernel(schedule=schedule)
+            kernel.add(_PacedEmitter("emitter", 0.05))
+            cycles: list[int] = []
+            kernel.add_pre_cycle_hook(cycles.append, every=50)
+            kernel.run(300)
+            seen[schedule] = cycles
+        assert seen["auto"] == seen["strict"] == [0, 50, 100, 150, 200, 250]
+
+    def test_timed_post_hook_bounds_the_leap(self):
+        kernel = SimulationKernel(schedule="auto")
+        kernel.add(_Sink("sink"))
+        cycles: list[int] = []
+        kernel.add_post_cycle_hook(cycles.append, every=100)
+        kernel.run(350)
+        assert cycles == [0, 100, 200, 300]
+        # Leaps covered everything except the four hook cycles.
+        assert kernel.scheduler_stats.leaped_cycles == 350 - 4
+
+    def test_dense_hook_forces_single_stepping(self):
+        kernel = SimulationKernel(schedule="auto")
+        kernel.add(_Sink("sink"))
+        cycles: list[int] = []
+        kernel.add_pre_cycle_hook(cycles.append)
+        kernel.run(40)
+        assert cycles == list(range(40))
+        assert kernel.scheduler_stats.leaps == 0
+
+    def test_invalid_hook_stride_rejected(self):
+        kernel = SimulationKernel()
+        with pytest.raises(ValueError):
+            kernel.add_pre_cycle_hook(lambda cycle: None, every=0)
+        with pytest.raises(ValueError):
+            kernel.add_post_cycle_hook(lambda cycle: None, every=-3)
+
+
+class TestRunUntilStride:
+    class _Counter(ClockedComponent):
+        def __init__(self):
+            super().__init__("counter")
+            self.value = 0
+
+        def evaluate(self, cycle):
+            pass
+
+        def commit(self, cycle):
+            self.value += 1
+
+    def test_default_stride_preserves_exact_stop_cycle(self):
+        kernel = SimulationKernel()
+        counter = kernel.add(self._Counter())
+        kernel.run_until(lambda cycle: counter.value >= 7)
+        assert counter.value == 7
+
+    def test_stride_checks_only_at_chunk_boundaries(self):
+        kernel = SimulationKernel()
+        counter = kernel.add(self._Counter())
+        end = kernel.run_until(lambda cycle: counter.value >= 7, check_every=8)
+        assert end == 8  # overshoot bounded by one stride
+        assert counter.value == 8
+
+    def test_stride_still_honours_max_cycles(self):
+        """max_cycles is a hard simulation bound: the last stride is clamped."""
+        kernel = SimulationKernel()
+        kernel.add(self._Counter())
+        with pytest.raises(SimulationError):
+            kernel.run_until(lambda cycle: False, max_cycles=20, check_every=8)
+        assert kernel.cycle == 20  # 8 + 8 + 4, never past the budget
+
+    def test_invalid_stride_rejected(self):
+        kernel = SimulationKernel()
+        kernel.add(self._Counter())
+        with pytest.raises(ValueError):
+            kernel.run_until(lambda cycle: True, check_every=0)
+
+
+class TestPacedNetworkLeaping:
+    """End-to-end: a paced circuit stream leaps between word injections."""
+
+    def _build(self, schedule, load):
+        mesh = Mesh2D(4, 1)
+        network = CircuitSwitchedNoC(mesh, frequency_hz=FREQUENCY_HZ, schedule=schedule)
+        allocation = LaneAllocator(mesh).allocate("s", (0, 0), (3, 0), 100.0, FREQUENCY_HZ)
+        network.apply_allocation(allocation)
+        generator = word_generator(BitFlipPattern.TYPICAL, seed=11)
+        network.add_stream("s", allocation, generator, load=load)
+        return network
+
+    def _snapshot(self, network):
+        return (
+            network.kernel.cycle,
+            {p: (r.activity.as_dict(), r.activity.cycles) for p, r in network.routers.items()},
+            network.stream_statistics(),
+        )
+
+    @pytest.mark.parametrize("load", [0.05, 0.1])
+    def test_paced_circuit_stream_is_identical_and_leaps(self, load):
+        strict = self._build("strict", load)
+        strict.run(1500)
+        auto = self._build("auto", load)
+        auto.run(1500)
+        assert self._snapshot(auto) == self._snapshot(strict)
+        assert auto.kernel.scheduler_stats.leaps > 0
+        assert auto.streams["s"].words_received > 0
+
+    @pytest.mark.parametrize("load", [0.1, 0.37, 1.0])
+    def test_gt_link_driver_scenario_is_identical_and_leaps(self, load):
+        """The Table-3 single-router GT harness: a slot-gated link driver
+        must leap emission-to-emission (pacer credit counts opportunities)."""
+        from repro.common import Port
+        from repro.noc.gt_network import (
+            GtLinkStreamConsumer,
+            GtLinkStreamDriver,
+            SlotTableRouter,
+            TdmaLink,
+        )
+
+        def run(schedule):
+            slots = 16
+            router = SlotTableRouter("dut", slots=slots)
+            rx = TdmaLink("rx_w")
+            tx = TdmaLink("tx_e")
+            router.attach_link(Port.WEST, rx, TdmaLink("tx_w"))
+            router.attach_link(Port.EAST, TdmaLink("rx_e"), tx)
+            stream_slots = frozenset({2, 7, 11})
+            for slot in stream_slots:
+                router.program(Port.EAST, slot, Port.WEST, "s0")
+            source = word_generator(BitFlipPattern.TYPICAL, seed=13)
+            driver = GtLinkStreamDriver("src", rx, slots, stream_slots, source, load)
+            consumer = GtLinkStreamConsumer("dst", tx, slots)
+            consumer.claim(0, stream_slots)
+            kernel = SimulationKernel(FREQUENCY_HZ, schedule=schedule)
+            kernel.add_all([driver, consumer, router])
+            kernel.run(1200)
+            return kernel, (
+                driver.words_sent,
+                consumer.received,
+                router.activity.as_dict(),
+                router.activity.cycles,
+            )
+
+        strict_kernel, strict_obs = run("strict")
+        auto_kernel, auto_obs = run("auto")
+        assert auto_obs == strict_obs
+        assert strict_obs[0] > 0
+        assert auto_kernel.scheduler_stats.leaps > 0
+        if load <= 0.5:
+            # Pacer-aware horizon: leaps cross silent slot opportunities too,
+            # so most of the run is leaped, not stepped.
+            assert auto_kernel.scheduler_stats.leaped_cycles > 600
+
+    def test_paced_gt_stream_is_identical_and_leaps(self):
+        nets = {}
+        for schedule in ("strict", "auto"):
+            network = build_network(
+                "gt", Mesh2D(3, 1), frequency_hz=FREQUENCY_HZ, schedule=schedule
+            )
+            generator = word_generator(BitFlipPattern.TYPICAL, seed=7)
+            # Low bandwidth relative to slot capacity: long silent windows.
+            network.attach_channel("a", (0, 0), (2, 0), 40.0, generator, load=0.5)
+            network.run(1500)
+            nets[schedule] = network
+        assert self._snapshot(nets["auto"]) == self._snapshot(nets["strict"])
+        assert nets["auto"].kernel.scheduler_stats.leaps > 0
+        assert nets["auto"].streams["a"].words_received > 0
