@@ -26,7 +26,16 @@ __all__ = ["PacketLink"]
 class PacketLink:
     """One unidirectional flit channel with credit-based flow control."""
 
-    __slots__ = ("name", "num_vcs", "forward", "credits", "flit_dirty", "credit_dirty")
+    __slots__ = (
+        "name",
+        "num_vcs",
+        "forward",
+        "credits",
+        "flit_dirty",
+        "credit_dirty",
+        "dead",
+        "dropped",
+    )
 
     def __init__(
         self,
@@ -48,6 +57,11 @@ class PacketLink:
         self.flit_dirty = DirtyBit()
         #: Dirty-bit of the credit wires; its listener is the sender's ``wake``.
         self.credit_dirty = DirtyBit()
+        #: True once :meth:`fail` killed the channel (fault model).
+        self.dead = False
+        #: Flits swallowed by the dead channel (in-flight at the kill plus
+        #: every flit driven afterwards).
+        self.dropped = 0
 
     # -- dirty-bit wiring --------------------------------------------------------
 
@@ -71,6 +85,15 @@ class PacketLink:
         """
         if flit is None:
             self.forward = None
+            return
+        if self.dead:
+            # A broken channel swallows the flit.  The credit it would have
+            # consumed downstream is synthesised back immediately, so the
+            # sending router drains its buffered worm into the void and can
+            # go quiescent instead of stalling forever on a dead wire.
+            self.dropped += 1
+            self.credits[flit.vc] += 1
+            self.credit_dirty.mark()
             return
         self.forward = flit
         self.flit_dirty.mark()
@@ -117,6 +140,28 @@ class PacketLink:
         self.forward = None
         for vc in range(self.num_vcs):
             self.credits[vc] = 0
+
+    def fail(self) -> int:
+        """Kill the channel: the wire falls idle, future flits are swallowed.
+
+        Returns the number of in-flight flits lost (0 or 1 — the wire holds
+        at most one committed flit).  The lost flit's credit is synthesised
+        back so the upstream router's credit accounting recovers; both ends
+        are woken to re-sample the dead wire.
+        """
+        if self.dead:
+            return 0
+        self.dead = True
+        dropped = 0
+        flit = self.forward
+        if flit is not None:
+            dropped = 1
+            self.dropped += 1
+            self.forward = None
+            self.credits[flit.vc] += 1
+        self.flit_dirty.mark()
+        self.credit_dirty.mark()
+        return dropped
 
     def _check_vc(self, vc: int) -> None:
         if not 0 <= vc < self.num_vcs:

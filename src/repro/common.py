@@ -36,6 +36,7 @@ __all__ = [
     "MappingError",
     "ProtocolError",
     "SimulationError",
+    "FaultError",
 ]
 
 
@@ -266,3 +267,13 @@ class ProtocolError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation kernel detected an inconsistency."""
+
+
+class FaultError(ReproError):
+    """A run-time fault injection was rejected or failed.
+
+    Raised instead of the topology layer's generic ``ValueError`` when a
+    requested link/router kill would disconnect the surviving fabric (the
+    message names the cut), targets a resource that does not exist or is
+    already dead, or would take out the CCN's own router.
+    """

@@ -62,6 +62,8 @@ class LaneLink:
         "ack",
         "forward_dirty",
         "ack_dirty",
+        "dead",
+        "dropped",
     )
 
     def __init__(self, name: str, num_lanes: int = 4, lane_width: int = 4) -> None:
@@ -81,6 +83,11 @@ class LaneLink:
         #: Dirty-bit of the acknowledge wires; its listener is the source
         #: component's ``wake``.
         self.ack_dirty = DirtyBit()
+        #: True once :meth:`fail` killed the bundle (fault model).
+        self.dead = False
+        #: Phits swallowed by the dead bundle (in-flight at the kill plus
+        #: every non-idle value driven afterwards).
+        self.dropped = 0
 
     # -- dirty-bit wiring ------------------------------------------------------
 
@@ -100,6 +107,11 @@ class LaneLink:
         if not 0 <= lane < self.num_lanes:
             self._check_lane(lane)
         if value == forward[lane]:
+            return
+        if self.dead:
+            # A broken wire swallows the phit; the serialisers upstream keep
+            # their window-counter protocol (no acknowledge ever returns).
+            self.dropped += 1
             return
         if value < 0 or value > self._mask:
             raise ValueError(
@@ -122,6 +134,8 @@ class LaneLink:
             self._check_lane(lane)
         value = bool(value)
         if value == ack[lane]:
+            return
+        if self.dead:
             return
         ack[lane] = value
         self.ack_dirty.mark()
@@ -147,6 +161,23 @@ class LaneLink:
         for lane in range(self.num_lanes):
             self.forward[lane] = 0
             self.ack[lane] = False
+
+    def fail(self) -> int:
+        """Kill the bundle: wires fall to idle and future drives are swallowed.
+
+        Returns the number of in-flight phits lost on the wires.  Both ends
+        are woken so they re-sample the now-idle bundle (a fault is injected
+        between cycles, where wakes are legal in every schedule).
+        """
+        if self.dead:
+            return 0
+        self.dead = True
+        in_flight = sum(1 for value in self.forward if value)
+        self.dropped += in_flight
+        self.reset()
+        self.forward_dirty.mark()
+        self.ack_dirty.mark()
+        return in_flight
 
     def _check_lane(self, lane: int) -> None:
         if not 0 <= lane < self.num_lanes:

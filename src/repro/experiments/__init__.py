@@ -13,6 +13,7 @@ Fig. 9    :mod:`repro.experiments.figure9`        power per scenario
 Fig. 10   :mod:`repro.experiments.figure10`       power vs. bit flips
 ablations :mod:`repro.experiments.ablations`      clock gating, lanes, window
 dynamic   :mod:`repro.experiments.dynamic`        CCN-driven application churn
+storm     :mod:`repro.experiments.storm`          failure storms, survivability
 ========  ======================================  ==========================
 """
 
@@ -30,6 +31,13 @@ from repro.experiments.dynamic import (
     paper_churn_events,
     run_dynamic_workload,
 )
+from repro.experiments.storm import (
+    StormOutcome,
+    run_storm,
+    storm_schedule,
+    sweep_storms,
+    telemetry_columns,
+)
 from repro.experiments import (
     ablations,
     dynamic,
@@ -38,6 +46,7 @@ from repro.experiments import (
     paper_data,
     report,
     scenarios,
+    storm,
     table1,
     table2,
     table4,
@@ -54,6 +63,11 @@ __all__ = [
     "WorkloadEvent",
     "paper_churn_events",
     "run_dynamic_workload",
+    "StormOutcome",
+    "run_storm",
+    "storm_schedule",
+    "sweep_storms",
+    "telemetry_columns",
     "ablations",
     "dynamic",
     "figure9",
@@ -61,6 +75,7 @@ __all__ = [
     "paper_data",
     "report",
     "scenarios",
+    "storm",
     "table1",
     "table2",
     "table4",

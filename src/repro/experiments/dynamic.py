@@ -35,6 +35,7 @@ from repro.apps.traffic import BitFlipPattern, word_generator
 from repro.common import AllocationError, MappingError, ReproError
 from repro.noc.ccn import CentralCoordinationNode
 from repro.noc.fabric import build_network
+from repro.noc.faults import FaultInjector, FaultSpec
 from repro.noc.selection import FabricSelector
 from repro.noc.topology import Mesh2D, Topology
 
@@ -49,20 +50,28 @@ __all__ = [
 
 @dataclass(frozen=True)
 class WorkloadEvent:
-    """One application arriving at or departing from the SoC."""
+    """One application arriving/departing — or a resource dying mid-run."""
 
     cycle: int
-    action: str  # "arrive" | "depart"
-    application: str
+    action: str  # "arrive" | "depart" | "fault"
+    application: str = ""
     graph_factory: Optional[Callable[[], ProcessGraph]] = None
+    #: For ``action="fault"``: what to kill (see :class:`repro.noc.faults`).
+    fault: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if self.cycle < 0:
             raise ValueError("event cycle must be non-negative")
-        if self.action not in ("arrive", "depart"):
+        if self.action not in ("arrive", "depart", "fault"):
             raise ValueError(f"unknown workload action {self.action!r}")
         if self.action == "arrive" and self.graph_factory is None:
             raise ValueError("arrival events need a graph_factory")
+        if self.action == "fault" and self.fault is None:
+            raise ValueError("fault events need a FaultSpec")
+        if self.action != "fault" and self.fault is not None:
+            raise ValueError("only fault events carry a FaultSpec")
+        if self.action in ("arrive", "depart") and not self.application:
+            raise ValueError("arrive/depart events need an application label")
 
 
 @dataclass
@@ -84,6 +93,18 @@ class EpochReport:
     #: start (arrivals admitted at *start_cycle*).
     reconfiguration_time_s: float = 0.0
     rejections: int = 0
+    #: One-line descriptions of the faults injected at this epoch's start.
+    faults: List[str] = field(default_factory=list)
+    #: Applications displaced by this epoch's faults…
+    displaced: List[str] = field(default_factory=list)
+    #: …of which these were re-admitted on the degraded fabric…
+    readmitted: List[str] = field(default_factory=list)
+    #: …and these could no longer be carried and were cleanly rejected.
+    displaced_rejected: List[str] = field(default_factory=list)
+    #: Network cycles the fault-recovery drains of this epoch consumed.
+    recovery_cycles: int = 0
+    #: Wire-level units (phits/flits/words) lost to dead links this epoch.
+    words_dropped: int = 0
 
     @property
     def cycles(self) -> int:
@@ -105,6 +126,13 @@ class DynamicWorkloadResult:
     #: Per-arrival fabric recommendation (application -> chosen kind) when a
     #: :class:`~repro.noc.selection.FabricSelector` was consulted.
     fabric_choices: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: What one dropped wire unit is for this network kind (phit/flit/word).
+    drop_unit: str = "word"
+    #: Post-fault fabric recommendation per displaced-and-rejected
+    #: application, when a selector was available during recovery.
+    fallback_kinds: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: CCN leak check evaluated after the final epoch (``None`` until run).
+    end_leak_free: Optional[bool] = None
 
     @property
     def words_delivered(self) -> int:
@@ -132,6 +160,36 @@ class DynamicWorkloadResult:
     def peak_tile_occupancy(self) -> float:
         """Highest tile occupancy any epoch reached."""
         return max((e.tile_occupancy for e in self.epochs), default=0.0)
+
+    @property
+    def fault_count(self) -> int:
+        """Faults injected across the whole schedule."""
+        return sum(len(e.faults) for e in self.epochs)
+
+    @property
+    def displaced(self) -> List[str]:
+        """Applications displaced by faults, in injection order."""
+        return [name for e in self.epochs for name in e.displaced]
+
+    @property
+    def readmitted(self) -> List[str]:
+        """Displaced applications re-admitted on the degraded fabric."""
+        return [name for e in self.epochs for name in e.readmitted]
+
+    @property
+    def displaced_rejected(self) -> List[str]:
+        """Displaced applications the degraded fabric could not re-admit."""
+        return [name for e in self.epochs for name in e.displaced_rejected]
+
+    @property
+    def recovery_cycles(self) -> int:
+        """Network cycles all fault-recovery sequences consumed."""
+        return sum(e.recovery_cycles for e in self.epochs)
+
+    @property
+    def words_dropped(self) -> int:
+        """Wire-level units lost to dead links over the whole schedule."""
+        return sum(e.words_dropped for e in self.epochs)
 
 
 def paper_churn_events() -> List[WorkloadEvent]:
@@ -206,7 +264,13 @@ def run_dynamic_workload(
         total_cycles=total_cycles,
         load=load,
         data_width=network.data_width,
+        drop_unit=network.fault_drop_unit,
     )
+    #: Lazily constructed on the first fault event.
+    injector: Optional[FaultInjector] = None
+    #: Labels whose application was displaced-and-rejected by a fault; their
+    #: scheduled departure events become tolerated no-ops.
+    vanished: set = set()
     #: graph.name of every application label currently admitted.
     live: Dict[str, str] = {}
     #: Delivered-word baseline per live stream, recorded at attach time (the
@@ -220,6 +284,7 @@ def run_dynamic_workload(
     finalized_words = 0
     prev_words = 0
     prev_energy = 0.0
+    prev_drops = 0
 
     # Group events by cycle so one epoch boundary applies all of them.
     boundaries: List[int] = sorted({e.cycle for e in events})
@@ -261,10 +326,19 @@ def run_dynamic_workload(
                         baselines[name] = stats[name]["received"]
                     epoch.reconfiguration_time_s += admission.reconfiguration_time_s
                     epoch.events.append(f"arrive {event.application}")
-            else:
+            elif event.action == "depart":
                 try:
                     graph_name = live.pop(event.application)
                 except KeyError:
+                    if event.application in vanished:
+                        # The application was displaced by a fault and could
+                        # not be re-admitted; its scheduled departure finds
+                        # nothing to release — by design, not by accident.
+                        vanished.discard(event.application)
+                        epoch.events.append(
+                            f"depart {event.application} (already displaced)"
+                        )
+                        continue
                     raise ReproError(
                         f"departure of {event.application!r} without a live admission"
                     ) from None
@@ -275,6 +349,35 @@ def run_dynamic_workload(
                 for name, count in final_counts.items():
                     finalized_words += count - baselines.pop(name)
                 epoch.events.append(f"depart {event.application}")
+            else:  # fault
+                if injector is None:
+                    injector = FaultInjector(network, ccn=ccn, selector=selector)
+                report = injector.inject(event.fault)
+                epoch.faults.append(report.describe())
+                epoch.events.append(report.describe())
+                recovery = report.recovery
+                if recovery is not None:
+                    epoch.recovery_cycles += recovery.recovery_cycles
+                    epoch.reconfiguration_time_s += recovery.reconfiguration_time_s
+                    epoch.displaced.extend(recovery.displaced)
+                    epoch.readmitted.extend(recovery.readmitted)
+                    epoch.displaced_rejected.extend(recovery.rejected)
+                    result.fallback_kinds.update(recovery.fallback_kinds)
+                    # Every displaced stream was detached post-drain; credit
+                    # its words like a departure would.  Re-admitted
+                    # applications got fresh streams — re-baseline them.
+                    for name, count in recovery.final_stream_counts.items():
+                        if name in baselines:
+                            finalized_words += count - baselines.pop(name)
+                    stats = network.stream_statistics()
+                    for app_name in recovery.readmitted:
+                        for name in ccn.admission(app_name).stream_names:
+                            baselines[name] = stats[name]["received"]
+                    for app_name in recovery.rejected:
+                        for label, graph_name in list(live.items()):
+                            if graph_name == app_name:
+                                live.pop(label)
+                                vanished.add(label)
 
         # A departure's drain phase may already have run past the epoch
         # boundary; later epochs re-synchronise at their own end cycles.
@@ -291,7 +394,10 @@ def run_dynamic_workload(
             ccn.allocator.link_utilization() if ccn.allocator is not None else 0.0
         )
         epoch.tile_occupancy = ccn.grid.occupancy()
-        prev_words, prev_energy = words, energy
+        drops = network.fault_drops()
+        epoch.words_dropped = drops - prev_drops
+        prev_words, prev_energy, prev_drops = words, energy, drops
         result.epochs.append(epoch)
 
+    result.end_leak_free = ccn.leak_free(network)
     return result

@@ -58,8 +58,21 @@ from repro.noc.gt_network import (
     TdmaLink,
     TimeDivisionNoC,
 )
-from repro.noc.ccn import ApplicationAdmission, CentralCoordinationNode, FeasibilityReport
+from repro.noc.ccn import (
+    ApplicationAdmission,
+    CentralCoordinationNode,
+    FaultRecovery,
+    FeasibilityReport,
+)
 from repro.noc.selection import FabricCandidate, FabricDecision, FabricSelector
+from repro.noc.faults import (
+    FaultInjector,
+    FaultReport,
+    FaultSpec,
+    loaded_link_chooser,
+    random_link_chooser,
+    random_router_chooser,
+)
 
 __all__ = [
     "Topology",
@@ -100,8 +113,15 @@ __all__ = [
     "TimeDivisionNoC",
     "ApplicationAdmission",
     "CentralCoordinationNode",
+    "FaultRecovery",
     "FeasibilityReport",
     "FabricCandidate",
     "FabricDecision",
     "FabricSelector",
+    "FaultInjector",
+    "FaultReport",
+    "FaultSpec",
+    "loaded_link_chooser",
+    "random_link_chooser",
+    "random_router_chooser",
 ]

@@ -25,7 +25,7 @@ the per-circuit reservation rule.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, List, Set, Tuple
+from typing import Any, Dict, Iterable, List, Set, Tuple
 
 import networkx as nx
 
@@ -74,6 +74,47 @@ class AdmissionController(abc.ABC):
             pos: set(all_units) for pos in topology.positions()
         }
         self._allocations: Dict[str, Any] = {}
+        #: Directed links invalidated by run-time faults.  The pools behind
+        #: them stay alive — circuits allocated before the fault must still
+        #: release their units without leaking — but the route search and
+        #: the free-unit queries treat the links as having no capacity.
+        self._dead_links: Set[Tuple[Position, Position]] = set()
+        #: Router positions invalidated by run-time faults.
+        self._dead_routers: Set[Position] = set()
+
+    # -- fault invalidation ------------------------------------------------------------
+
+    def invalidate_resources(
+        self,
+        dead_links: Iterable[Tuple[Position, Position]] = (),
+        dead_routers: Iterable[Position] = (),
+    ) -> None:
+        """Take dead links/routers out of admission without touching held units.
+
+        Links are invalidated in both directions; a dead router invalidates
+        every link incident to it.  Existing allocations over the dead
+        resources stay registered (their owner releases them during fault
+        recovery, returning every unit to the — now unroutable — pools, so
+        :meth:`link_utilization` still drops back to zero).
+        """
+        for a, b in dead_links:
+            self._dead_links.add((a, b))
+            self._dead_links.add((b, a))
+        for position in dead_routers:
+            self._dead_routers.add(position)
+            for link in self._free_link_units:
+                if position in link:
+                    self._dead_links.add(link)
+
+    @property
+    def dead_links(self) -> Set[Tuple[Position, Position]]:
+        """Directed links currently invalidated by faults (a copy)."""
+        return set(self._dead_links)
+
+    @property
+    def dead_routers(self) -> Set[Position]:
+        """Router positions currently invalidated by faults (a copy)."""
+        return set(self._dead_routers)
 
     # -- capacity arithmetic -----------------------------------------------------------
 
@@ -88,11 +129,18 @@ class AdmissionController(abc.ABC):
     # -- queries ---------------------------------------------------------------------------
 
     def free_units(self, src: Position, dst: Position) -> int:
-        """Number of free units on the directed link from *src* to *dst*."""
+        """Number of free units on the directed link from *src* to *dst*.
+
+        A link invalidated by a fault reports zero capacity even while its
+        pool still holds (or is still owed) units.
+        """
         try:
-            return len(self._free_link_units[(src, dst)])
+            units = self._free_link_units[(src, dst)]
         except KeyError:
             raise AllocationError(f"no link from {src} to {dst} in the topology") from None
+        if (src, dst) in self._dead_links:
+            return 0
+        return len(units)
 
     def allocation(self, channel_name: str) -> Any:
         """The allocation previously made for *channel_name*."""
@@ -118,8 +166,13 @@ class AdmissionController(abc.ABC):
         """Shortest path on which every link still has *units_needed* free units."""
         graph = nx.DiGraph()
         for position in self.topology.positions():
-            graph.add_node(position)
+            if position not in self._dead_routers:
+                graph.add_node(position)
         for (a, b), free in self._free_link_units.items():
+            if (a, b) in self._dead_links:
+                continue
+            if a in self._dead_routers or b in self._dead_routers:
+                continue
             if len(free) >= units_needed:
                 graph.add_edge(a, b)
         try:
@@ -161,6 +214,8 @@ class AdmissionController(abc.ABC):
         for position in (src, dst):
             if not self.topology.contains(position):
                 raise AllocationError(f"position {position} is outside the topology")
+            if position in self._dead_routers:
+                raise AllocationError(f"router at {position} is dead")
 
         allocation = self._new_allocation(channel_name, src, dst, bandwidth_mbps)
         if src == dst:

@@ -45,7 +45,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.apps.kpn import ProcessGraph, TrafficClass
-from repro.common import AllocationError, ConfigurationError, MappingError
+from repro.common import AllocationError, ConfigurationError, FaultError, MappingError
 from repro.noc.admission import AdmissionController
 from repro.noc.be_network import BestEffortNetwork, ConfigurationDelivery
 from repro.noc.fabric import NocBase, WordSource, resolve_network_kind
@@ -53,7 +53,12 @@ from repro.noc.mapping import Mapping, SpatialMapper
 from repro.noc.tile import TileGrid
 from repro.noc.topology import Position, Topology
 
-__all__ = ["FeasibilityReport", "ApplicationAdmission", "CentralCoordinationNode"]
+__all__ = [
+    "FeasibilityReport",
+    "ApplicationAdmission",
+    "FaultRecovery",
+    "CentralCoordinationNode",
+]
 
 
 @dataclass
@@ -106,6 +111,11 @@ class ApplicationAdmission:
     #: The admitted process graph (needed to attach packet-switched traffic,
     #: which has no allocation records to recover channels from).
     graph: Optional[ProcessGraph] = field(default=None, repr=False)
+    #: Traffic parameters recorded at :meth:`CentralCoordinationNode
+    #: .attach_traffic` time, so fault recovery can re-attach a displaced
+    #: application's streams with the identical word source and load.
+    word_source: Optional[WordSource] = field(default=None, repr=False)
+    load: float = field(default=1.0, repr=False)
 
     @property
     def total_units_used(self) -> int:
@@ -124,6 +134,43 @@ class ApplicationAdmission:
     def reconfiguration_time_s(self) -> float:
         """Time needed to ship all configuration commands over the BE network."""
         return self.delivery.total_time_s if self.delivery is not None else 0.0
+
+
+@dataclass
+class FaultRecovery:
+    """Everything :meth:`CentralCoordinationNode.handle_fault` decided and did."""
+
+    #: Undirected links and router positions the fault killed.
+    dead_links: List[Any] = field(default_factory=list)
+    dead_routers: List[Position] = field(default_factory=list)
+    #: Applications whose routes or mapped tiles touched the dead resources,
+    #: in admission order.
+    displaced: List[str] = field(default_factory=list)
+    #: Displaced applications successfully re-mapped and re-admitted on the
+    #: degraded fabric (their traffic re-attached where it was attached).
+    readmitted: List[str] = field(default_factory=list)
+    #: Displaced applications the degraded fabric could no longer carry.
+    rejected: List[str] = field(default_factory=list)
+    #: Advisory fabric recommendation per rejected application when a
+    #: :class:`~repro.noc.selection.FabricSelector` was consulted
+    #: (``None`` = no fabric can carry it).
+    fallback_kinds: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: Post-drain delivered-word count per stream detached during recovery.
+    final_stream_counts: Dict[str, int] = field(default_factory=dict)
+    #: Network cycles the halt/drain/re-admit sequence consumed.
+    recovery_cycles: int = 0
+    #: BE-network transport time of the re-admissions' configuration.
+    reconfiguration_time_s: float = 0.0
+
+    @property
+    def recovered_all(self) -> bool:
+        """True when every displaced application was re-admitted."""
+        return not self.rejected
+
+
+def _undirected(link: Any) -> Any:
+    a, b = link
+    return (a, b) if a <= b else (b, a)
 
 
 class CentralCoordinationNode:
@@ -392,6 +439,8 @@ class CentralCoordinationNode:
                     network.detach_stream(stream_name)
             raise
         admission.stream_names = names
+        admission.word_source = word_source
+        admission.load = load
         return names
 
     # -- release ----------------------------------------------------------------------------
@@ -448,6 +497,181 @@ class CentralCoordinationNode:
                 self.allocator.release(allocation.channel_name)
         self.mapper.unmap(admission.mapping)
         return final_counts
+
+    # -- fault recovery ----------------------------------------------------------------------
+
+    def affected_admissions(
+        self,
+        dead_links: Any = (),
+        dead_routers: Any = (),
+        network: Optional[NocBase] = None,
+    ) -> List[str]:
+        """Admitted applications whose resources touch the dead links/routers.
+
+        An application is displaced when any of its mapped tiles sits on a
+        dead router, when any allocated circuit's route crosses a dead link
+        or router, or — for kinds without allocations (packet switching) —
+        when the routing path between any GT channel's mapped endpoints
+        traverses the dead resource.  For the packet case the *current*
+        routing table is consulted, so call this **before** rebuilding
+        routing after a fault (the :class:`~repro.noc.faults.FaultInjector`
+        does exactly that).
+        """
+        network = self._resolve_network(network)
+        dead_link_set = {_undirected(link) for link in dead_links}
+        dead_router_set = set(dead_routers)
+        routing = getattr(network, "routing", None) if network is not None else None
+
+        affected: List[str] = []
+        for name, admission in self._admissions.items():
+            if self._admission_touches(
+                admission, dead_link_set, dead_router_set, routing
+            ):
+                affected.append(name)
+        return affected
+
+    def _admission_touches(
+        self, admission: ApplicationAdmission, dead_links, dead_routers, routing
+    ) -> bool:
+        for position in admission.mapping.placement.values():
+            if position in dead_routers:
+                return True
+        for allocation in admission.allocations:
+            for circuit in allocation.circuits:
+                for position in circuit.route:
+                    if position in dead_routers:
+                        return True
+                for a, b in zip(circuit.route, circuit.route[1:]):
+                    if _undirected((a, b)) in dead_links:
+                        return True
+        if not admission.allocations and self.allocator is None:
+            graph = admission.graph
+            if routing is None or graph is None:
+                return False
+            for channel in graph.channels:
+                if channel.traffic_class != TrafficClass.GUARANTEED_THROUGHPUT:
+                    continue
+                src = admission.mapping.position_of(channel.src)
+                dst = admission.mapping.position_of(channel.dst)
+                if src == dst:
+                    continue
+                path = routing.path_positions(src, dst)
+                for position in path:
+                    if position in dead_routers:
+                        return True
+                for a, b in zip(path, path[1:]):
+                    if _undirected((a, b)) in dead_links:
+                        return True
+        return False
+
+    def apply_degraded_topology(self, degraded: Topology) -> None:
+        """Re-anchor every planning structure on the post-fault topology view.
+
+        The live network keeps its construction-time component graph (dead
+        wires are handled at the link level); what must follow the degraded
+        view is the CCN's *planning* state: feasibility sizing, the tile
+        grid (dead routers' tiles stop being mappable), the spatial mapper's
+        distance metric and the best-effort configuration transport.
+        """
+        if not degraded.contains(self.be_network.ccn_position):
+            raise FaultError(
+                f"the CCN's own router at {self.be_network.ccn_position} is dead — "
+                "system coordination is lost"
+            )
+        self.topology = degraded
+        self.mesh = degraded
+        self.grid.topology = degraded
+        self.grid.mesh = degraded
+        self.mapper.mesh = degraded
+        self.be_network = BestEffortNetwork(degraded, self.be_network.ccn_position)
+
+    def handle_fault(
+        self,
+        degraded: Topology,
+        dead_links: Any = (),
+        dead_routers: Any = (),
+        affected: Optional[List[str]] = None,
+        selector: Optional[Any] = None,
+        network: Optional[NocBase] = None,
+        drain_chunk_cycles: int = 64,
+        max_drain_cycles: int = 4096,
+    ) -> FaultRecovery:
+        """Recover the admitted applications from a mid-run link/router fault.
+
+        The run-time half of the paper's coordination story: the CCN
+        identifies the admissions whose routes or mapped tiles touch the
+        dead resource (*affected*, computed here when not supplied by the
+        :class:`~repro.noc.faults.FaultInjector`), halts and drains their
+        surviving traffic, releases the broken allocations transactionally
+        (the admission controller's pools are invalidated on the dead links
+        first, so nothing leaks and nothing re-routes over them), then
+        re-maps and re-admits every displaced application on the degraded
+        fabric — re-attaching its recorded word stream — and cleanly
+        rejects the ones the survivors can no longer carry.  With a
+        *selector* each rejection also records an advisory fallback fabric
+        recommendation scored on the degraded topology.
+        """
+        network = self._resolve_network(network)
+        dead_link_list = sorted({_undirected(link) for link in dead_links})
+        dead_router_list = sorted(set(dead_routers))
+        recovery = FaultRecovery(
+            dead_links=list(dead_link_list), dead_routers=list(dead_router_list)
+        )
+        start_cycle = network.kernel.cycle if network is not None else 0
+
+        if affected is None:
+            affected = self.affected_admissions(
+                dead_link_list, dead_router_list, network
+            )
+        recovery.displaced = list(affected)
+
+        if self.allocator is not None:
+            self.allocator.invalidate_resources(dead_link_list, dead_router_list)
+        self.apply_degraded_topology(degraded)
+
+        # Tear every displaced application down first (freeing tiles and
+        # units), then re-admit in admission order — releasing everything up
+        # front gives the re-mapper the whole surviving fabric to work with.
+        plans: List[ApplicationAdmission] = []
+        for name in affected:
+            admission = self.admission(name)
+            plans.append(admission)
+            final = self.release(
+                name,
+                network=network,
+                drain_chunk_cycles=drain_chunk_cycles,
+                max_drain_cycles=max_drain_cycles,
+            )
+            recovery.final_stream_counts.update(final)
+
+        for plan in plans:
+            graph = plan.graph
+            name = plan.application
+            if graph is None:
+                recovery.rejected.append(name)
+                continue
+            try:
+                readmission = self.admit(graph, network=network)
+                if plan.word_source is not None and network is not None:
+                    self.attach_traffic(
+                        name, plan.word_source, load=plan.load, network=network
+                    )
+            except (MappingError, AllocationError):
+                # Roll back a half-done re-admission (admit succeeded but the
+                # traffic re-attach failed) so the rejection leaves no state.
+                if name in self._admissions:
+                    self.release(name, network=network, drain_chunk_cycles=0)
+                recovery.rejected.append(name)
+                if selector is not None:
+                    decision = selector.select(graph)
+                    recovery.fallback_kinds[name] = decision.chosen_kind
+            else:
+                recovery.readmitted.append(name)
+                recovery.reconfiguration_time_s += readmission.reconfiguration_time_s
+
+        if network is not None:
+            recovery.recovery_cycles = network.kernel.cycle - start_cycle
+        return recovery
 
     # -- queries -----------------------------------------------------------------------------
 

@@ -23,7 +23,7 @@ from repro.common import ConfigurationError, ReproError
 from repro.energy.activity import ActivityCounters
 from repro.energy.power import PowerBreakdown
 from repro.energy.technology import TSMC_130NM_LVHP, Technology
-from repro.noc.topology import Position, Topology
+from repro.noc.topology import IrregularMesh, Position, Topology
 from repro.sim.engine import SimulationKernel
 
 __all__ = [
@@ -59,6 +59,10 @@ class NocBase:
     #: (what the CCN ships over the best-effort network per circuit hop);
     #: 0 when the kind needs no per-connection configuration.
     config_command_bits: int = 0
+    #: What one wire-level unit swallowed by a dead link is called for this
+    #: kind (``"phit"`` / ``"flit"`` / ``"word"``) — the unit of
+    #: :meth:`fault_drops`.
+    fault_drop_unit: str = "word"
 
     def __init__(
         self,
@@ -100,6 +104,11 @@ class NocBase:
             self.kernel.add(router)
 
         self.streams: Dict[str, Any] = {}
+
+        #: Undirected links killed at run time (:meth:`fail_link`).
+        self.dead_links: set = set()
+        #: Router positions killed at run time (:meth:`fail_router`).
+        self.dead_routers: set = set()
 
     # -- construction hooks -----------------------------------------------------------
 
@@ -303,6 +312,81 @@ class NocBase:
         self.kernel.run_until(
             settled, max_cycles=max_cycles + check_every, check_every=check_every
         )
+
+    # -- faults -----------------------------------------------------------------------------
+
+    def fail_link(self, a: Position, b: Position) -> int:
+        """Kill the bidirectional link between *a* and *b* at the wire level.
+
+        Both directed wire bundles fall dead: in-flight payload is dropped
+        (and counted on the links), and every future drive is swallowed.
+        Returns the number of wire-level units (:attr:`fault_drop_unit`)
+        that were in flight.  Pure wire surgery — deriving the degraded
+        topology view and rebuilding routing is
+        :class:`repro.noc.faults.FaultInjector` territory.
+        """
+        if (a, b) not in self.links and (b, a) not in self.links:
+            raise ConfigurationError(f"no link between {a} and {b}")
+        dropped = 0
+        for key in ((a, b), (b, a)):
+            link = self.links.get(key)
+            if link is not None:
+                dropped += link.fail()
+        self.dead_links.add((a, b) if a <= b else (b, a))
+        return dropped
+
+    def fail_router(self, position: Position) -> int:
+        """Kill the router at *position*: every incident link dies with it.
+
+        The dead router keeps its clock (an un-gated dead macro still burns
+        idle power) but can no longer exchange words with any neighbour —
+        residual state drains onto its dead links and is counted there.
+        Returns the in-flight wire units lost on the incident links.
+        """
+        if position not in self.routers:
+            raise ConfigurationError(f"no router at position {position}")
+        dropped = 0
+        for (src, dst), link in self.links.items():
+            if position in (src, dst):
+                dropped += link.fail()
+                self.dead_links.add((src, dst) if src <= dst else (dst, src))
+        self.dead_routers.add(position)
+        return dropped
+
+    def degraded_topology(self) -> Topology:
+        """The construction topology minus every run-time-killed resource.
+
+        Folds run-time faults into any static :class:`IrregularMesh`
+        decoration the network was built with, so the view stays a single
+        decorator over the original base.  Raises the topology layer's
+        ``ValueError`` when the survivors are disconnected — the
+        :class:`~repro.noc.faults.FaultInjector` pre-validates and converts
+        that into a :class:`~repro.common.FaultError` naming the cut.
+        """
+        if not self.dead_links and not self.dead_routers:
+            return self.topology
+        base = self.topology
+        broken_links = set(self.dead_links)
+        broken_routers = set(self.dead_routers)
+        if isinstance(base, IrregularMesh):
+            broken_links |= set(base.broken_links)
+            broken_routers |= set(base.broken_routers)
+            base = base.base
+        return IrregularMesh(
+            base, tuple(sorted(broken_links)), tuple(sorted(broken_routers))
+        )
+
+    def refresh_routing(self, degraded: Topology) -> None:
+        """Re-derive any routing state from the *degraded* topology view.
+
+        No-op by default: circuit and TDMA fabrics route at admission time,
+        so only source-routed state held by the network itself (the packet
+        fabric's routing table) needs refreshing after a fault.
+        """
+
+    def fault_drops(self) -> int:
+        """Wire-level units swallowed by dead links (:attr:`fault_drop_unit`)."""
+        return sum(getattr(link, "dropped", 0) for link in self.links.values())
 
     # -- access ---------------------------------------------------------------------------
 

@@ -1,0 +1,392 @@
+"""Run-time fault injection: links and routers that die while traffic flows.
+
+The static fault story — an :class:`~repro.noc.topology.IrregularMesh` frozen
+before the kernel starts — only shows that the allocators route *around*
+holes.  The paper's run-time reconfiguration claim needs the other half: a
+resource that dies **mid-run**, under live traffic, with the Central
+Coordination Node detecting the loss and re-admitting the displaced
+applications on whatever fabric survives.  This module is that half:
+
+* :class:`FaultSpec` — a declarative "kill this link/router" (either a fixed
+  target or a deterministic *chooser* resolved against the live network at
+  injection time, so storm schedules can target whatever the traffic is
+  actually using),
+* :class:`FaultInjector` — validates the kill (a cut that would disconnect
+  the survivors raises :class:`~repro.common.FaultError` naming the cut,
+  atomically, before any wire is touched), snapshots which admissions are
+  affected *under the pre-fault routing*, kills the wires (in-flight words /
+  flits / phits are dropped and counted on the links), derives the degraded
+  :class:`~repro.noc.topology.IrregularMesh` view, rebuilds the network's
+  routing state, invalidates the :class:`~repro.noc.selection.FabricSelector`
+  probe cache (stale probes would score the pre-fault topology), and hands
+  the degraded view to :meth:`~repro.noc.ccn.CentralCoordinationNode
+  .handle_fault` for recovery,
+* deterministic victim choosers (:func:`random_link_chooser`,
+  :func:`random_router_chooser`, :func:`loaded_link_chooser`) used by the
+  failure-storm campaigns of :mod:`repro.experiments.storm`.
+
+Faults are injected *between* cycles (the kernel is in its idle phase), so a
+storm schedule replayed under ``schedule="strict"`` and ``schedule="auto"``
+stays bit-identical — the repo-wide equivalence discipline extends to every
+storm scenario.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common import FaultError
+from repro.noc.ccn import CentralCoordinationNode, FaultRecovery
+from repro.noc.fabric import NocBase
+from repro.noc.topology import IrregularMesh, Position, Topology
+
+__all__ = [
+    "FaultSpec",
+    "FaultReport",
+    "FaultInjector",
+    "random_link_chooser",
+    "random_router_chooser",
+    "loaded_link_chooser",
+]
+
+Link = Tuple[Position, Position]
+#: A chooser resolves a fault target against the live system at injection
+#: time; it must be deterministic for the strict-vs-auto discipline to hold.
+Chooser = Callable[[NocBase, Optional[CentralCoordinationNode]], Any]
+
+
+def _undirected(link: Link) -> Link:
+    a, b = link
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled kill: a link or a router, fixed or chosen at run time."""
+
+    kind: str  # "link" | "router"
+    target: Optional[Any] = None
+    chooser: Optional[Chooser] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("link", "router"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if (self.target is None) == (self.chooser is None):
+            raise ValueError("exactly one of target/chooser must be given")
+
+
+@dataclass
+class FaultReport:
+    """What one injected fault did to the network and its applications."""
+
+    cycle: int
+    kind: str
+    target: Any
+    #: In-flight wire-level units lost at the kill itself.
+    wire_drops: int
+    #: What one dropped unit is for this network kind (phit/flit/word).
+    drop_unit: str
+    #: The CCN's recovery outcome (``None`` when no CCN is attached).
+    recovery: Optional[FaultRecovery] = None
+    #: Affected applications, snapshotted under the pre-fault routing.
+    affected: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by the epoch telemetry."""
+        if self.kind == "link":
+            (a, b) = self.target
+            what = f"link {a}-{b}"
+        else:
+            what = f"router {self.target}"
+        suffix = ""
+        if self.recovery is not None:
+            suffix = (
+                f" (displaced {len(self.recovery.displaced)},"
+                f" readmitted {len(self.recovery.readmitted)},"
+                f" rejected {len(self.recovery.rejected)})"
+            )
+        return f"kill {what}{suffix}"
+
+
+class FaultInjector:
+    """Kills links/routers on a running network and drives CCN recovery.
+
+    Construct once per network; every :meth:`kill_link` / :meth:`kill_router`
+    call accumulates into the degraded topology view.  With a *ccn* the
+    injector runs the full recovery pipeline; with a *selector* the fabric
+    probe cache is re-anchored on the degraded topology (invalidating every
+    cached probe) before any post-fault recommendation is scored.
+    """
+
+    def __init__(
+        self,
+        network: NocBase,
+        ccn: Optional[CentralCoordinationNode] = None,
+        selector: Optional[Any] = None,
+        drain_chunk_cycles: int = 64,
+        max_drain_cycles: int = 4096,
+    ) -> None:
+        self.network = network
+        self.ccn = ccn
+        self.selector = selector
+        self.drain_chunk_cycles = drain_chunk_cycles
+        self.max_drain_cycles = max_drain_cycles
+        #: Every report produced so far, in injection order.
+        self.reports: List[FaultReport] = []
+
+    # -- validation -------------------------------------------------------------------
+
+    @property
+    def degraded_topology(self) -> Topology:
+        """Current surviving-topology view (construction topology minus kills)."""
+        return self.network.degraded_topology()
+
+    def _candidate(
+        self, add_link: Optional[Link] = None, add_router: Optional[Position] = None
+    ) -> Topology:
+        """The degraded view *if* the given kill happened — or a FaultError.
+
+        Validation is atomic: raised before a single wire is touched, so a
+        rejected kill leaves network, CCN and allocator untouched.
+        """
+        base = self.network.topology
+        broken_links = set(self.network.dead_links)
+        broken_routers = set(self.network.dead_routers)
+        if isinstance(base, IrregularMesh):
+            broken_links |= set(base.broken_links)
+            broken_routers |= set(base.broken_routers)
+            base = base.base
+        cut = (
+            f"link {add_link[0]}-{add_link[1]}"
+            if add_link is not None
+            else f"router {add_router}"
+        )
+        if add_link is not None:
+            broken_links.add(_undirected(add_link))
+        if add_router is not None:
+            broken_routers.add(add_router)
+        try:
+            return IrregularMesh(
+                base, tuple(sorted(broken_links)), tuple(sorted(broken_routers))
+            )
+        except ValueError as error:
+            raise FaultError(f"cannot kill {cut}: {error}") from None
+
+    def survives(
+        self, link: Optional[Link] = None, router: Optional[Position] = None
+    ) -> bool:
+        """True when the given kill would leave the fabric connected."""
+        try:
+            self._candidate(add_link=link, add_router=router)
+        except FaultError:
+            return False
+        return True
+
+    # -- injection --------------------------------------------------------------------
+
+    def kill_link(self, a: Position, b: Position) -> FaultReport:
+        """Kill the bidirectional link between *a* and *b* and recover."""
+        link = _undirected((a, b))
+        if link in self.network.dead_links:
+            raise FaultError(f"link {link[0]}-{link[1]} is already dead")
+        if (a, b) not in self.network.links and (b, a) not in self.network.links:
+            raise FaultError(f"no link between {a} and {b} to kill")
+        degraded = self._candidate(add_link=link)
+        return self._execute("link", link, degraded, [link], [])
+
+    def kill_router(self, position: Position) -> FaultReport:
+        """Kill the router at *position* (and every incident link) and recover."""
+        if position in self.network.dead_routers:
+            raise FaultError(f"router {position} is already dead")
+        if position not in self.network.routers:
+            raise FaultError(f"no router at {position} to kill")
+        if self.ccn is not None and position == self.ccn.be_network.ccn_position:
+            raise FaultError(
+                f"cannot kill the CCN's own router at {position} — "
+                "system coordination would be lost"
+            )
+        degraded = self._candidate(add_router=position)
+        return self._execute("router", position, degraded, [], [position])
+
+    def inject(self, spec: FaultSpec) -> FaultReport:
+        """Resolve and execute one :class:`FaultSpec`."""
+        target = spec.target
+        if target is None:
+            target = spec.chooser(self.network, self.ccn)
+        if spec.kind == "link":
+            a, b = target
+            return self.kill_link(a, b)
+        return self.kill_router(target)
+
+    def _execute(
+        self,
+        kind: str,
+        target: Any,
+        degraded: Topology,
+        dead_links: List[Link],
+        dead_routers: List[Position],
+    ) -> FaultReport:
+        network = self.network
+        ccn = self.ccn
+
+        # Affected admissions must be snapshotted under the *pre-fault*
+        # routing: for the packet fabric the displaced streams are the ones
+        # whose old paths crossed the dead resource, which the rebuilt table
+        # no longer knows.
+        affected: List[str] = []
+        if ccn is not None:
+            affected = ccn.affected_admissions(dead_links, dead_routers, network)
+
+        if kind == "link":
+            wire_drops = network.fail_link(*target)
+        else:
+            wire_drops = network.fail_router(target)
+        network.refresh_routing(degraded)
+
+        # A mid-run fault changes the effective topology without anyone
+        # assigning selector.topology — re-anchor it here so every cached
+        # probe (keyed per application and kind) is dropped and post-fault
+        # recommendations are scored on the surviving fabric.
+        if self.selector is not None:
+            self.selector.topology = degraded
+
+        report = FaultReport(
+            cycle=network.kernel.cycle,
+            kind=kind,
+            target=target,
+            wire_drops=wire_drops,
+            drop_unit=network.fault_drop_unit,
+            affected=affected,
+        )
+        if ccn is not None:
+            report.recovery = ccn.handle_fault(
+                degraded,
+                dead_links=dead_links,
+                dead_routers=dead_routers,
+                affected=affected,
+                selector=self.selector,
+                network=network,
+                drain_chunk_cycles=self.drain_chunk_cycles,
+                max_drain_cycles=self.max_drain_cycles,
+            )
+        self.reports.append(report)
+        return report
+
+
+# ---------------------------------------------------------------------------
+# Deterministic victim choosers for storm schedules
+# ---------------------------------------------------------------------------
+
+
+def _surviving_links(network: NocBase) -> List[Link]:
+    """Undirected surviving links, sorted (the chooser candidate pool)."""
+    dead = set(network.dead_links)
+    links = {
+        _undirected(link)
+        for link in network.links
+        if _undirected(link) not in dead
+    }
+    return sorted(links)
+
+
+def _connectivity_filter(
+    network: NocBase, ccn: Optional[CentralCoordinationNode]
+) -> FaultInjector:
+    # A throwaway injector reuses the candidate validation; it never touches
+    # wires, so building one inside a chooser is free of side effects.
+    return FaultInjector(network, ccn=None, selector=None)
+
+
+def random_link_chooser(seed: int = 0) -> Chooser:
+    """A chooser killing a pseudo-random surviving, non-disconnecting link.
+
+    Deterministic: the chooser owns a :class:`random.Random` seeded once, so
+    repeated injections (one storm schedule) and repeated runs (strict vs.
+    auto) walk the identical victim sequence.
+    """
+    rng = random.Random(seed)
+
+    def choose(network: NocBase, ccn: Optional[CentralCoordinationNode]) -> Link:
+        probe = _connectivity_filter(network, ccn)
+        candidates = _surviving_links(network)
+        rng.shuffle(candidates)
+        for link in candidates:
+            if probe.survives(link=link):
+                return link
+        raise FaultError("no surviving link can be killed without a disconnect")
+
+    return choose
+
+
+def random_router_chooser(seed: int = 0) -> Chooser:
+    """A chooser killing a pseudo-random surviving, non-disconnecting router.
+
+    Never picks the CCN's own router (killing the coordinator is game over,
+    not a recoverable fault).
+    """
+    rng = random.Random(seed)
+
+    def choose(network: NocBase, ccn: Optional[CentralCoordinationNode]) -> Position:
+        probe = _connectivity_filter(network, ccn)
+        forbidden = set(network.dead_routers)
+        if ccn is not None:
+            forbidden.add(ccn.be_network.ccn_position)
+        candidates = sorted(p for p in network.routers if p not in forbidden)
+        rng.shuffle(candidates)
+        for position in candidates:
+            if probe.survives(router=position):
+                return position
+        raise FaultError("no surviving router can be killed without a disconnect")
+
+    return choose
+
+
+def loaded_link_chooser(seed: int = 0) -> Chooser:
+    """A chooser that prefers links currently carrying admitted traffic.
+
+    Builds a usage count per undirected link from the CCN's allocations
+    (lane circuits / slot trains) or, for the packet fabric, from the
+    routing paths of every admitted GT channel — then kills the busiest
+    killable link (ties and the no-traffic fallback resolved by the seeded
+    order of :func:`random_link_chooser`).  Storm campaigns use this to
+    guarantee that a fault actually displaces somebody.
+    """
+    fallback = random_link_chooser(seed)
+
+    def choose(network: NocBase, ccn: Optional[CentralCoordinationNode]) -> Link:
+        usage: Dict[Link, int] = {}
+        if ccn is not None:
+            if ccn.allocator is not None:
+                for allocation in ccn.allocator.allocations:
+                    for circuit in allocation.circuits:
+                        for a, b in zip(circuit.route, circuit.route[1:]):
+                            link = _undirected((a, b))
+                            usage[link] = usage.get(link, 0) + 1
+            else:
+                routing = getattr(network, "routing", None)
+                for name in ccn.admitted_applications:
+                    admission = ccn.admission(name)
+                    graph = admission.graph
+                    if routing is None or graph is None:
+                        continue
+                    for channel in graph.channels:
+                        src = admission.mapping.position_of(channel.src)
+                        dst = admission.mapping.position_of(channel.dst)
+                        if src == dst:
+                            continue
+                        path = routing.path_positions(src, dst)
+                        for a, b in zip(path, path[1:]):
+                            link = _undirected((a, b))
+                            usage[link] = usage.get(link, 0) + 1
+        if usage:
+            probe = _connectivity_filter(network, ccn)
+            dead = {_undirected(link) for link in network.dead_links}
+            ranked = sorted(usage.items(), key=lambda item: (-item[1], item[0]))
+            for link, _ in ranked:
+                if link not in dead and probe.survives(link=link):
+                    return link
+        return fallback(network, ccn)
+
+    return choose

@@ -73,7 +73,7 @@ class TdmaLink:
     guarantees contention-freedom, so the receiver can never stall.
     """
 
-    __slots__ = ("name", "data_width", "_mask", "forward", "forward_dirty")
+    __slots__ = ("name", "data_width", "_mask", "forward", "forward_dirty", "dead", "dropped")
 
     def __init__(self, name: str, data_width: int = 16) -> None:
         if data_width < 1:
@@ -85,6 +85,11 @@ class TdmaLink:
         #: Dirty-bit of the forward wire; its listener is the reading
         #: (downstream) router's ``wake``.
         self.forward_dirty = DirtyBit()
+        #: True once :meth:`fail` killed the wire (fault model).
+        self.dead = False
+        #: Words swallowed by the dead wire (in-flight at the kill plus
+        #: every word driven afterwards).
+        self.dropped = 0
 
     def watch_forward(self, listener: WakeListener) -> None:
         """Wake *listener* whenever a word is placed on the wire."""
@@ -98,6 +103,12 @@ class TdmaLink:
         the following cycle), so the word → idle transition needs no wake-up.
         """
         if word == self.forward:
+            return
+        if self.dead:
+            # A broken wire swallows the slot's word; there is no flow
+            # control to unwind (admission guarantees contention-freedom).
+            if word is not None:
+                self.dropped += 1
             return
         if word is not None and not 0 <= word <= self._mask:
             raise ValueError(f"word {word:#x} does not fit in {self.data_width} bits")
@@ -116,6 +127,23 @@ class TdmaLink:
     def reset(self) -> None:
         """Return the wire to the idle state."""
         self.forward = None
+
+    def fail(self) -> int:
+        """Kill the wire: it falls idle and future words are swallowed.
+
+        Returns the number of in-flight words lost (0 or 1).  The downstream
+        router is woken so it re-samples the dead wire.
+        """
+        if self.dead:
+            return 0
+        self.dead = True
+        dropped = 0
+        if self.forward is not None:
+            dropped = 1
+            self.dropped += 1
+            self.forward = None
+        self.forward_dirty.mark()
+        return dropped
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TdmaLink({self.name!r}, data_width={self.data_width})"
@@ -679,6 +707,7 @@ class TimeDivisionNoC(NocBase):
     kind = "time_division_gt"
     activity_name = "gt_network"
     performs_admission = True
+    fault_drop_unit = "word"
     #: One slot-table write per router hop: 3-bit output port + 8-bit slot
     #: index (Æthereal publishes 256-slot tables) + 3-bit input port.  Wider
     #: than the 10-bit lane command *and* there is one per owned slot per

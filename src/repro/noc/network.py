@@ -56,6 +56,7 @@ class CircuitSwitchedNoC(NocBase):
     kind = "circuit_switched"
     activity_name = "network"
     performs_admission = True
+    fault_drop_unit = "phit"
     #: One 10-bit lane command per router hop (Section 5.1).
     config_command_bits = COMMAND_BITS
 

@@ -50,6 +50,7 @@ class PacketSwitchedNoC(NocBase):
 
     kind = "packet_switched"
     activity_name = "packet_network"
+    fault_drop_unit = "flit"
 
     def __init__(
         self,
@@ -94,6 +95,16 @@ class PacketSwitchedNoC(NocBase):
 
     def _stream_received(self, endpoints: PacketStreamEndpoints) -> int:
         return self.words_received_at(endpoints.dst, endpoints.src)
+
+    def refresh_routing(self, degraded: Topology) -> None:
+        """Route around dead resources: rebuild the shared routing table.
+
+        The routers hold a bound reference to ``self.routing.port_for``, so
+        the in-place rebuild redirects every packet head decided from the
+        next cycle on; worms already past the dead link keep their reserved
+        path on the surviving wires.
+        """
+        self.routing.rebuild(degraded)
 
     # -- traffic -----------------------------------------------------------------------------
 

@@ -69,6 +69,21 @@ class RoutingTable:
         self._next_port: Dict[Position, Dict[Position, Port]] = {}
         self._hops: Dict[Position, Dict[Position, int]] = {}
 
+    def rebuild(self, topology: Topology) -> None:
+        """Re-derive every table from *topology* (run-time fault recovery).
+
+        Mutates this table in place rather than returning a new one: the
+        routers hold a bound reference to :meth:`port_for`, so after a
+        mid-run fault the network swaps the topology underneath them and
+        their very next routing query follows the degraded graph.  A plain
+        mesh degrading to an irregular one also loses the dimension-order
+        fast path (XY would route straight into the dead resource).
+        """
+        self.topology = topology
+        self._dimension_order = type(topology) is Mesh2D
+        self._next_port.clear()
+        self._hops.clear()
+
     def _build_table(self, destination: Position) -> None:
         """Breadth-first search towards *destination* over the symmetric links."""
         topology = self.topology
