@@ -1,10 +1,11 @@
-"""Benchmark K-1: quiescence-aware kernel throughput and strict-equivalence.
+"""Benchmark K-1: kernel schedule throughput and strict-equivalence.
 
 Measures simulated cycles per wall-clock second for circuit-switched meshes
 of 2×2, 4×4 and 8×8 routers at 0 %, 25 % and 100 % row occupancy (a row at
 occupancy carries one full-load lane circuit west→east, so the fabric's lane
-occupancy is at most the row fraction), under both the strict
-(seed-equivalent) schedule and the quiescence-aware ``auto`` schedule.
+occupancy is at most the row fraction), under the strict (seed-equivalent)
+schedule, the quiescence-aware ``auto`` schedule and the event-queue native
+``event`` schedule.
 
 A second scenario family exercises the timed tier: ``paced-stream`` rows
 carry the same row circuits at a low offered load (one word per 50 cycles —
@@ -13,8 +14,9 @@ word injections the only scheduled components are timed drivers/sinks and
 the kernel leaps the clock from word to word instead of iterating every
 cycle.
 
-Every measurement also verifies the tentpole invariant: both schedules must
-produce bit-identical merged activity counters and delivered word counts.
+Every measurement also verifies the tentpole invariant: all three schedules
+must produce bit-identical merged activity counters and delivered word
+counts.
 
 Run as a script to (re)generate the perf-trajectory file ``BENCH_kernel.json``
 at the repository root::
@@ -26,8 +28,9 @@ scenario with fewer cycles and asserts ``identical_results`` without
 touching the JSON file (the CI smoke).
 
 Future PRs regress against that file: the 8×8 mesh at ≤25 % occupancy must
-stay ≥3× faster under ``auto`` than under ``strict``, and the 8×8
-paced-stream row must stay ≥8× (cycle leaping).
+stay ≥3× faster under ``auto`` than under ``strict``, the 8×8 paced-stream
+row must stay ≥8× (cycle leaping), and the fully loaded 8×8 mesh must stay
+≥3× faster under ``event`` than under ``auto`` (sparse per-event work).
 """
 
 from __future__ import annotations
@@ -46,10 +49,15 @@ from repro.noc.topology import Mesh2D
 FREQUENCY_HZ = 100e6
 MESH_SIZES = (2, 4, 8)
 OCCUPANCIES = (0.0, 0.25, 1.0)
+SCHEDULES = ("strict", "auto", "event")
 #: Simulated cycles per measurement; large enough to amortise warm-up (the
 #: first cycles run every component before quiescence engages).
 CYCLES = {2: 8000, 4: 1500, 8: 800}
 SPEEDUP_TARGET = 3.0
+#: The event schedule must beat auto by this much on the *fully loaded*
+#: 8×8 mesh — the regime where quiescence and leaping cannot help and only
+#: event-proportional per-cycle work (sparse lane/route visits) remains.
+EVENT_FULL_LOAD_TARGET = 3.0
 #: Offered load of the paced-stream scenario: one word per 50 cycles — what
 #: a bandwidth-admitted application channel typically paces at.
 PACED_LOAD = 0.1
@@ -81,10 +89,11 @@ def _measure(network: CircuitSwitchedNoC, cycles: int) -> float:
 
 
 def run_benchmark(size: int, occupancy: float, cycles: int, load: float = 1.0) -> dict:
-    """Time strict vs auto on one scenario and verify bit-identical results."""
+    """Time all three schedules on one scenario and verify bit-identity."""
     results = {}
     observables = {}
-    for schedule in ("strict", "auto"):
+    schedulers = {}
+    for schedule in SCHEDULES:
         network = build_scenario(size, occupancy, schedule, load=load)
         elapsed = _measure(network, cycles)
         results[schedule] = cycles / elapsed
@@ -93,9 +102,13 @@ def run_benchmark(size: int, occupancy: float, cycles: int, load: float = 1.0) -
             network.stream_statistics(),
             network.kernel.cycle,
         )
-        if schedule == "auto":
-            scheduler = network.kernel.scheduler_stats
-    identical = observables["strict"] == observables["auto"]
+        schedulers[schedule] = network.kernel.scheduler_stats
+    identical = (
+        observables["strict"] == observables["auto"]
+        and observables["strict"] == observables["event"]
+    )
+    auto_stats = schedulers["auto"]
+    event_stats = schedulers["event"]
     return {
         "scenario": "row-stream" if load >= 1.0 else "paced-stream",
         "mesh": f"{size}x{size}",
@@ -105,10 +118,14 @@ def run_benchmark(size: int, occupancy: float, cycles: int, load: float = 1.0) -
         "cycles": cycles,
         "strict_cycles_per_sec": round(results["strict"], 1),
         "auto_cycles_per_sec": round(results["auto"], 1),
+        "event_cycles_per_sec": round(results["event"], 1),
         "speedup": round(results["auto"] / results["strict"], 2),
-        "auto_schedule_occupancy": round(scheduler.occupancy, 4),
-        "leaps": scheduler.leaps,
-        "leaped_cycles": scheduler.leaped_cycles,
+        "event_speedup": round(results["event"] / results["auto"], 2),
+        "auto_schedule_occupancy": round(auto_stats.occupancy, 4),
+        "leaps": auto_stats.leaps,
+        "leaped_cycles": auto_stats.leaped_cycles,
+        "events_processed": event_stats.events_processed,
+        "heap_peak": event_stats.heap_peak,
         "identical_results": identical,
     }
 
@@ -160,17 +177,26 @@ def test_kernel_paced_stream_leaps_past_silent_cycles(once):
     assert row["speedup"] >= PACED_SPEEDUP_TARGET
 
 
+def test_kernel_event_schedule_wins_at_full_load(once):
+    """The event schedule's acceptance bar: ≥3× over auto on a saturated 8×8
+    mesh — the regime where sleeping and leaping cannot help — with
+    bit-identical results."""
+    row = once(run_benchmark, 8, 1.0, 600)
+    assert row["identical_results"]
+    assert row["event_speedup"] >= EVENT_FULL_LOAD_TARGET
+
+
 # -- perf-trajectory file -------------------------------------------------------
 
 
 def quick_smoke() -> None:
-    """CI smoke: 8×8 full-load and paced measurements, identical results required."""
-    for load, cycles in ((1.0, 300), (PACED_LOAD, 600)):
-        row = run_benchmark(8, 0.25, cycles, load=load)
+    """CI smoke: 8×8 measurements across the load range, identity required."""
+    for occupancy, load, cycles in ((0.25, 1.0, 300), (0.25, PACED_LOAD, 600), (1.0, 1.0, 300)):
+        row = run_benchmark(8, occupancy, cycles, load=load)
         print(
             f"{row['scenario']} {row['mesh']} occ={row['occupancy']} "
-            f"speedup={row['speedup']}x leaps={row['leaps']} "
-            f"identical={row['identical_results']}"
+            f"speedup={row['speedup']}x event={row['event_speedup']}x "
+            f"leaps={row['leaps']} identical={row['identical_results']}"
         )
         if not row["identical_results"]:
             raise SystemExit(
@@ -193,16 +219,19 @@ def main() -> None:
         "benchmark": "kernel",
         "description": (
             "Simulated cycles/second of the circuit-switched mesh under the "
-            "strict (every-component) and quiescence-aware (auto) schedules; "
-            "identical_results asserts bit-identical activity counters and "
-            "delivered words between the two.  row-stream rows carry "
-            "full-load circuits; paced-stream rows carry the same circuits "
-            "at one word per 50 cycles, where the timed tier leaps the "
-            "clock between word injections."
+            "strict (every-component), quiescence-aware (auto) and "
+            "event-queue (event) schedules; identical_results asserts "
+            "bit-identical activity counters and delivered words between "
+            "all three.  row-stream rows carry full-load circuits; "
+            "paced-stream rows carry the same circuits at one word per 50 "
+            "cycles, where the timed tier leaps the clock between word "
+            "injections.  speedup is auto vs strict; event_speedup is "
+            "event vs auto."
         ),
         "frequency_hz": FREQUENCY_HZ,
         "speedup_target_8x8_low_occupancy": SPEEDUP_TARGET,
         "speedup_target_paced_stream": PACED_SPEEDUP_TARGET,
+        "speedup_target_event_full_load": EVENT_FULL_LOAD_TARGET,
         "results": rows,
     }
     out_path = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
@@ -213,7 +242,9 @@ def main() -> None:
             f"{row['scenario']:<13} {row['mesh']} occ={row['occupancy']:<4} "
             f"strict={row['strict_cycles_per_sec']:>9} cyc/s "
             f"auto={row['auto_cycles_per_sec']:>9} cyc/s "
-            f"speedup={row['speedup']:>7}x identical={row['identical_results']}"
+            f"event={row['event_cycles_per_sec']:>9} cyc/s "
+            f"speedup={row['speedup']:>6}x event_speedup={row['event_speedup']:>6}x "
+            f"identical={row['identical_results']}"
         )
     if not all(row["identical_results"] for row in rows):
         raise SystemExit("schedule results diverged — the kernel optimisation is unsound")

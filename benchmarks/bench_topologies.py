@@ -19,12 +19,15 @@ topology: circuit switching stays cheapest per delivered bit, the TDMA
 slot-table network lands in between, packet switching is the most expensive.
 
 Run as a script for the full sweep; ``--quick`` runs a reduced-cycle version
-used as the CI smoke test.
+used as the CI smoke test.  ``--jobs N`` fans the (topology × application)
+sweep out over ``N`` worker processes; results are aggregated in task order,
+so the output is bit-identical to the serial run.
 """
 
 from __future__ import annotations
 
 import argparse
+import multiprocessing
 
 from repro.apps import hiperlan2, umts
 from repro.experiments.harness import run_app_traffic
@@ -79,11 +82,40 @@ def _run_application(topology_name: str, topology, graph_builder, seed: int, cyc
     return rows
 
 
-def run_all(cycles: int = CYCLES) -> list[dict]:
-    rows = []
-    for topology_name, topology in make_topologies().items():
-        for graph_builder, seed in APPLICATIONS:
-            rows.extend(_run_application(topology_name, topology, graph_builder, seed, cycles))
+def _sweep_task(task: tuple[str, int, int]) -> list[dict]:
+    """Run one (topology, application) pair of the sweep.
+
+    Module-level (and taking only a picklable spec) so it can cross a
+    ``multiprocessing`` boundary; the topology is rebuilt by name inside the
+    worker rather than shipped through the pickle.
+    """
+    topology_name, application_index, cycles = task
+    topology = make_topologies()[topology_name]
+    graph_builder, seed = APPLICATIONS[application_index]
+    return _run_application(topology_name, topology, graph_builder, seed, cycles)
+
+
+def run_all(cycles: int = CYCLES, jobs: int = 1) -> list[dict]:
+    """The full (topology × application × kind) sweep.
+
+    ``jobs > 1`` distributes the (topology × application) tasks over a
+    process pool.  Every task is independently seeded and ``Pool.map``
+    returns results in task order, so the aggregated rows are bit-identical
+    to the serial (``jobs=1``) run.
+    """
+    tasks = [
+        (topology_name, application_index, cycles)
+        for topology_name in make_topologies()
+        for application_index in range(len(APPLICATIONS))
+    ]
+    if jobs <= 1:
+        results = [_sweep_task(task) for task in tasks]
+    else:
+        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+            results = pool.map(_sweep_task, tasks)
+    rows: list[dict] = []
+    for task_rows in results:
+        rows.extend(task_rows)
     return rows
 
 
@@ -167,9 +199,16 @@ def main() -> None:
         action="store_true",
         help="reduced-cycle sweep used as the CI smoke test",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep (1 = serial; output is identical)",
+    )
     args = parser.parse_args()
     cycles = QUICK_CYCLES if args.quick else CYCLES
-    rows = run_all(cycles)
+    rows = run_all(cycles, jobs=args.jobs)
     _check_rows(rows)
     print(format_table(rows, precision=2))
     reconfig = reconfiguration_check()

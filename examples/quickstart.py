@@ -70,6 +70,11 @@ def main() -> None:
     print(f"maximum clock         : {router.max_frequency_mhz():.0f} MHz")
     print(f"active circuits       : {router.active_circuits()} of 20 output lanes")
 
+    print()
+    print(f"scheduler ({kernel.schedule} schedule):")
+    for key, value in kernel.scheduler_stats.as_dict().items():
+        print(f"  {key:<16}: {value}")
+
 
 if __name__ == "__main__":
     main()

@@ -391,6 +391,52 @@ class PacketSwitchedRouter(ClockedComponent):
                 return False
         return True
 
+    # -- timed protocol: predict "blocked until an input changes" ------------
+
+    supports_timed_wake = True
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """``None`` (park until a dirty-bit wake) when provably blocked.
+
+        Beyond full quiescence — checked first by the scheduler — the router
+        can park while *stalled*: all wires idle, nothing to inject, and
+        every occupied input VC's head-of-line flit immovable (tile-bound
+        flits always move; a head awaiting VC allocation is stuck only with
+        no free output VC; an allocated flit is stuck only with a missing
+        output link or zero credit).  Every commit then degenerates to the
+        idle tick — the no-request arbiter and failing VC allocation are
+        both pure — until a flit, credit or injection wakes the router.
+        """
+        if self.tile._injection_queue:
+            return cycle
+        for port in NEIGHBOR_PORTS:
+            rx = self._rx_by_port[port]
+            if rx is not None and rx.forward is not None:
+                return cycle
+            tx = self._tx_by_port[port]
+            if tx is not None and (tx.forward is not None or tx.has_pending_credits()):
+                return cycle
+        input_states = self._input_states
+        for index, buffer in enumerate(self._input_buffers):
+            flit = buffer.front()
+            if flit is None:
+                continue
+            state = input_states[index]
+            if state.out_port is None:
+                return cycle  # route computation still pending
+            if state.out_port == Port.TILE:
+                return cycle  # tile delivery never blocks
+            if state.out_vc is None:
+                if self._port_allocators[state.out_port].has_free_vc():
+                    return cycle  # VC allocation would succeed
+                continue
+            if (
+                self._tx_by_port[state.out_port] is not None
+                and self._port_allocators[state.out_port].credits(state.out_vc) > 0
+            ):
+                return cycle  # switch traversal would succeed
+        return None
+
     def idle_tick(self, start_cycle: int, cycles: int) -> None:
         """Apply *cycles* of idle accounting (the baseline router only counts cycles).
 

@@ -75,6 +75,9 @@ class PacketStreamDriver(ClockedComponent):
         self.vc = vc
         self.words_per_packet = words_per_packet
         self._pacer = _WordPacer(load, phits_per_packet(data_width, lane_width))
+        # Returned credits must wake a parked driver (the router only watches
+        # the flit side of its receive links, so the credit side is free).
+        link.credit_dirty.add_listener(self.wake)
         self._credits = downstream_buffer_depth
         self._flit_queue: Deque[Flit] = deque()
         self._pending_words: List[int] = []
@@ -138,6 +141,9 @@ class PacketStreamConsumer(ClockedComponent):
     def __init__(self, name: str, link: PacketLink) -> None:
         super().__init__(name)
         self.link = link
+        # Arriving flits must wake a parked consumer (the router only watches
+        # the credit side of its transmit links, so the flit side is free).
+        link.flit_dirty.add_listener(self.wake)
         self.received_flits: List[Flit] = []
         self.received_words: List[int] = []
         self._sampled: Optional[Flit] = None

@@ -89,6 +89,14 @@ class OutputVcAllocator:
         self.allocations += 1
         return choice
 
+    def has_free_vc(self) -> bool:
+        """True when :meth:`try_allocate` would currently succeed.
+
+        Pure inspection (the round-robin pointer does not move) — used by
+        the router's event-schedule stall prediction.
+        """
+        return any(vc.free for vc in self._vcs)
+
     def release(self, vc: int) -> None:
         """Free an output VC after the packet's tail flit has left."""
         self._check_vc(vc)

@@ -78,6 +78,10 @@ class Crossbar:
         self._active_flags: List[bool] = [False] * total
         self._ack_routes: List[Tuple[int, Tuple[int, ...]]] = []
         self._cached_version = -1
+        # Configuration version already flushed by a full commit sweep; a
+        # sparse commit after a reconfiguration must first run one dense
+        # commit to clear lanes the new configuration no longer drives.
+        self._sweep_version = -1
         # True when the most recent commit latched at least one changed bit.
         # Purely a fast-path hint for the quiescence check: a commit that
         # latched changes means the router is visibly active, so the (more
@@ -222,6 +226,50 @@ class Crossbar:
         if gated_bits:
             activity.add(ActivityKeys.REG_GATED_BITS, gated_bits)
 
+    def commit_sparse(self) -> None:
+        """Non-gated commit that visits only route-active lanes.
+
+        Bit-identical to ``commit(clock_gating=False)``: inactive output
+        lanes are pinned to the idle next-state when the configuration cache
+        refreshes and unfed acknowledge registers are pinned to ``False``,
+        so after one full sweep per configuration version only the active
+        routes and acknowledge fan-ins can latch a change.  This is the
+        event-native crossbar path — a mesh router's cost is proportional to
+        its configured circuits, not its lane count.
+        """
+        if self._sweep_version != self.config.version:
+            # One dense sweep flushes lanes a reconfiguration stranded.
+            self._sweep_version = self.config.version
+            self.commit(False)
+            return
+        activity = self.activity
+        width = self.lane_width
+        out_data = self._out_data
+        next_out = self._next_out
+        ack_out = self._ack_out
+        next_ack = self._next_ack
+        reg_toggles = 0
+        xbar_toggles = 0
+        for out_idx, _src_idx in self._routes:
+            new_value = next_out[out_idx]
+            old_value = out_data[out_idx]
+            if new_value != old_value:
+                toggles = toggle_count(old_value, new_value, width)
+                reg_toggles += toggles
+                xbar_toggles += toggles
+                out_data[out_idx] = new_value
+        for in_idx, _outs in self._ack_routes:
+            new_ack = next_ack[in_idx]
+            if new_ack != ack_out[in_idx]:
+                reg_toggles += 1
+                ack_out[in_idx] = new_ack
+        self._commit_changed = reg_toggles != 0
+        if reg_toggles:
+            activity.add(ActivityKeys.REG_TOGGLE_BITS, reg_toggles)
+        if xbar_toggles:
+            activity.add(ActivityKeys.XBAR_TOGGLE_BITS, xbar_toggles)
+        activity.add(ActivityKeys.REG_CLOCKED_BITS, self._total * (width + 1))
+
     # -- quiescence support ----------------------------------------------------------
 
     @property
@@ -298,4 +346,5 @@ class Crossbar:
             self._next_out[idx] = 0
             self._next_ack[idx] = False
         self._cached_version = -1
+        self._sweep_version = -1
         self._commit_changed = True

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional
+from typing import Callable, Deque, List, Optional
 
 from repro.common import CapacityError, toggle_count
 from repro.core.flow_control import AckGenerator, FlowControlConfig, WindowCounterSource
@@ -97,6 +97,23 @@ class LaneSerializer:
     def quiescent(self) -> bool:
         """True when a tick with no acknowledge input would change nothing."""
         return not (self._remaining_phits or self._queue or self._current_phit)
+
+    @property
+    def window_stalled(self) -> bool:
+        """True while blocked on flow control with the output lane idle.
+
+        In this state a tick without an acknowledge is *functionally* an idle
+        tick — queued words cannot move until credit returns and the output
+        stays at zero — but the registers still clock (never gate), which is
+        why the owning router may only treat a stalled lane as idle when
+        clock gating is off.
+        """
+        return bool(
+            self._queue
+            and not self._remaining_phits
+            and not self._current_phit
+            and not self.window.can_send()
+        )
 
     @property
     def idle_cycle_bits(self) -> int:
@@ -200,6 +217,10 @@ class LaneDeserializer:
         self._ack_pulse = False  # committed one-cycle pulse
         self.words_received = 0
         self.max_occupancy = 0
+        #: Callback fired when a reassembled word enters the receive queue;
+        #: the event schedule parks tile-side consumers on it (see
+        #: :meth:`TileInterface.watch_rx`).
+        self.on_deliver: Optional[Callable[[], None]] = None
 
     # -- tile-side API -------------------------------------------------------------
 
@@ -307,6 +328,8 @@ class LaneDeserializer:
                 f"{len(self._rx_queue)} words buffered but the window is {window} "
                 "(window-counter flow control violated)"
             )
+        if self.on_deliver is not None:
+            self.on_deliver()
 
     def reset(self) -> None:
         """Return to the idle state."""
@@ -347,12 +370,39 @@ class DataConverter:
         #: the owning router installs its ``wake`` here so that external
         #: tile activity reschedules a quiescent router.
         self.wake_hook = None
+        #: Register bits of a fully idle converter per cycle (constant: the
+        #: per-lane idle widths depend only on the geometry, never on flow
+        #: reconfiguration), used by the batch branch of :meth:`tick_sparse`.
+        self._idle_bits_total = sum(s.idle_cycle_bits for s in self.serializers) + sum(
+            d.idle_cycle_bits for d in self.deserializers
+        )
+        #: True when the previous :meth:`tick_sparse` left every lane unit
+        #: quiescent; invalidated by any tile-interface access (see
+        #: :meth:`TileInterface._notify`).  Only trusted when True.
+        self._sparse_idle = False
         self.interface = TileInterface(self)
 
     def quiescent(self) -> bool:
         """True when ticking with idle inputs would change no converter state."""
         for serializer in self.serializers:
             if not serializer.quiescent:
+                return False
+        for deserializer in self.deserializers:
+            if not deserializer.quiescent:
+                return False
+        return True
+
+    def quiescent_or_stalled(self) -> bool:
+        """True when idle-input ticks only clock registers (no state motion).
+
+        Like :meth:`quiescent` but additionally admits serialisers that are
+        window-stalled with an idle output lane: functionally frozen until
+        credit returns, though their registers still clock.  Used by the
+        router's event-schedule prediction — valid only without clock gating
+        (a stalled lane clocks where :meth:`idle_cycle_bits` would gate).
+        """
+        for serializer in self.serializers:
+            if not (serializer.quiescent or serializer.window_stalled):
                 return False
         for deserializer in self.deserializers:
             if not deserializer.quiescent:
@@ -399,8 +449,71 @@ class DataConverter:
         for lane, deserializer in enumerate(self.deserializers):
             deserializer.tick(rx_phits[lane], cycle, clock_gating)
 
+    def tick_sparse(
+        self,
+        rx_phits: List[int],
+        tx_acks: List[bool],
+        cycle: int,
+        clock_gating: bool = False,
+    ) -> None:
+        """Advance one cycle touching only the lane units that can do work.
+
+        Bit-identical to :meth:`tick`: a quiescent serialiser seeing no
+        acknowledge, or a quiescent deserialiser seeing a zero phit, performs
+        exactly the constant idle accounting (its ``idle_cycle_bits`` as
+        clocked — or gated — register bits and, when clocked, a zero toggle
+        contribution), so those lanes are summed in one batch instead of
+        ticked individually.  This is the event-native converter path: cost
+        proportional to *active* lanes, which on a mesh router forwarding
+        through its crossbar is usually zero.
+        """
+        activity = self.activity
+        if self._sparse_idle and not any(tx_acks) and not any(rx_phits):
+            # Transit-router fast path: a converter that ended the previous
+            # cycle fully quiescent, with idle crossbar outputs and no
+            # acknowledges this cycle, stays frozen — one constant batch
+            # accounting covers all lane units.
+            if clock_gating:
+                activity.add(ActivityKeys.REG_GATED_BITS, self._idle_bits_total)
+            else:
+                activity.add(ActivityKeys.REG_CLOCKED_BITS, self._idle_bits_total)
+                activity.add(ActivityKeys.REG_TOGGLE_BITS, 0)
+            return
+        clocked = 0
+        gated = 0
+        idle = True
+        for lane, serializer in enumerate(self.serializers):
+            if serializer.quiescent and not tx_acks[lane]:
+                if clock_gating:
+                    gated += serializer.idle_cycle_bits
+                else:
+                    clocked += serializer.idle_cycle_bits
+            else:
+                serializer.tick(tx_acks[lane], clock_gating)
+                if not serializer.quiescent:
+                    idle = False
+        for lane, deserializer in enumerate(self.deserializers):
+            if deserializer.quiescent and not rx_phits[lane]:
+                if clock_gating:
+                    gated += deserializer.idle_cycle_bits
+                else:
+                    clocked += deserializer.idle_cycle_bits
+            else:
+                deserializer.tick(rx_phits[lane], cycle, clock_gating)
+                if not deserializer.quiescent:
+                    idle = False
+        self._sparse_idle = idle
+        if clocked:
+            activity.add(ActivityKeys.REG_CLOCKED_BITS, clocked)
+            # Key-existence parity with the dense path, which records a
+            # (possibly zero) toggle count for every clocked lane.
+            activity.add(ActivityKeys.REG_TOGGLE_BITS, 0)
+        if gated:
+            activity.add(ActivityKeys.REG_GATED_BITS, gated)
+
     def reset(self) -> None:
         """Reset every serialiser and deserialiser."""
+        self._sparse_idle = False
         for serializer in self.serializers:
             serializer.reset()
         for deserializer in self.deserializers:
@@ -436,9 +549,21 @@ class TileInterface:
         self._notify()
 
     def _notify(self) -> None:
+        # Any tile access can move converter state (submitted words, pending
+        # acknowledge pulses): drop the sparse-tick idle hint before waking.
+        self._converter._sparse_idle = False
         hook = self._converter.wake_hook
         if hook is not None:
             hook()
+
+    def watch_rx(self, lane: int, listener: Callable[[], None]) -> None:
+        """Invoke *listener* whenever a word is delivered on *lane*.
+
+        The event schedule parks a tile-side consumer when nothing is
+        pending; the delivery callback — fired from the owning router's
+        commit — is what puts it back on the batch.
+        """
+        self._converter.deserializers[lane].on_deliver = listener
 
     # -- sending ----------------------------------------------------------------------
 

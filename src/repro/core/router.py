@@ -122,6 +122,21 @@ class CircuitSwitchedRouter(ClockedComponent):
         self._rx_flat: list[Tuple[int, LaneLink]] = []
         self._tx_flat: list[Tuple[int, LaneLink]] = []
 
+        # Event-schedule sparse loops, rebuilt per configuration version:
+        # which crossbar indices evaluate must sample and which wires commit
+        # must drive, restricted to the configured routes.  One dense drive
+        # sweep runs after every configuration change (flushing wires the
+        # new configuration no longer drives) before the sparse loops take
+        # over; see evaluate/commit.
+        self._sparse_version = -1
+        self._drive_version = -1
+        self._sample_tile: list[int] = []
+        self._sample_rx: list[Tuple[int, LaneLink, int]] = []
+        self._ack_tile: list[int] = []
+        self._ack_tx: list[Tuple[int, LaneLink, int]] = []
+        self._drive_out: list[Tuple[LaneLink, int, int]] = []
+        self._drive_ack: list[Tuple[LaneLink, int, int]] = []
+
         # External activity reschedules a quiescent router.
         self.config.on_change = self.wake
         self.converter.wake_hook = self.wake
@@ -171,6 +186,9 @@ class CircuitSwitchedRouter(ClockedComponent):
             for p, link in self._tx_links.items()
             if link is not None
         ]
+        # The sparse route lists hold direct link references.
+        self._sparse_version = -1
+        self._drive_version = -1
         self.wake()
 
     def rx_link(self, port: Port) -> Optional[LaneLink]:
@@ -206,13 +224,78 @@ class CircuitSwitchedRouter(ClockedComponent):
 
     supports_quiescence = True
 
+    def _refresh_sparse(self) -> None:
+        """Rebuild the event-schedule sampling and drive lists.
+
+        The crossbar only reads input values at the source index of a
+        configured route and acknowledge values behind a configured output
+        lane, and only those lanes' registers can change; sampling and
+        driving anything else is dead work the dense loops pay every cycle.
+        """
+        lanes_per_port = self.lanes_per_port
+        sample_tile: set[int] = set()
+        sample_rx: list[Tuple[int, LaneLink, int]] = []
+        ack_tile: set[int] = set()
+        ack_tx: list[Tuple[int, LaneLink, int]] = []
+        drive_out: list[Tuple[LaneLink, int, int]] = []
+        drive_ack: list[Tuple[LaneLink, int, int]] = []
+        acked_sources: set[int] = set()
+        for out_port, out_lane, cfg in self.config.active_entries():
+            out_idx = int(out_port) * lanes_per_port + out_lane
+            src_port = cfg.source_port
+            src_lane = cfg.source_lane
+            src_idx = int(src_port) * lanes_per_port + src_lane
+            if src_port == Port.TILE:
+                sample_tile.add(src_lane)
+            else:
+                rx = self._rx_links[src_port]
+                if rx is not None:
+                    sample_rx.append((src_idx, rx, src_lane))
+                    if src_idx not in acked_sources:
+                        acked_sources.add(src_idx)
+                        drive_ack.append((rx, src_lane, src_idx))
+            if out_port == Port.TILE:
+                ack_tile.add(out_lane)
+            else:
+                tx = self._tx_links[out_port]
+                if tx is not None:
+                    ack_tx.append((out_idx, tx, out_lane))
+                    drive_out.append((tx, out_lane, out_idx))
+        self._sample_tile = sorted(sample_tile)
+        self._sample_rx = sample_rx
+        self._ack_tile = sorted(ack_tile)
+        self._ack_tx = ack_tx
+        self._drive_out = drive_out
+        self._drive_ack = drive_ack
+        self._sparse_version = self.config.version
+
     def evaluate(self, cycle: int) -> None:
         lanes_per_port = self.lanes_per_port
+        values = self._input_vals
+        acks = self._ack_vals
+
+        if self._event_mode:
+            if self._sparse_version != self.config.version:
+                self._refresh_sparse()
+            # Sample only the lanes a configured route actually reads;
+            # every other entry is never consumed (unattached ports keep
+            # their preset idle values, deconfigured sources go unread).
+            serializers = self.converter.serializers
+            for lane in self._sample_tile:
+                values[lane] = serializers[lane].output_phit
+            for idx, rx, lane in self._sample_rx:
+                values[idx] = rx.forward[lane]
+            deserializers = self.converter.deserializers
+            for lane in self._ack_tile:
+                acks[lane] = deserializers[lane].ack_pulse
+            for idx, tx, lane in self._ack_tx:
+                acks[idx] = tx.ack[lane]
+            self.crossbar.evaluate_flat(values, acks)
+            return
 
         # 1. Committed values on every crossbar input lane (tile-port lanes
         #    occupy indices 0..lanes_per_port-1; unattached neighbour ports
         #    keep their preset idle values).
-        values = self._input_vals
         serializers = self.converter.serializers
         for lane in range(lanes_per_port):
             values[lane] = serializers[lane].output_phit
@@ -220,7 +303,6 @@ class CircuitSwitchedRouter(ClockedComponent):
             values[base : base + lanes_per_port] = link.forward
 
         # 2. Committed acknowledge values observed behind every output lane.
-        acks = self._ack_vals
         deserializers = self.converter.deserializers
         for lane in range(lanes_per_port):
             acks[lane] = deserializers[lane].ack_pulse
@@ -234,7 +316,12 @@ class CircuitSwitchedRouter(ClockedComponent):
         crossbar = self.crossbar
 
         # 1. Latch the crossbar output and acknowledge registers.
-        crossbar.commit(self.clock_gating)
+        if self._event_mode and not self.clock_gating:
+            # Event-native path: only route-active lanes are visited
+            # (bit-identical; see Crossbar.commit_sparse).
+            crossbar.commit_sparse()
+        else:
+            crossbar.commit(self.clock_gating)
         out_data = crossbar.committed_data
         ack_data = crossbar.committed_acks
 
@@ -244,12 +331,42 @@ class CircuitSwitchedRouter(ClockedComponent):
         for lane in range(lanes_per_port):
             tile_rx[lane] = out_data[lane]
             tile_ack[lane] = ack_data[lane]
-        self.converter.tick(tile_rx, tile_ack, cycle, self.clock_gating)
+        if self._event_mode:
+            # Event-native path: idle lane units are batch-accounted instead
+            # of ticked (bit-identical; see DataConverter.tick_sparse).  A
+            # transit router — crossbar busy, converter idle — then pays for
+            # zero lane units per cycle.
+            self.converter.tick_sparse(tile_rx, tile_ack, cycle, self.clock_gating)
+        else:
+            self.converter.tick(tile_rx, tile_ack, cycle, self.clock_gating)
 
         # 3. Drive the outgoing links (data forward, acknowledges backward).
         previous = self._tx_previous
         link_toggles = 0
         width = self.lane_width
+        if (
+            self._event_mode
+            and self._drive_version == self.config.version
+            and self._sparse_version == self.config.version
+        ):
+            # Event-native path: only configured routes can move a wire (a
+            # dense sweep flushed everything else when the configuration
+            # last changed).
+            for tx_link, lane, idx in self._drive_out:
+                value = out_data[idx]
+                if value != previous[idx]:
+                    link_toggles += toggle_count(previous[idx], value, width)
+                    previous[idx] = value
+                    tx_link.drive_forward(lane, value)
+            if link_toggles:
+                self.activity.add(ActivityKeys.LINK_TOGGLE_BITS, link_toggles)
+            for rx_link, lane, idx in self._drive_ack:
+                value = ack_data[idx]
+                if rx_link.ack[lane] != value:
+                    rx_link.drive_ack(lane, value)
+            self.activity.cycles = cycle + 1
+            return
+
         for base, tx_link in self._tx_flat:
             for lane in range(lanes_per_port):
                 idx = base + lane
@@ -266,6 +383,10 @@ class CircuitSwitchedRouter(ClockedComponent):
                 value = ack_data[base + lane]
                 if link_ack[lane] != value:
                     rx_link.drive_ack(lane, value)
+        if self._event_mode:
+            # The dense sweep above flushed every wire for this version; the
+            # sparse drive loops may take over from the next commit on.
+            self._drive_version = self.config.version
 
         self.activity.cycles = cycle + 1
 
@@ -297,6 +418,34 @@ class CircuitSwitchedRouter(ClockedComponent):
             values[lane] = 0
             acks[lane] = False
         return self.crossbar.is_fixed_point(values, acks)
+
+    # -- timed protocol: a router generates no events of its own --------------
+
+    supports_timed_wake = True
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """``None`` (park until a dirty-bit wake) when provably frozen.
+
+        Beyond full quiescence — which the scheduler checks first — the only
+        parkable state is a *window stall*: every serialiser either drained
+        or blocked on flow control with an idle output lane, deserialisers
+        drained, crossbar settled at a fixed point.  Nothing then moves until
+        an acknowledge or a new word arrives, both of which wake the router.
+        Clock gating excludes the stall case: a stalled serialiser still
+        clocks its registers where :meth:`idle_tick` would gate them.
+        """
+        if self.clock_gating or self.crossbar.busy:
+            return cycle
+        if not self.converter.quiescent_or_stalled():
+            return cycle
+        values = self._input_vals
+        acks = self._ack_vals
+        for lane in range(self.lanes_per_port):
+            values[lane] = 0
+            acks[lane] = False
+        if not self.crossbar.is_fixed_point(values, acks):
+            return cycle
+        return None
 
     def idle_tick(self, start_cycle: int, cycles: int) -> None:
         """Apply *cycles* of the constant idle activity contribution."""

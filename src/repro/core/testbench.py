@@ -153,6 +153,10 @@ class LaneStreamDriver(ClockedComponent):
         self._pacer = LoadPacer(load, phits_per_packet(data_width, link.lane_width))
         self.words_offered = 0
         self.words_dropped = 0
+        # Event schedule: an acknowledge arriving while the driver is parked
+        # between emissions must put it back on the batch (the router end of
+        # the bundle owns the forward dirty-bit; the ack one fans out here).
+        link.ack_dirty.add_listener(self.wake)
 
     def evaluate(self, cycle: int) -> None:
         if self._pacer.should_emit():
@@ -171,6 +175,9 @@ class LaneStreamDriver(ClockedComponent):
     # -- timed protocol: between emissions an idle serialiser only clocks ----
 
     supports_timed_wake = True
+    #: The driver samples the acknowledge wire in its commit; a commit-phase
+    #: ack from an earlier-committing router must replay the cycle.
+    commit_wake_replays_cycle = True
 
     def next_event_cycle(self, cycle: int) -> Optional[int]:
         if not self.serializer.quiescent or self.link.read_ack(self.lane):
@@ -213,6 +220,9 @@ class LaneStreamConsumer(ClockedComponent):
             lane, link.lane_width, data_width, flow=flow, activity=self.activity
         )
         self.received: List[ReceivedWord] = []
+        # Event schedule: a phit arriving while the consumer is parked must
+        # put it back on the batch (the router end owns the ack dirty-bit).
+        link.forward_dirty.add_listener(self.wake)
 
     def evaluate(self, cycle: int) -> None:  # all work happens at the clock edge
         pass
@@ -230,6 +240,9 @@ class LaneStreamConsumer(ClockedComponent):
     # -- timed protocol: a pure sink never generates events of its own -------
 
     supports_timed_wake = True
+    #: The consumer samples the forward wire in its commit; a commit-phase
+    #: phit from an earlier-committing router must replay the cycle.
+    commit_wake_replays_cycle = True
 
     def next_event_cycle(self, cycle: int) -> Optional[int]:
         if (
@@ -323,6 +336,9 @@ class TileStreamConsumer(ClockedComponent):
         self.router = router
         self.lane = lane
         self.received: List[ReceivedWord] = []
+        # Event schedule: a word delivered to the tile interface while the
+        # consumer is parked must put it back on the batch.
+        router.tile.watch_rx(lane, self.wake)
 
     def evaluate(self, cycle: int) -> None:
         pass
@@ -337,6 +353,9 @@ class TileStreamConsumer(ClockedComponent):
     # -- timed protocol: a pure sink never generates events of its own -------
 
     supports_timed_wake = True
+    #: The consumer drains the tile interface in its commit; a delivery from
+    #: an earlier-committing router must replay the cycle.
+    commit_wake_replays_cycle = True
 
     def next_event_cycle(self, cycle: int) -> Optional[int]:
         return cycle if self.router.tile.rx_available(self.lane) else None

@@ -124,6 +124,17 @@ class NocBase:
         """Words observed as delivered for one registered stream."""
         raise NotImplementedError
 
+    def _stream_drained(self, endpoints: Any) -> bool:
+        """True when provably no word of this stream is still in flight.
+
+        Kind-specific conservation check used by :meth:`drain_streams` to
+        finish a teardown drain the moment the fabric is empty, instead of
+        waiting for a full silent polling stride.  The conservative default
+        (``False``) falls back to delivery-stability polling; kinds with
+        exact injection/delivery counters override it.
+        """
+        return False
+
     # -- admission ------------------------------------------------------------------------
 
     def _new_admission_controller(self) -> Any:
@@ -280,15 +291,19 @@ class NocBase:
     ) -> None:
         """Run until the named streams stop delivering new words.
 
-        The delivery-stability drain of a clean teardown: injection must
-        already be halted (:meth:`halt_stream`); the network then runs in
-        *check_every*-cycle strides until one full stride delivers nothing
-        new on any named stream — the in-flight words (serialiser queues,
-        slot revolutions, packet worms) have reached their sinks.  Built on
+        The drain of a clean teardown: injection must already be halted
+        (:meth:`halt_stream`); the network then runs in *check_every*-cycle
+        strides until the streams are provably empty.  Each check first
+        applies the kind's exact conservation predicate
+        (:meth:`_stream_drained`: every injected word reached its sink), so
+        a clean drain ends at the first stride where the fabric is empty.
+        Streams whose words can never arrive — a fault broke the path —
+        fall back to delivery-stability polling: one full stride delivering
+        nothing new on any named stream.  Built on
         :meth:`SimulationKernel.run_until` with the same stride, so the
-        timed scheduler can leap across the idle tail of each stride instead
-        of single-stepping it.  Gives up silently after *max_cycles* (a
-        bounded teardown deadline, not an error).
+        optimised schedulers leap across the idle tail of each stride
+        instead of single-stepping it.  Gives up silently after
+        *max_cycles* (a bounded teardown deadline, not an error).
         """
         if not names:
             return
@@ -299,6 +314,12 @@ class NocBase:
             nonlocal previous
             if cycle - start >= max_cycles:
                 return True  # drain deadline: teardown proceeds regardless
+            streams = self.streams
+            if all(
+                name in streams and self._stream_drained(streams[name])
+                for name in names
+            ):
+                return True  # exact: conservation holds, nothing in flight
             stats = self.stream_statistics()
             current = [stats[name]["received"] for name in names]
             if current == previous:

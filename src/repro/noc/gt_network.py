@@ -629,6 +629,9 @@ class GtLinkStreamConsumer(ClockedComponent):
     def __init__(self, name: str, link: TdmaLink, slots: int) -> None:
         super().__init__(name)
         self.link = link
+        # Arriving words must wake a parked consumer (routers only watch
+        # their receive wires, so an outgoing wire's dirty-bit is free).
+        link.forward_dirty.add_listener(self.wake)
         self.slots = slots
         #: Slot index -> stream id owning it (filled by the test bench).
         self.slot_owner: Dict[int, int] = {}
@@ -750,6 +753,15 @@ class TimeDivisionNoC(NocBase):
 
     def _stream_received(self, endpoints: GtStreamEndpoints) -> int:
         return endpoints.words_received
+
+    def _stream_drained(self, endpoints: GtStreamEndpoints) -> bool:
+        # Exact conservation for a halted TDMA connection: every word the
+        # injection queue accepted is either waiting for an owned slot,
+        # riding a slot train, or delivered at the destination tile —
+        # equality means the last train has arrived.  Words a dead wire
+        # swallowed never arrive, so a broken path falls back to the
+        # stability drain.
+        return endpoints.words_received == endpoints.words_sent
 
     def _new_admission_controller(self) -> SlotTableAllocator:
         return SlotTableAllocator(self.topology, self.slots, self.data_width)

@@ -103,6 +103,13 @@ class CircuitSwitchedNoC(NocBase):
     def _stream_received(self, endpoints: StreamEndpoints) -> int:
         return endpoints.words_received
 
+    def _stream_drained(self, endpoints: StreamEndpoints) -> bool:
+        # Exact conservation for a halted lane circuit: every word the tile
+        # accepted (counted at serialiser submission) sits in the serialiser
+        # queue, on the wires, or in the sink's receive queue until the
+        # consumer drains it — equality means nothing is left in flight.
+        return endpoints.words_received == endpoints.words_sent
+
     def _new_admission_controller(self) -> LaneAllocator:
         return LaneAllocator(
             self.topology, self.lanes_per_port, self.lane_width, self.data_width

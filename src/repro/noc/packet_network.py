@@ -96,6 +96,17 @@ class PacketSwitchedNoC(NocBase):
     def _stream_received(self, endpoints: PacketStreamEndpoints) -> int:
         return self.words_received_at(endpoints.dst, endpoints.src)
 
+    def _stream_drained(self, endpoints: PacketStreamEndpoints) -> bool:
+        # Exact conservation for a halted packet stream: every packetised
+        # word is either a flit worm somewhere in the buffers/links or a
+        # delivered payload at the destination tile — equality means the
+        # worms are through.  Words a fault swallowed never arrive, so a
+        # broken path falls back to the stability drain.
+        return (
+            self.words_received_at(endpoints.dst, endpoints.src)
+            == endpoints.words_sent
+        )
+
     def refresh_routing(self, degraded: Topology) -> None:
         """Route around dead resources: rebuild the shared routing table.
 

@@ -84,6 +84,44 @@ The strict schedule never leaps; ``tests/test_kernel_equivalence.py`` and
 ``tests/test_timed_scheduling.py`` assert bit-identical results with and
 without leaping, and ``BENCH_kernel.json`` tracks the paced-stream speedup
 the tier buys (≥8× required at 25 % row occupancy on the 8×8 mesh).
+
+Event-queue native scheduling
+-----------------------------
+
+``SimulationKernel(schedule="event")`` replaces the per-cycle component
+sweep with a timestamp-ordered binary heap of ``(due, index, seq,
+component)`` entries — simulation cost becomes proportional to *events*,
+not cycles:
+
+* Every off-schedule component's prediction (``next_event_cycle``) lives on
+  the heap; entries are lazily invalidated (an entry is live only if it
+  still matches the component's recorded due cycle), so wakes and removals
+  never search the heap.
+* Each step pops the batch of entries due at the earliest cycle, runs
+  exactly those components (plus any densely scheduled ones), and — when
+  nothing is dense and no per-cycle hook is registered — jumps the clock
+  straight to the next batch.  The paper's contract for ``next_event_cycle``
+  makes this exact: the prediction is the *first* cycle at which the
+  component could do more than an idle tick given unchanged inputs, so
+  nothing observable happens in the gap.
+* Components without the timed protocol (``supports_timed_wake`` unset, or
+  predictions of ``None`` while holding live state) fall back to the dense
+  set — an untimed island keeps its neighbourhood cycle-accurate while the
+  rest of the fabric runs off the heap.
+* Event mode also switches routers and converters to *sparse* per-event
+  work: evaluate samples only configured lanes, commit visits only active
+  routes, and a fully idle data converter books its constant idle activity
+  in O(1).  Every sparse path is guarded by a configuration version and
+  swept densely once per reconfiguration, so stale lanes cannot linger.
+
+Ordering stays deterministic: batches commit in registration-index order
+(the same order the dense schedules use), and the ``seq`` tiebreaker makes
+heap order independent of hash seeds or insertion history.  Tri-modal
+bit-identity (strict = auto = event) is asserted by
+``tests/test_kernel_equivalence.py`` and the randomised
+``tests/test_event_scheduling.py``; ``BENCH_kernel.json`` tracks the ≥3×
+event-vs-auto speedup on the fully loaded 8×8 mesh, where quiescence and
+leaping cannot help.
 """
 
 from repro.sim.engine import ClockedComponent, SimulationKernel

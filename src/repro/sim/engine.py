@@ -7,7 +7,7 @@ cannot change.  The insight mirrors the paper's clock-gating argument
 simulation cost should be proportional to *signal activity*, not to component
 count.
 
-Two schedules are available:
+Three schedules are available:
 
 ``strict``
     Every registered component is evaluated and committed on every cycle —
@@ -22,6 +22,19 @@ Two schedules are available:
     external interfaces (tile send/receive, configuration writes): any write
     that actually changes a value calls :meth:`ClockedComponent.wake` on the
     reading component.
+
+``event``
+    The discrete-event native schedule: a timestamp-ordered binary heap of
+    ``(due_cycle, registration_index, component)`` entries.  After every
+    executed cycle each component either stays on the dense per-cycle batch
+    (inputs dirty, no prediction available, or due immediately), parks until
+    a dirty-bit wake (quiescent, or a timed component with no future
+    self-event), or is pushed onto the heap at its predicted
+    ``next_event_cycle``.  The kernel pops the batch of same-cycle entries,
+    evaluates/commits only those, and jumps the clock between batches — no
+    per-cycle scan of awake components at all, so simulation cost is
+    proportional to *events* rather than cycles × components.  See
+    "Event-queue contract" below.
 
 Quiescence protocol
 -------------------
@@ -68,11 +81,47 @@ and the event cycle itself is then executed normally.  Leaping is exact by
 construction: a cycle is only skipped when every scheduled component has
 declared it an idle tick, which is precisely what the strict schedule would
 have executed.
+
+Event-queue contract
+--------------------
+
+The ``event`` schedule generalises the timed tier from "leap only when
+everybody agrees" to per-component scheduling.  The rules:
+
+* ``next_event_cycle`` must be *sound*: every cycle in ``[cycle, result)``
+  must be an idle tick given unchanged inputs.  It need not be tight — a
+  component unsure of its horizon may return ``cycle`` and simply stays on
+  the dense batch (the *untimed island* fallback; components without the
+  timed protocol live there permanently once they stop being quiescent).
+  Executing a component on extra cycles is always safe — the strict schedule
+  executes everything every cycle — only *skipping* needs the idle-tick
+  guarantee.
+* A parked or heap-scheduled component's idle accounting is deferred: the
+  kernel tracks its first unaccounted cycle and flushes the whole gap
+  through ``idle_tick`` when the component next runs (or at ``sync``), so a
+  scheduled component costs zero work per skipped cycle.
+* Dirty-bit wakes invalidate a pending heap entry (lazy deletion: the entry
+  stays in the heap and is discarded when popped), so a component woken
+  early simply rejoins the dense batch.
+* Components that *read live state during their commit phase* (the stream
+  testbenches, which observe wires through commit-phase method calls) set
+  the class attribute ``commit_wake_replays_cycle``.  When such a component
+  is woken during the commit phase by a component with a *lower*
+  registration index — one that would have committed before it under the
+  strict schedule — the kernel replays the woken component's evaluate and
+  appends its commit after the batch, in registration order, exactly
+  reproducing the strict interleaving.  (A wake from a higher-index
+  component means the sleeper's own commit slot had already passed with
+  unchanged inputs, so the current cycle stays an idle tick and it rejoins
+  at the next cycle — also exactly strict.)  A flag-setting component must
+  have a single live-state source per cycle, which holds for every stream
+  endpoint in this repository.
 """
 
 from __future__ import annotations
 
 import abc
+import heapq
 from typing import Callable, ClassVar, Iterable, Optional, Sequence
 
 from repro.common import SimulationError
@@ -101,6 +150,12 @@ class ClockedComponent(abc.ABC):
     #: :meth:`idle_tick`: the component can predict its next interesting
     #: cycle, so the kernel may leap over the gap (see the module docstring).
     supports_timed_wake: ClassVar[bool] = False
+    #: Set by subclasses whose *commit* reads live state another component
+    #: drives during the same commit phase (the stream testbenches).  Under
+    #: ``schedule="event"`` a commit-phase wake from a lower-index component
+    #: then replays the current cycle in registration order instead of
+    #: deferring to the next cycle (see "Event-queue contract").
+    commit_wake_replays_cycle: ClassVar[bool] = False
 
     def __init__(self, name: str) -> None:
         if not name:
@@ -121,6 +176,13 @@ class ClockedComponent(abc.ABC):
         #: Registration position; the scheduler keeps the awake set in this
         #: order so skipping never perturbs the strict execution order.
         self._kernel_index = -1
+        #: Due cycle of this component's valid event-heap entry (``None``
+        #: when dense or parked); doubles as the lazy-deletion validity tag.
+        self._due: Optional[int] = None
+        #: True while registered with an ``schedule="event"`` kernel; lets
+        #: components pick event-native fast paths without consulting the
+        #: scheduler on the hot path.
+        self._event_mode = False
 
     @abc.abstractmethod
     def evaluate(self, cycle: int) -> None:
@@ -198,9 +260,10 @@ class SimulationKernel:
         experiments of the paper (Section 7.2).
     schedule:
         ``"auto"`` (default) skips quiescent components, ``"strict"`` runs
-        the seed-equivalent every-component schedule.  Both schedules produce
-        bit-identical results; ``strict`` exists as the reference for the
-        equivalence tests and for debugging.
+        the seed-equivalent every-component schedule, ``"event"`` runs the
+        heap-based discrete-event schedule (cost proportional to events).
+        All three schedules produce bit-identical results; ``strict`` exists
+        as the reference for the equivalence tests and for debugging.
     """
 
     #: Cycles to wait before re-scanning the event horizon after a failed
@@ -213,10 +276,13 @@ class SimulationKernel:
     def __init__(self, frequency_hz: float = 25e6, schedule: str = "auto") -> None:
         if frequency_hz <= 0:
             raise ValueError("frequency_hz must be positive")
-        if schedule not in ("auto", "strict"):
-            raise ValueError(f"schedule must be 'auto' or 'strict', got {schedule!r}")
+        if schedule not in ("auto", "strict", "event"):
+            raise ValueError(
+                f"schedule must be 'auto', 'strict' or 'event', got {schedule!r}"
+            )
         self.frequency_hz = float(frequency_hz)
         self.schedule = schedule
+        self._event = schedule == "event"
         self._components: list[ClockedComponent] = []
         self._names: set[str] = set()
         #: Monotonic registration counter; indices stay unique across
@@ -238,6 +304,17 @@ class SimulationKernel:
         #: First cycle at which a leap may be attempted again (backoff after
         #: a failed horizon scan; see LEAP_RETRY_CYCLES).
         self._next_leap_attempt = 0
+        # Event-schedule state: the timestamp-ordered heap of
+        # (due, registration_index, sequence, component) entries (stale
+        # entries are lazily discarded — see ClockedComponent._due), the
+        # late-commit list of replayed commit-phase wakes, the registration
+        # index of the component currently committing (for the replay-order
+        # decision) and a monotonic push sequence that keeps duplicate
+        # entries of one component from ever comparing the component objects.
+        self._heap: list[tuple[int, int, int, ClockedComponent]] = []
+        self._late: list[ClockedComponent] = []
+        self._commit_index = -1
+        self._event_seq = 0
         self.scheduler_stats = SchedulerStats()
 
     # -- construction -----------------------------------------------------
@@ -259,6 +336,8 @@ class SimulationKernel:
         component._scheduler = self
         component._asleep = False
         component._pending_wake = False
+        component._due = None
+        component._event_mode = self._event
         self._awake.append(component)
         return component
 
@@ -295,6 +374,10 @@ class SimulationKernel:
         self._names.discard(component.name)
         component._scheduler = None
         component._kernel_index = -1
+        # Any heap entry of the departing component goes stale here (the
+        # lazy-deletion validity check compares the registration index).
+        component._due = None
+        component._event_mode = False
         # A departing component may have been the one pinning the horizon.
         self._next_leap_attempt = 0
         return component
@@ -369,10 +452,31 @@ class SimulationKernel:
                 "next_event_cycle()/idle_tick() must not change observable inputs"
             )
         component._asleep = False
+        component._due = None
         start = self._sleeping.pop(component)
         cycle = self._cycle
         phase = self._phase
         if phase == "commit":
+            if (
+                component.commit_wake_replays_cycle
+                and self._commit_index < component._kernel_index
+            ):
+                # Event schedule only (the other schedules never sleep a
+                # commit-phase live-state reader): the waker would have
+                # committed *before* this component under the strict
+                # schedule, so this component's commit of the current cycle
+                # must still run and must observe the waker's output.
+                # Replay the cycle: flush the skipped gap, evaluate now
+                # (flag-setting components' evaluate reads no wires), and
+                # queue the commit to run after the batch in index order.
+                if cycle > start:
+                    component.idle_tick(start, cycle - start)
+                    self.scheduler_stats.skipped += cycle - start
+                component._input_dirty = False
+                component.evaluate(cycle)
+                self._late.append(component)
+                self.scheduler_stats.wakes += 1
+                return
             # The input changed at this cycle's clock edge; the component's
             # own commit of the current cycle is still an idle tick.
             boundary = cycle + 1
@@ -415,6 +519,9 @@ class SimulationKernel:
         self._cycle = 0
         self._sleeping.clear()
         self._woken.clear()
+        self._heap.clear()
+        self._late.clear()
+        self._commit_index = -1
         self._phase = "idle"
         self._next_leap_attempt = 0
         self.scheduler_stats = SchedulerStats()
@@ -425,6 +532,7 @@ class SimulationKernel:
             component._asleep = False
             component._input_dirty = False
             component._pending_wake = False
+            component._due = None
         for component in self._components:
             component.reset()
         self._awake = list(self._components)
@@ -472,6 +580,153 @@ class SimulationKernel:
         stats.leaps += 1
         stats.leaped_cycles += skipped
 
+    def _advance_event(self, limit: Optional[int] = None) -> None:
+        """Run one batch of the event schedule (at most one executed cycle).
+
+        With the dense batch empty, the clock first jumps straight to the
+        earliest valid heap entry (or timed-hook cycle), bounded by *limit*;
+        if the whole remaining window is event-free no cycle is executed at
+        all.  Sleeping components' idle accounting is deferred per component,
+        so the jump itself costs O(stale heap entries), not O(components).
+        """
+        if not self._components:
+            raise SimulationError("cannot step a kernel with no components")
+        cycle = self._cycle
+        heap = self._heap
+        stats = self.scheduler_stats
+        awake = self._awake
+        woken = self._woken
+        if (
+            limit is not None
+            and limit > cycle
+            and not awake
+            and not woken
+            and not self._has_dense_hooks
+        ):
+            while heap:
+                due, idx, _seq, component = heap[0]
+                if component._due == due and component._kernel_index == idx:
+                    break
+                heapq.heappop(heap)
+            target = self._hook_bound(cycle, limit)
+            if heap and heap[0][0] < target:
+                target = heap[0][0]
+            if target > cycle:
+                self._cycle = target
+                stats.leaps += 1
+                stats.leaped_cycles += target - cycle
+                if target >= limit:
+                    return
+                cycle = target
+        merged = False
+        if heap and heap[0][0] <= cycle:
+            # Pop the batch of entries due now.  Flushing the deferred idle
+            # accounting must not wake anybody (same guard as a leap).
+            sleeping = self._sleeping
+            self._phase = "leap"
+            try:
+                while heap and heap[0][0] <= cycle:
+                    due, idx, _seq, component = heapq.heappop(heap)
+                    if component._due != due or component._kernel_index != idx:
+                        continue  # stale: woken early, re-scheduled or removed
+                    component._due = None
+                    component._asleep = False
+                    start = sleeping.pop(component)
+                    if cycle > start:
+                        component.idle_tick(start, cycle - start)
+                        stats.skipped += cycle - start
+                    awake.append(component)
+                    stats.events_processed += 1
+                    merged = True
+            finally:
+                self._phase = "idle"
+        for hook, every in self._pre_cycle_hooks:
+            if cycle % every == 0:
+                hook(cycle)
+        if woken:
+            for component in woken:
+                component._pending_wake = False
+            awake.extend(woken)
+            woken.clear()
+            merged = True
+        if merged:
+            awake.sort(key=_registration_index)
+        self._phase = "evaluate"
+        for component in awake:
+            component._input_dirty = False
+            component.evaluate(cycle)
+        if woken:
+            # Woken mid-evaluate; already evaluated inside _wake_component.
+            for component in woken:
+                component._pending_wake = False
+            awake.extend(woken)
+            woken.clear()
+            awake.sort(key=_registration_index)
+        self._phase = "commit"
+        late = self._late
+        for component in awake:
+            self._commit_index = component._kernel_index
+            component.commit(cycle)
+        while late:
+            # Replayed commit-phase wakes run after the batch in registration
+            # order (see _wake_component); a replayed commit may itself wake
+            # further downstream replayers, hence the loop.
+            late.sort(key=_registration_index)
+            component = late.pop(0)
+            self._commit_index = component._kernel_index
+            component.commit(cycle)
+            awake.append(component)
+        self._commit_index = -1
+        self._phase = "idle"
+        self._cycle = cycle + 1
+        for hook, every in self._post_cycle_hooks:
+            if cycle % every == 0:
+                hook(cycle)
+        stats.evaluated += len(awake)
+        # Reschedule every batch member: stay dense (input dirty, untimed,
+        # or due immediately), park (quiescent, or timed with no future
+        # self-event — dirty-bit wakes cover both), or push onto the heap at
+        # the predicted due cycle.  The predictions run under the leap guard:
+        # quiescent()/next_event_cycle() must not wake anybody.
+        sleeping = self._sleeping
+        next_cycle = self._cycle
+        self._phase = "leap"
+        try:
+            write = 0
+            for component in awake:
+                if not component._input_dirty:
+                    if component.supports_quiescence and component.quiescent():
+                        component._asleep = True
+                        sleeping[component] = next_cycle
+                        stats.sleeps += 1
+                        continue
+                    if component.supports_timed_wake:
+                        event = component.next_event_cycle(next_cycle)
+                        if event is None:
+                            component._asleep = True
+                            sleeping[component] = next_cycle
+                            stats.sleeps += 1
+                            continue
+                        if event > next_cycle:
+                            component._asleep = True
+                            component._due = event
+                            sleeping[component] = next_cycle
+                            self._event_seq += 1
+                            heapq.heappush(
+                                heap,
+                                (event, component._kernel_index, self._event_seq, component),
+                            )
+                            stats.sleeps += 1
+                            continue
+                awake[write] = component
+                write += 1
+            del awake[write:]
+        finally:
+            self._phase = "idle"
+        if len(heap) > stats.heap_peak:
+            stats.heap_peak = len(heap)
+        awake.sort(key=_registration_index)
+
     def _advance(self, limit: Optional[int] = None) -> None:
         """Run one clock cycle without flushing deferred idle accounting.
 
@@ -480,6 +735,9 @@ class SimulationKernel:
         skippable gap up to *limit* (exclusive bound of this run); if the
         whole remaining window is skippable no cycle is executed at all.
         """
+        if self._event:
+            self._advance_event(limit)
+            return
         if not self._components:
             raise SimulationError("cannot step a kernel with no components")
         cycle = self._cycle

@@ -53,6 +53,25 @@ class DirtyBit:
         if listener is not None:
             listener()
 
+    def add_listener(self, listener: WakeListener) -> None:
+        """Attach *listener* without displacing an existing one.
+
+        Whoever owns the wire keeps the plain :attr:`listener` slot (routers
+        claim it through the links' ``watch_*`` methods); additional readers
+        — testbench endpoints sharing a bundle — chain themselves in with
+        this method, and :meth:`mark` then fans out to all of them.
+        """
+        previous = self.listener
+        if previous is None or previous is listener:
+            self.listener = listener
+            return
+
+        def _fanout() -> None:
+            previous()
+            listener()
+
+        self.listener = _fanout
+
 
 class Wire:
     """A named combinational value with a fixed bit width.

@@ -26,6 +26,12 @@ class SchedulerStats:
     mesh is 1.0, of an idle mesh near 0.  ``leaps`` counts event-horizon
     jumps and ``leaped_cycles`` the clock cycles they covered — cycles on
     which the kernel did no per-cycle work at all.
+
+    Under ``schedule="event"`` two further counters describe the event
+    queue: ``events_processed`` counts heap entries popped and executed
+    (components scheduled at a predicted due-cycle), and ``heap_peak`` is
+    the largest number of pending entries the queue ever held.  Both stay 0
+    under the ``strict`` and ``auto`` schedules.
     """
 
     evaluated: int = 0
@@ -34,6 +40,8 @@ class SchedulerStats:
     sleeps: int = 0
     leaps: int = 0
     leaped_cycles: int = 0
+    events_processed: int = 0
+    heap_peak: int = 0
 
     @property
     def total(self) -> int:
@@ -55,6 +63,8 @@ class SchedulerStats:
             "sleeps": float(self.sleeps),
             "leaps": float(self.leaps),
             "leaped_cycles": float(self.leaped_cycles),
+            "events_processed": float(self.events_processed),
+            "heap_peak": float(self.heap_peak),
             "occupancy": self.occupancy,
         }
 

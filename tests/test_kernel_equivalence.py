@@ -1,12 +1,14 @@
-"""Equivalence of the strict and quiescence-aware kernel schedules.
+"""Equivalence of the strict, quiescence-aware and event-queue schedules.
 
-The quiescence-aware scheduler must be an *invisible* optimisation: for every
+The optimised schedulers must be an *invisible* optimisation: for every
 tier-1 scenario — an idle mesh, a single stream, crossing streams, the full
 UMTS / HiperLAN/2 application traffic, a mid-run reconfiguration, and the
-clock-gated router variant — the ``auto`` schedule has to reproduce the
-``strict`` (seed-equivalent) schedule bit for bit: identical cycle counts,
-identical activity counters, identical delivered data, identical power
-numbers.  These tests run each scenario under both schedules and compare.
+clock-gated router variant — both the ``auto`` (quiescence + event-horizon
+leaping) and ``event`` (timestamp-ordered event queue) schedules have to
+reproduce the ``strict`` (seed-equivalent) schedule bit for bit: identical
+cycle counts, identical activity counters, identical delivered data,
+identical power numbers.  These tests run each scenario under all three
+schedules and compare.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from repro.noc.path_allocation import LaneAllocator
 from repro.noc.topology import Mesh2D, Torus2D
 
 FREQUENCY_HZ = 100e6
+SCHEDULES = ("strict", "auto", "event")
 
 
 def _snapshot(network):
@@ -44,13 +47,14 @@ def _snapshot(network):
     }
 
 
-def _assert_equivalent(strict_net, auto_net):
-    strict_snapshot = _snapshot(strict_net)
-    auto_snapshot = _snapshot(auto_net)
-    assert strict_snapshot == auto_snapshot
-    # The auto schedule must actually have skipped something whenever the
-    # fabric was not fully busy; strict never skips.
-    assert strict_net.kernel.scheduler_stats.skipped == 0
+def _assert_equivalent(nets):
+    reference = _snapshot(nets["strict"])
+    for schedule, network in nets.items():
+        if schedule == "strict":
+            continue
+        assert _snapshot(network) == reference, f"{schedule} diverged from strict"
+    # Only the optimised schedules may skip cycles; strict never does.
+    assert nets["strict"].kernel.scheduler_stats.skipped == 0
 
 
 def _circuit_network(schedule, width=3, height=3, clock_gating=False):
@@ -63,33 +67,33 @@ def _circuit_network(schedule, width=3, height=3, clock_gating=False):
 class TestIdleMesh:
     def test_idle_circuit_mesh_is_identical_and_mostly_skipped(self):
         nets = {}
-        for schedule in ("strict", "auto"):
+        for schedule in SCHEDULES:
             _, network = _circuit_network(schedule)
             network.run(500)
             nets[schedule] = network
-        _assert_equivalent(nets["strict"], nets["auto"])
+        _assert_equivalent(nets)
         # Idle routers sleep from the second cycle onward.
         stats = nets["auto"].kernel.scheduler_stats
         assert stats.skipped > stats.evaluated
 
     def test_idle_clock_gated_mesh_is_identical(self):
         nets = {}
-        for schedule in ("strict", "auto"):
+        for schedule in SCHEDULES:
             _, network = _circuit_network(schedule, clock_gating=True)
             network.run(500)
             nets[schedule] = network
-        _assert_equivalent(nets["strict"], nets["auto"])
+        _assert_equivalent(nets)
 
     def test_idle_packet_mesh_is_identical(self):
         nets = {}
-        for schedule in ("strict", "auto"):
+        for schedule in SCHEDULES:
             mesh = Mesh2D(3, 3)
             network = PacketSwitchedNoC(mesh, frequency_hz=FREQUENCY_HZ, schedule=schedule)
             gen = word_generator(BitFlipPattern.TYPICAL, seed=1)
             network.add_stream("idle", (0, 0), (2, 2), gen, load=0.0)
             network.run(500)
             nets[schedule] = network
-        _assert_equivalent(nets["strict"], nets["auto"])
+        _assert_equivalent(nets)
 
 
 class TestSingleStream:
@@ -101,7 +105,7 @@ class TestSingleStream:
     )
     def test_stream_over_line_is_identical(self, load, seed, gating):
         nets = {}
-        for schedule in ("strict", "auto"):
+        for schedule in SCHEDULES:
             mesh, network = _circuit_network(schedule, width=4, height=1, clock_gating=gating)
             allocation = LaneAllocator(mesh).allocate("s", (0, 0), (3, 0), 100.0, FREQUENCY_HZ)
             network.apply_allocation(allocation)
@@ -109,7 +113,7 @@ class TestSingleStream:
             network.add_stream("s", allocation, generator, load=load)
             network.run(1200)
             nets[schedule] = network
-        _assert_equivalent(nets["strict"], nets["auto"])
+        _assert_equivalent(nets)
         if load >= 0.3:
             assert nets["auto"].streams["s"].words_received > 0
 
@@ -117,20 +121,20 @@ class TestSingleStream:
     @given(load=st.sampled_from([0.1, 0.5, 1.0]), seed=st.integers(min_value=0, max_value=2**16))
     def test_packet_stream_is_identical(self, load, seed):
         nets = {}
-        for schedule in ("strict", "auto"):
+        for schedule in SCHEDULES:
             mesh = Mesh2D(4, 2)
             network = PacketSwitchedNoC(mesh, frequency_hz=FREQUENCY_HZ, schedule=schedule)
             generator = word_generator(BitFlipPattern.TYPICAL, seed=seed)
             network.add_stream("s", (0, 0), (3, 1), generator, load=load)
             network.run(1200)
             nets[schedule] = network
-        _assert_equivalent(nets["strict"], nets["auto"])
+        _assert_equivalent(nets)
 
 
 class TestCrossingStreams:
     def test_four_streams_through_center_router(self):
         nets = {}
-        for schedule in ("strict", "auto"):
+        for schedule in SCHEDULES:
             mesh, network = _circuit_network(schedule)
             allocator = LaneAllocator(mesh)
             pairs = [((0, 1), (2, 1)), ((2, 1), (0, 1)), ((1, 0), (1, 2)), ((1, 2), (1, 0))]
@@ -142,7 +146,7 @@ class TestCrossingStreams:
                 network.add_stream(name, allocation, generator, load=0.8)
             network.run(600)
             nets[schedule] = network
-        _assert_equivalent(nets["strict"], nets["auto"])
+        _assert_equivalent(nets)
         for endpoint in nets["auto"].streams.values():
             assert endpoint.words_received > 0
 
@@ -151,7 +155,7 @@ class TestApplicationTraffic:
     @pytest.mark.parametrize("app", [hiperlan2, umts], ids=["hiperlan2", "umts"])
     def test_admitted_application_is_identical(self, app):
         nets = {}
-        for schedule in ("strict", "auto"):
+        for schedule in SCHEDULES:
             mesh = Mesh2D(4, 4)
             ccn = CentralCoordinationNode(mesh, network_frequency_hz=FREQUENCY_HZ)
             network = CircuitSwitchedNoC(mesh, frequency_hz=FREQUENCY_HZ, schedule=schedule)
@@ -161,7 +165,7 @@ class TestApplicationTraffic:
                 network.add_stream(allocation.channel_name, allocation, generator, load=0.6)
             network.run(800)
             nets[schedule] = network
-        _assert_equivalent(nets["strict"], nets["auto"])
+        _assert_equivalent(nets)
         delivered = sum(s["received"] for s in nets["auto"].stream_statistics().values())
         assert delivered > 0
 
@@ -173,7 +177,7 @@ class TestMidRunReconfiguration:
         CCN reconfiguration performs, exercising sleeping routers being woken
         by configuration writes."""
         nets = {}
-        for schedule in ("strict", "auto"):
+        for schedule in SCHEDULES:
             mesh, network = _circuit_network(schedule)
             allocator = LaneAllocator(mesh)
             first = allocator.allocate("first", (0, 0), (2, 0), 100.0, FREQUENCY_HZ)
@@ -190,7 +194,7 @@ class TestMidRunReconfiguration:
             network.add_stream("second", second, generator, load=0.7)
             network.run(400)
             nets[schedule] = network
-        _assert_equivalent(nets["strict"], nets["auto"])
+        _assert_equivalent(nets)
         assert nets["auto"].streams["second"].words_received > 0
 
 
@@ -199,7 +203,7 @@ class TestResetClearsWires:
         """The change-gated link drive must not let a pre-reset phit survive
         kernel.reset(): the wires go back to idle with the registers."""
         nets = {}
-        for schedule in ("strict", "auto"):
+        for schedule in SCHEDULES:
             mesh, network = _circuit_network(schedule, width=3, height=1)
             allocation = LaneAllocator(mesh).allocate("s", (0, 0), (2, 0), 100.0, FREQUENCY_HZ)
             network.apply_allocation(allocation)
@@ -212,7 +216,7 @@ class TestResetClearsWires:
                 assert not any(link.ack)
             network.run(300)
             nets[schedule] = network
-        _assert_equivalent(nets["strict"], nets["auto"])
+        _assert_equivalent(nets)
         assert nets["auto"].streams["s"].words_received > 0
 
 
@@ -221,20 +225,20 @@ class TestGtNetwork:
 
     def test_idle_gt_mesh_is_identical_and_mostly_skipped(self):
         nets = {}
-        for schedule in ("strict", "auto"):
+        for schedule in SCHEDULES:
             network = build_network(
                 "gt", Mesh2D(3, 3), frequency_hz=FREQUENCY_HZ, schedule=schedule
             )
             network.run(500)
             nets[schedule] = network
-        _assert_equivalent(nets["strict"], nets["auto"])
+        _assert_equivalent(nets)
         stats = nets["auto"].kernel.scheduler_stats
         assert stats.skipped > stats.evaluated
 
     def test_configured_but_unloaded_gt_mesh_sleeps(self):
         """Programmed slot tables without traffic are still a fixed point."""
         nets = {}
-        for schedule in ("strict", "auto"):
+        for schedule in SCHEDULES:
             network = build_network(
                 "gt", Mesh2D(3, 3), frequency_hz=FREQUENCY_HZ, schedule=schedule
             )
@@ -242,14 +246,14 @@ class TestGtNetwork:
             network.apply_allocation(allocation)
             network.run(400)
             nets[schedule] = network
-        _assert_equivalent(nets["strict"], nets["auto"])
+        _assert_equivalent(nets)
         stats = nets["auto"].kernel.scheduler_stats
         assert stats.skipped > 0
 
     @pytest.mark.parametrize("load", [0.1, 0.6, 1.0])
     def test_gt_streams_are_identical(self, load):
         nets = {}
-        for schedule in ("strict", "auto"):
+        for schedule in SCHEDULES:
             network = build_network(
                 "gt", Mesh2D(4, 2), frequency_hz=FREQUENCY_HZ, schedule=schedule
             )
@@ -258,7 +262,7 @@ class TestGtNetwork:
             network.attach_channel("b", (3, 0), (0, 0), 100.0, generator, load=load)
             network.run(1000)
             nets[schedule] = network
-        _assert_equivalent(nets["strict"], nets["auto"])
+        _assert_equivalent(nets)
         for endpoint in nets["auto"].streams.values():
             assert endpoint.words_received > 0
 
@@ -267,19 +271,19 @@ class TestGtNetwork:
         from repro.experiments.harness import run_app_traffic
 
         nets = {}
-        for schedule in ("strict", "auto"):
+        for schedule in SCHEDULES:
             result = run_app_traffic(
                 "gt", Mesh2D(4, 4), app.build_process_graph(),
                 frequency_hz=FREQUENCY_HZ, cycles=800, load=0.6, schedule=schedule,
             )
             nets[schedule] = result.network
-        _assert_equivalent(nets["strict"], nets["auto"])
+        _assert_equivalent(nets)
         delivered = sum(s["received"] for s in nets["auto"].stream_statistics().values())
         assert delivered > 0
 
     def test_gt_on_torus_is_identical(self):
         nets = {}
-        for schedule in ("strict", "auto"):
+        for schedule in SCHEDULES:
             network = build_network(
                 "gt", Torus2D(4, 4), frequency_hz=FREQUENCY_HZ, schedule=schedule
             )
@@ -288,7 +292,7 @@ class TestGtNetwork:
             network.attach_channel("wrap", (0, 0), (3, 0), 300.0, generator, load=0.8)
             network.run(600)
             nets[schedule] = network
-        _assert_equivalent(nets["strict"], nets["auto"])
+        _assert_equivalent(nets)
         assert nets["auto"].streams["wrap"].words_received > 0
         assert nets["auto"].streams["wrap"].allocation.hop_count == 2
 
@@ -296,7 +300,7 @@ class TestGtNetwork:
         """Tear a slot schedule down mid-run and program a new one through
         routers that were quiescent the whole first phase."""
         nets = {}
-        for schedule in ("strict", "auto"):
+        for schedule in SCHEDULES:
             network = build_network(
                 "gt", Mesh2D(3, 3), frequency_hz=FREQUENCY_HZ, schedule=schedule
             )
@@ -313,7 +317,7 @@ class TestGtNetwork:
             network.add_stream("second", second, generator, load=0.7)
             network.run(400)
             nets[schedule] = network
-        _assert_equivalent(nets["strict"], nets["auto"])
+        _assert_equivalent(nets)
         assert nets["auto"].streams["second"].words_received > 0
 
 
@@ -332,7 +336,7 @@ class TestCcnLifecycleReconfiguration:
         from repro.apps.drm import build_process_graph as build_drm
 
         nets = {}
-        for schedule in ("strict", "auto"):
+        for schedule in SCHEDULES:
             network = build_network(
                 kind, Mesh2D(4, 4), frequency_hz=FREQUENCY_HZ, schedule=schedule
             )
@@ -350,7 +354,7 @@ class TestCcnLifecycleReconfiguration:
             ccn.attach_traffic(second.name, generator, load=0.6)
             network.run(400)
             nets[schedule] = network
-        _assert_equivalent(nets["strict"], nets["auto"])
+        _assert_equivalent(nets)
         delivered = sum(
             s["received"] for s in nets["auto"].stream_statistics().values()
         )
