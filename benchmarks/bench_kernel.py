@@ -27,10 +27,17 @@ at the repository root::
 scenario with fewer cycles and asserts ``identical_results`` without
 touching the JSON file (the CI smoke).
 
+A third scenario family exercises the sharded kernel (:mod:`repro.sim.shard`):
+a fully loaded 16×16 mesh partitioned across 4 worker processes, timed
+against the single-process event kernel, with unconditional bit-identity of
+activity, delivered words and energy per bit.
+
 Future PRs regress against that file: the 8×8 mesh at ≤25 % occupancy must
 stay ≥3× faster under ``auto`` than under ``strict``, the 8×8 paced-stream
-row must stay ≥8× (cycle leaping), and the fully loaded 8×8 mesh must stay
-≥3× faster under ``event`` than under ``auto`` (sparse per-event work).
+row must stay ≥8× (cycle leaping), the fully loaded 8×8 mesh must stay
+≥3× faster under ``event`` than under ``auto`` (sparse per-event work), and
+the sharded 16×16 row must stay bit-identical everywhere and ≥2× faster on
+hosts whose recorded ``host_cpus`` is at least 4.
 """
 
 from __future__ import annotations
@@ -38,10 +45,12 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import time
 from pathlib import Path
 
 from repro.apps.traffic import BitFlipPattern, word_generator
+from repro.noc.fabric import build_network
 from repro.noc.network import CircuitSwitchedNoC
 from repro.noc.path_allocation import LaneAllocator
 from repro.noc.topology import Mesh2D
@@ -64,6 +73,14 @@ PACED_LOAD = 0.1
 #: The timed tier must make paced traffic at least this much faster.
 PACED_SPEEDUP_TARGET = 8.0
 PACED_CYCLES = {4: 2500, 8: 1200}
+#: The sharded scenario: a fully loaded 16×16 mesh split across 4 worker
+#: processes.  Bit-identity with the single-process run is unconditional;
+#: the wall-clock speedup target only binds on hosts with enough cores
+#: (``host_cpus`` is recorded in the row so CI can gate on it).
+SHARDED_MESH = 16
+SHARDED_WORKERS = 4
+SHARDED_CYCLES = 300
+SHARDED_SPEEDUP_TARGET = 2.0
 
 
 def build_scenario(
@@ -130,6 +147,75 @@ def run_benchmark(size: int, occupancy: float, cycles: int, load: float = 1.0) -
     }
 
 
+def _fabric_scenario(size: int, shards: int | None = None):
+    """A size×size full-load row-stream mesh through the fabric front door.
+
+    Built via :func:`~repro.noc.fabric.build_network` so the identical
+    attachment sequence produces either the single-process network or the
+    sharded one (``shards=N``).
+    """
+    kwargs = {"frequency_hz": FREQUENCY_HZ, "schedule": "event"}
+    if shards:
+        kwargs["shards"] = shards
+    network = build_network("circuit", Mesh2D(size, size), **kwargs)
+    for row in range(size):
+        network.attach_channel(
+            f"row{row}",
+            (0, row),
+            (size - 1, row),
+            100.0,
+            word_generator(BitFlipPattern.TYPICAL, seed=row),
+            load=1.0,
+        )
+    return network
+
+
+def _fabric_snapshot(network) -> tuple:
+    return (
+        network.merged_activity().as_dict(),
+        network.stream_statistics(),
+        network.energy_per_delivered_bit_pj(),
+    )
+
+
+def run_sharded_benchmark(
+    size: int = SHARDED_MESH,
+    workers: int = SHARDED_WORKERS,
+    cycles: int = SHARDED_CYCLES,
+) -> dict:
+    """Time the single-process event kernel against *workers* shard processes.
+
+    Bit-identity (activity counters, delivered words, energy per bit) is
+    checked unconditionally; the recorded ``host_cpus`` lets CI require the
+    ≥2× speedup only where the hardware can physically provide it.
+    """
+    single = _fabric_scenario(size)
+    single_elapsed = _measure(single, cycles)
+    single_snapshot = _fabric_snapshot(single)
+
+    sharded = _fabric_scenario(size, shards=workers)
+    start = time.perf_counter()
+    sharded.run(cycles)
+    sharded_elapsed = time.perf_counter() - start
+    sharded_snapshot = _fabric_snapshot(sharded)
+    sharded.close()
+
+    return {
+        "scenario": "sharded",
+        "mesh": f"{size}x{size}",
+        "occupancy": 1.0,
+        "active_rows": size,
+        "load": 1.0,
+        "cycles": cycles,
+        "workers": workers,
+        "host_cpus": os.cpu_count(),
+        "single_cycles_per_sec": round(cycles / single_elapsed, 1),
+        "sharded_cycles_per_sec": round(cycles / sharded_elapsed, 1),
+        "speedup": round(single_elapsed / sharded_elapsed, 2),
+        "identical_results": single_snapshot == sharded_snapshot,
+    }
+
+
 def run_all(cycles_override: int | None = None) -> list[dict]:
     rows = []
     for size in MESH_SIZES:
@@ -142,6 +228,8 @@ def run_all(cycles_override: int | None = None) -> list[dict]:
         rows.append(
             run_benchmark(size, 0.25, cycles_override or cycles, load=PACED_LOAD)
         )
+    # The sharded kernel: the same fabric partitioned over worker processes.
+    rows.append(run_sharded_benchmark(cycles=cycles_override or SHARDED_CYCLES))
     return rows
 
 
@@ -177,6 +265,14 @@ def test_kernel_paced_stream_leaps_past_silent_cycles(once):
     assert row["speedup"] >= PACED_SPEEDUP_TARGET
 
 
+def test_kernel_sharded_partition_is_bit_identical(once):
+    """The sharded kernel's acceptance bar that binds on any host: the
+    partitioned fabric must reproduce the single process exactly (the
+    speedup bar is hardware-gated in CI via the recorded host_cpus)."""
+    row = once(run_sharded_benchmark, 8, 2, 200)
+    assert row["identical_results"]
+
+
 def test_kernel_event_schedule_wins_at_full_load(once):
     """The event schedule's acceptance bar: ≥3× over auto on a saturated 8×8
     mesh — the regime where sleeping and leaping cannot help — with
@@ -202,6 +298,14 @@ def quick_smoke() -> None:
             raise SystemExit(
                 "schedule results diverged — the kernel optimisation is unsound"
             )
+    shard_row = run_sharded_benchmark(8, 2, 200)
+    print(
+        f"{shard_row['scenario']} {shard_row['mesh']} workers={shard_row['workers']} "
+        f"host_cpus={shard_row['host_cpus']} speedup={shard_row['speedup']}x "
+        f"identical={shard_row['identical_results']}"
+    )
+    if not shard_row["identical_results"]:
+        raise SystemExit("sharded run diverged from the single process — unsound")
 
 
 def main() -> None:
@@ -226,18 +330,31 @@ def main() -> None:
             "paced-stream rows carry the same circuits at one word per 50 "
             "cycles, where the timed tier leaps the clock between word "
             "injections.  speedup is auto vs strict; event_speedup is "
-            "event vs auto."
+            "event vs auto.  The sharded row times the 16x16 full-load "
+            "fabric split over worker processes against the single-process "
+            "event kernel; its speedup is single vs sharded wall-clock and "
+            "only binds on hosts with host_cpus >= 4."
         ),
         "frequency_hz": FREQUENCY_HZ,
         "speedup_target_8x8_low_occupancy": SPEEDUP_TARGET,
         "speedup_target_paced_stream": PACED_SPEEDUP_TARGET,
         "speedup_target_event_full_load": EVENT_FULL_LOAD_TARGET,
+        "speedup_target_sharded": SHARDED_SPEEDUP_TARGET,
         "results": rows,
     }
     out_path = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out_path}")
     for row in rows:
+        if row["scenario"] == "sharded":
+            print(
+                f"{row['scenario']:<13} {row['mesh']} workers={row['workers']} "
+                f"host_cpus={row['host_cpus']} "
+                f"single={row['single_cycles_per_sec']:>9} cyc/s "
+                f"sharded={row['sharded_cycles_per_sec']:>9} cyc/s "
+                f"speedup={row['speedup']:>6}x identical={row['identical_results']}"
+            )
+            continue
         print(
             f"{row['scenario']:<13} {row['mesh']} occ={row['occupancy']:<4} "
             f"strict={row['strict_cycles_per_sec']:>9} cyc/s "

@@ -27,9 +27,9 @@ so the output is bit-identical to the serial run.
 from __future__ import annotations
 
 import argparse
-import multiprocessing
 
 from repro.apps import hiperlan2, umts
+from repro.experiments.farm import run_tasks
 from repro.experiments.harness import run_app_traffic
 from repro.experiments.report import format_table
 from repro.noc import CentralCoordinationNode, IrregularMesh, Mesh2D, Torus2D
@@ -108,11 +108,7 @@ def run_all(cycles: int = CYCLES, jobs: int = 1) -> list[dict]:
         for topology_name in make_topologies()
         for application_index in range(len(APPLICATIONS))
     ]
-    if jobs <= 1:
-        results = [_sweep_task(task) for task in tasks]
-    else:
-        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
-            results = pool.map(_sweep_task, tasks)
+    results = run_tasks(_sweep_task, tasks, jobs=jobs)
     rows: list[dict] = []
     for task_rows in results:
         rows.extend(task_rows)

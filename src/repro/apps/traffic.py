@@ -62,6 +62,42 @@ class BitFlipPattern(enum.Enum):
         return cls.TYPICAL
 
 
+class _BestWords:
+    """Always zero: no transitions on the data wires."""
+
+    __slots__ = ()
+
+    def __call__(self) -> int:
+        return 0
+
+
+class _WorstWords:
+    """Alternating all-zeros / all-ones: every wire toggles on every word."""
+
+    __slots__ = ("mask", "value")
+
+    def __init__(self, mask: int) -> None:
+        self.mask = mask
+        self.value = 0
+
+    def __call__(self) -> int:
+        self.value ^= self.mask
+        return self.value
+
+
+class _TypicalWords:
+    """Uniformly random words: 50 % of the wires toggle per word in expectation."""
+
+    __slots__ = ("mask", "rng")
+
+    def __init__(self, mask: int, seed: int) -> None:
+        self.mask = mask
+        self.rng = np.random.default_rng(seed)
+
+    def __call__(self) -> int:
+        return int(self.rng.integers(0, self.mask + 1))
+
+
 def word_generator(
     pattern: BitFlipPattern,
     width: int = 16,
@@ -74,29 +110,21 @@ def word_generator(
       toggles on every word),
     * ``TYPICAL``— uniformly random words (50 % of the wires toggle per word
       in expectation).
+
+    The callables are plain picklable objects (not closures), so a stream
+    attached to an already-running :class:`repro.sim.shard.ShardedNetwork`
+    or shipped to a :mod:`repro.experiments.farm` worker crosses the process
+    boundary with its generator state intact.
     """
     if width < 1:
         raise ValueError("width must be positive")
     mask = bit_mask(width)
 
     if pattern is BitFlipPattern.BEST:
-        return lambda: 0
-
+        return _BestWords()
     if pattern is BitFlipPattern.WORST:
-        state = {"value": 0}
-
-        def worst() -> int:
-            state["value"] ^= mask
-            return state["value"]
-
-        return worst
-
-    rng = np.random.default_rng(seed)
-
-    def typical() -> int:
-        return int(rng.integers(0, mask + 1))
-
-    return typical
+        return _WorstWords(mask)
+    return _TypicalWords(mask, seed)
 
 
 def measure_flip_rate(words: Sequence[int], width: int = 16) -> float:

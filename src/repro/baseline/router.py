@@ -406,8 +406,16 @@ class PacketSwitchedRouter(ClockedComponent):
         output link or zero credit).  Every commit then degenerates to the
         idle tick — the no-request arbiter and failing VC allocation are
         both pure — until a flit, credit or injection wakes the router.
+
+        A backlogged injection queue is an event only while the tile buffer
+        it feeds has space: a back-pressured worm whose target VC buffer is
+        full cannot inject either, and that buffer can only drain through
+        this router's own traversal — covered by the head-of-line scan
+        below — so the router parks until the credits that unblock the
+        worm arrive (a dirty-bit wake on the output link).
         """
-        if self.tile._injection_queue:
+        queue = self.tile._injection_queue
+        if queue and not self.buffers[(Port.TILE, queue[0].vc)].is_full():
             return cycle
         for port in NEIGHBOR_PORTS:
             rx = self._rx_by_port[port]

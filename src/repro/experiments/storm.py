@@ -227,26 +227,35 @@ def telemetry_columns(result: DynamicWorkloadResult) -> Dict[str, List]:
     return columns
 
 
+def _storm_task(task: Tuple[str, Topology, int, int, Dict]) -> StormOutcome:
+    """One campaign cell, module-level so it can cross a process boundary."""
+    kind, topology, storm_size, seed, storm_params = task
+    return run_storm(
+        kind, topology=topology, storm_size=storm_size, seed=seed, **storm_params
+    )
+
+
 def sweep_storms(
     kinds: Sequence[str] = ("circuit", "packet", "gt"),
     storm_sizes: Sequence[int] = (1, 2),
     topologies: Optional[Sequence[Topology]] = None,
     seed: int = 0,
+    jobs: int = 1,
     **storm_params,
 ) -> List[StormOutcome]:
-    """The campaign grid: every kind × storm size × topology, one seed."""
+    """The campaign grid: every kind × storm size × topology, one seed.
+
+    ``jobs > 1`` fans the independent cells over the scenario farm
+    (:func:`repro.experiments.farm.run_tasks`); results come back in task
+    order, so the outcome list is bit-identical to the serial run.
+    """
+    from repro.experiments.farm import run_tasks
+
     topologies = list(topologies) if topologies is not None else [Mesh2D(8, 8)]
-    outcomes: List[StormOutcome] = []
-    for topology in topologies:
-        for kind in kinds:
-            for storm_size in storm_sizes:
-                outcomes.append(
-                    run_storm(
-                        kind,
-                        topology=topology,
-                        storm_size=storm_size,
-                        seed=seed,
-                        **storm_params,
-                    )
-                )
-    return outcomes
+    tasks = [
+        (kind, topology, storm_size, seed, storm_params)
+        for topology in topologies
+        for kind in kinds
+        for storm_size in storm_sizes
+    ]
+    return run_tasks(_storm_task, tasks, jobs=jobs)

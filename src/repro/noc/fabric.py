@@ -17,7 +17,7 @@ about the concrete class.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple, Type, TypeVar
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Type, TypeVar
 
 from repro.common import ConfigurationError, ReproError
 from repro.energy.activity import ActivityCounters
@@ -71,6 +71,7 @@ class NocBase:
         data_width: int,
         tech: Technology = TSMC_130NM_LVHP,
         schedule: str = "auto",
+        region: Optional[Iterable[Position]] = None,
     ) -> None:
         self.topology = topology
         #: Backwards-compatible alias; the attribute predates non-mesh fabrics.
@@ -78,16 +79,28 @@ class NocBase:
         self.frequency_hz = frequency_hz
         self.data_width = data_width
         self.tech = tech
+        #: Shard region (``None`` = the whole topology).  A region network
+        #: physically builds only its own routers, but keeps the *full*
+        #: topology for admission/routing decisions, so every shard of a
+        #: deterministically replayed configuration sequence computes the
+        #: identical allocations (:mod:`repro.sim.shard`).
+        self.region: Optional[frozenset] = (
+            frozenset(region) if region is not None else None
+        )
         self.kernel = SimulationKernel(frequency_hz, schedule=schedule)
 
         self.routers: Dict[Position, Any] = {}
         for position in topology.positions():
-            self.routers[position] = self._build_router(position)
+            if self.region is None or position in self.region:
+                self.routers[position] = self._build_router(position)
 
-        # One directed link per topology edge.
+        # One directed link per topology edge; a region network materialises
+        # every link with at least one local endpoint, so each cut link has a
+        # mirror copy in both adjacent shards (the boundary-proxy pair).
         self.links: Dict[Tuple[Position, Position], Any] = {}
         for src, dst in topology.directed_links():
-            self.links[(src, dst)] = self._build_link(src, dst)
+            if self.region is None or src in self.region or dst in self.region:
+                self.links[(src, dst)] = self._build_link(src, dst)
 
         # Attach the links to the routers: the link (a -> b) is a's outgoing
         # bundle on the port towards b, and b's incoming bundle on the
@@ -109,6 +122,10 @@ class NocBase:
         self.dead_links: set = set()
         #: Router positions killed at run time (:meth:`fail_router`).
         self.dead_routers: set = set()
+
+    def is_local(self, position: Position) -> bool:
+        """True when *position* lies in this network's shard region (or no region is set)."""
+        return self.region is None or position in self.region
 
     # -- construction hooks -----------------------------------------------------------
 
@@ -347,12 +364,23 @@ class NocBase:
         :class:`repro.noc.faults.FaultInjector` territory.
         """
         if (a, b) not in self.links and (b, a) not in self.links:
-            raise ConfigurationError(f"no link between {a} and {b}")
+            if self.region is None:
+                raise ConfigurationError(f"no link between {a} and {b}")
+            # A shard without a local copy still records the fault so its
+            # degraded-topology view matches every other shard's.
+            self.dead_links.add((a, b) if a <= b else (b, a))
+            return 0
         dropped = 0
         for key in ((a, b), (b, a)):
             link = self.links.get(key)
             if link is not None:
-                dropped += link.fail()
+                lost = link.fail()
+                # Cut links exist as mirror copies in both adjacent shards
+                # and both mirrors hold the same in-flight state; counting
+                # only the copy whose driver is local keeps the network-wide
+                # drop total exact (full networks own every driver).
+                if key[0] in self.routers:
+                    dropped += lost
         self.dead_links.add((a, b) if a <= b else (b, a))
         return dropped
 
@@ -364,12 +392,14 @@ class NocBase:
         residual state drains onto its dead links and is counted there.
         Returns the in-flight wire units lost on the incident links.
         """
-        if position not in self.routers:
+        if position not in self.routers and self.region is None:
             raise ConfigurationError(f"no router at position {position}")
         dropped = 0
         for (src, dst), link in self.links.items():
             if position in (src, dst):
-                dropped += link.fail()
+                lost = link.fail()
+                if src in self.routers:
+                    dropped += lost
                 self.dead_links.add((src, dst) if src <= dst else (dst, src))
         self.dead_routers.add(position)
         return dropped
@@ -406,8 +436,17 @@ class NocBase:
         """
 
     def fault_drops(self) -> int:
-        """Wire-level units swallowed by dead links (:attr:`fault_drop_unit`)."""
-        return sum(getattr(link, "dropped", 0) for link in self.links.values())
+        """Wire-level units swallowed by dead links (:attr:`fault_drop_unit`).
+
+        Counted on the directed copies whose driving router is local, so the
+        per-shard totals of a sharded run add up to the single-network figure
+        (a cut link's mirror copy would otherwise be counted twice).
+        """
+        return sum(
+            getattr(link, "dropped", 0)
+            for key, link in self.links.items()
+            if key[0] in self.routers
+        )
 
     # -- access ---------------------------------------------------------------------------
 
@@ -461,6 +500,18 @@ class NocBase:
         return ActivityCounters.merged(
             (router.activity for router in self.routers.values()), name=self.activity_name
         )
+
+    def activity_snapshot(self) -> Dict[Position, Tuple[Dict[str, float], int]]:
+        """Per-router ``(counters, cycles)`` in plain comparable form.
+
+        The equivalence tests diff this across schedules and against the
+        sharded network's cross-shard aggregate
+        (:meth:`repro.sim.shard.ShardedNetwork.activity_snapshot`).
+        """
+        return {
+            position: (router.activity.as_dict(), router.activity.cycles)
+            for position, router in self.routers.items()
+        }
 
     def total_area_mm2(self) -> float:
         """Total router area of the network (Table 4 per-router area × routers)."""
@@ -524,12 +575,26 @@ def resolve_network_kind(kind: str) -> Type[NocBase]:
         ) from None
 
 
-def build_network(kind: str, topology: Topology, **params: Any) -> NocBase:
+def build_network(kind: str, topology: Topology, **params: Any) -> Any:
     """Construct a network of *kind* on *topology*.
 
     ``kind`` accepts the canonical names and the short aliases used by
     :func:`repro.experiments.harness.run_scenario` (``circuit``/``cs``,
     ``packet``/``ps``, ``gt``/``aethereal``/``tdma``);
     ``params`` are forwarded to the network constructor.
+
+    ``shards=N`` (with an optional ``partition_mode``) builds the same
+    network partitioned over *N* worker processes instead — a
+    :class:`repro.sim.shard.ShardedNetwork` mirroring this reporting
+    surface, bit-identical to the single-process network.
     """
+    shards = params.pop("shards", None)
+    if shards is not None and shards > 1:
+        from repro.sim.shard import ShardedNetwork
+
+        partition_mode = params.pop("partition_mode", "auto")
+        return ShardedNetwork(
+            kind, topology, shards=shards, partition_mode=partition_mode, **params
+        )
+    params.pop("partition_mode", None)
     return resolve_network_kind(kind)(topology, **params)

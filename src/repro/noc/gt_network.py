@@ -725,6 +725,7 @@ class TimeDivisionNoC(NocBase):
         data_width: int = 16,
         tech: Technology = TSMC_130NM_LVHP,
         schedule: str = "auto",
+        region=None,
     ) -> None:
         self.slots = slots
         super().__init__(
@@ -733,6 +734,7 @@ class TimeDivisionNoC(NocBase):
             data_width=data_width,
             tech=tech,
             schedule=schedule,
+            region=region,
         )
 
     # -- construction hooks -----------------------------------------------------------
@@ -775,14 +777,16 @@ class TimeDivisionNoC(NocBase):
     def apply_circuit(self, circuit: SlotCircuit) -> None:
         """Write one slot train into the routers along its route."""
         for hop in circuit.hops:
-            self.router_at(hop.position).program(
-                hop.out_port, hop.slot, hop.in_port, circuit.channel_name
-            )
+            if self.is_local(hop.position):
+                self.router_at(hop.position).program(
+                    hop.out_port, hop.slot, hop.in_port, circuit.channel_name
+                )
 
     def remove_circuit(self, circuit: SlotCircuit) -> None:
         """Erase one slot train from the routers again."""
         for hop in circuit.hops:
-            self.router_at(hop.position).clear(hop.out_port, hop.slot)
+            if self.is_local(hop.position):
+                self.router_at(hop.position).clear(hop.out_port, hop.slot)
 
     def apply_allocation(self, allocation: SlotAllocation) -> None:
         """Program every slot train of a channel allocation."""
@@ -819,18 +823,20 @@ class TimeDivisionNoC(NocBase):
             self.streams[name] = endpoints
             return endpoints
         cycles_per_word = max(1, round(self.slots / allocation.slots_used))
-        driver = GtStreamDriver(
-            f"{name}_src",
-            self.router_at(allocation.src),
-            allocation.channel_name,
-            word_source,
-            load,
-            cycles_per_word=cycles_per_word,
-        )
-        self.kernel.add(driver)
-        endpoints = GtStreamEndpoints(
-            name, driver, self.router_at(allocation.dst).tile, allocation
-        )
+        driver = sink = None
+        if self.is_local(allocation.src):
+            driver = GtStreamDriver(
+                f"{name}_src",
+                self.router_at(allocation.src),
+                allocation.channel_name,
+                word_source,
+                load,
+                cycles_per_word=cycles_per_word,
+            )
+            self.kernel.add(driver)
+        if self.is_local(allocation.dst):
+            sink = self.router_at(allocation.dst).tile
+        endpoints = GtStreamEndpoints(name, driver, sink, allocation)
         self.streams[name] = endpoints
         return endpoints
 

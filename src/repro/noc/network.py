@@ -70,6 +70,7 @@ class CircuitSwitchedNoC(NocBase):
         clock_gating: bool = False,
         tech: Technology = TSMC_130NM_LVHP,
         schedule: str = "auto",
+        region=None,
     ) -> None:
         self.lanes_per_port = lanes_per_port
         self.lane_width = lane_width
@@ -80,6 +81,7 @@ class CircuitSwitchedNoC(NocBase):
             data_width=data_width,
             tech=tech,
             schedule=schedule,
+            region=region,
         )
 
     # -- construction hooks -----------------------------------------------------------
@@ -124,14 +126,16 @@ class CircuitSwitchedNoC(NocBase):
     def apply_circuit(self, circuit: LaneCircuit) -> None:
         """Write one lane circuit into the routers along its route."""
         for hop in circuit.hops:
-            self.router_at(hop.position).configure(
-                hop.out_port, hop.out_lane, hop.in_port, hop.in_lane
-            )
+            if self.is_local(hop.position):
+                self.router_at(hop.position).configure(
+                    hop.out_port, hop.out_lane, hop.in_port, hop.in_lane
+                )
 
     def remove_circuit(self, circuit: LaneCircuit) -> None:
         """Tear one lane circuit down again."""
         for hop in circuit.hops:
-            self.router_at(hop.position).deconfigure(hop.out_port, hop.out_lane)
+            if self.is_local(hop.position):
+                self.router_at(hop.position).deconfigure(hop.out_port, hop.out_lane)
 
     def apply_allocation(self, allocation: CircuitAllocation) -> None:
         """Configure every lane circuit of a channel allocation."""
@@ -169,19 +173,22 @@ class CircuitSwitchedNoC(NocBase):
             self.streams[name] = endpoints
             return endpoints
         circuit = allocation.circuits[0]
-        driver = TileStreamDriver(
-            f"{name}_src",
-            self.router_at(circuit.src),
-            circuit.source_tile_lane,
-            word_source,
-            load,
-            mark_blocks=mark_blocks,
-        )
-        sink = TileStreamConsumer(
-            f"{name}_dst", self.router_at(circuit.dst), circuit.destination_tile_lane
-        )
-        self.kernel.add(driver)
-        self.kernel.add(sink)
+        driver = sink = None
+        if self.is_local(circuit.src):
+            driver = TileStreamDriver(
+                f"{name}_src",
+                self.router_at(circuit.src),
+                circuit.source_tile_lane,
+                word_source,
+                load,
+                mark_blocks=mark_blocks,
+            )
+            self.kernel.add(driver)
+        if self.is_local(circuit.dst):
+            sink = TileStreamConsumer(
+                f"{name}_dst", self.router_at(circuit.dst), circuit.destination_tile_lane
+            )
+            self.kernel.add(sink)
         endpoints = StreamEndpoints(name, driver, sink, allocation)
         self.streams[name] = endpoints
         return endpoints

@@ -32,6 +32,7 @@ __all__ = [
     "Mesh2D",
     "Torus2D",
     "IrregularMesh",
+    "partition_topology",
 ]
 
 Position = Tuple[int, int]
@@ -315,3 +316,79 @@ class IrregularMesh(GridTopology):
         if source not in cache:
             cache[source] = dict(nx.single_source_shortest_path_length(self.to_networkx(), source))
         return cache[source]
+
+
+# ---------------------------------------------------------------------------
+# Partitioning (sharded simulation)
+# ---------------------------------------------------------------------------
+
+
+def _axis_cuts(extent: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``range(extent)`` into *parts* contiguous, balanced half-open chunks."""
+    bounds = [(index * extent) // parts for index in range(parts + 1)]
+    return [(bounds[index], bounds[index + 1]) for index in range(parts)]
+
+
+def partition_topology(
+    topology: Topology, shards: int, mode: str = "auto"
+) -> List[frozenset]:
+    """Cut *topology* into *shards* contiguous rectangular regions.
+
+    The deterministic partitioner of the sharded simulation runner
+    (:mod:`repro.sim.shard`): every region is the set of topology positions
+    inside one rectangle of a ``gx × gy`` grid of cuts over the bounding box,
+    with ``gx * gy == shards`` and balanced side lengths.  *mode* selects the
+    cut orientation: ``"rows"`` cuts into horizontal bands (``gx = 1``),
+    ``"cols"`` into vertical bands (``gy = 1``), and ``"auto"`` / ``"grid"``
+    picks the factorisation minimising the total cut length (the number of
+    boundary link pairs the shards will have to synchronise).  Regions are
+    returned bottom-to-top, left-to-right, and every region is non-empty —
+    any contiguous partition is *correct* (cut links become boundary proxies
+    either way); the choice only affects synchronisation traffic.
+    """
+    if shards < 1:
+        raise ValueError("shards must be positive")
+    if shards > topology.size:
+        raise ValueError(
+            f"cannot cut a {topology.size}-router topology into {shards} shards"
+        )
+    width, height = topology.width, topology.height
+    if mode == "rows":
+        candidates = [(1, shards)] if shards <= height else []
+    elif mode == "cols":
+        candidates = [(shards, 1)] if shards <= width else []
+    elif mode in ("auto", "grid"):
+        candidates = [
+            (gx, shards // gx)
+            for gx in range(1, shards + 1)
+            if shards % gx == 0 and gx <= width and shards // gx <= height
+        ]
+    else:
+        raise ValueError(f"unknown partition mode {mode!r}")
+    if not candidates:
+        raise ValueError(
+            f"cannot cut a {width}x{height} bounding box into {shards} "
+            f"{mode!r} shards"
+        )
+    # Fewer/shorter cut lines mean fewer boundary links to synchronise.
+    gx, gy = min(
+        candidates, key=lambda c: ((c[0] - 1) * height + (c[1] - 1) * width, c[0])
+    )
+    x_cuts = _axis_cuts(width, gx)
+    y_cuts = _axis_cuts(height, gy)
+    regions: List[frozenset] = []
+    for y_lo, y_hi in y_cuts:
+        for x_lo, x_hi in x_cuts:
+            region = frozenset(
+                (x, y)
+                for x in range(x_lo, x_hi)
+                for y in range(y_lo, y_hi)
+                if topology.contains((x, y))
+            )
+            if not region:
+                raise ValueError(
+                    f"partition into {shards} shards leaves the region "
+                    f"x∈[{x_lo},{x_hi}) y∈[{y_lo},{y_hi}) empty — use fewer shards"
+                )
+            regions.append(region)
+    return regions

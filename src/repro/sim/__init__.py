@@ -132,6 +132,8 @@ from repro.sim.trace import TraceEvent, TraceRecorder
 __all__ = [
     "ClockedComponent",
     "SimulationKernel",
+    "ShardedNetwork",
+    "ShardedSimulation",
     "Register",
     "RegisterBank",
     "Wire",
@@ -143,3 +145,14 @@ __all__ = [
     "TraceEvent",
     "TraceRecorder",
 ]
+
+
+def __getattr__(name):  # PEP 562 lazy export
+    # The sharded front-end sits above repro.noc (it builds region networks),
+    # while repro.noc sits above this package's kernel — importing it eagerly
+    # here would close that cycle.  Resolved lazily instead.
+    if name in ("ShardedNetwork", "ShardedSimulation"):
+        from repro.sim import shard
+
+        return getattr(shard, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

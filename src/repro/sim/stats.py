@@ -54,6 +54,25 @@ class SchedulerStats:
         total = self.total
         return self.evaluated / total if total else 1.0
 
+    @classmethod
+    def merged(cls, parts: Iterable["SchedulerStats"]) -> "SchedulerStats":
+        """Fold several kernels' stats into one (sharded runs).
+
+        Work counters add up across the shard kernels; ``heap_peak`` is a
+        high-water mark per heap, so the merge keeps the largest.
+        """
+        result = cls()
+        for part in parts:
+            result.evaluated += part.evaluated
+            result.skipped += part.skipped
+            result.wakes += part.wakes
+            result.sleeps += part.sleeps
+            result.leaps += part.leaps
+            result.leaped_cycles += part.leaped_cycles
+            result.events_processed += part.events_processed
+            result.heap_peak = max(result.heap_peak, part.heap_peak)
+        return result
+
     def as_dict(self) -> Dict[str, float]:
         """Summary suitable for report tables."""
         return {

@@ -1,0 +1,368 @@
+"""Sharded-vs-single bit-identity, partitioner geometry, horizon and parking.
+
+The sharded kernel (:mod:`repro.sim.shard`) promises that a fabric
+partitioned over worker processes is *bit-identical* to the single-process
+network: activity counters, delivered word counts, energy figures and drop
+totals.  Mirroring :mod:`tests.test_event_scheduling`, a seeded RNG draws
+scenarios — kind × mesh/torus × shard count × load, with mid-run channel
+churn and live link faults — and every observable is diffed against the
+unsharded reference.  A second family pins the boundary-frame exchange
+itself: running the identical sharded scenario twice must reproduce the
+same observables and the same cross-shard scheduler statistics.
+
+Also here: unit coverage for the deterministic partitioner
+(:func:`repro.noc.topology.partition_topology`), the kernel's
+``activity_horizon`` primitive the window loop is built on, and the packet
+router's credit-event prediction (a back-pressured worm with a full tile
+buffer parks instead of reporting an injection event every cycle).
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.apps.traffic import BitFlipPattern, word_generator
+from repro.common import Port
+from repro.noc.fabric import build_network
+from repro.noc.topology import Mesh2D, Torus2D, partition_topology
+
+FREQUENCY_HZ = 100e6
+KINDS = ("circuit", "packet", "gt")
+FABRICS = (("mesh", (3, 3)), ("mesh", (4, 2)), ("mesh", (4, 4)), ("torus", (4, 3)))
+
+
+def _build_topology(family: str, extent: tuple) -> object:
+    width, height = extent
+    return Mesh2D(width, height) if family == "mesh" else Torus2D(width, height)
+
+
+def _snapshot(network) -> dict:
+    """Everything the experiments read, identical in form for both builds."""
+    return {
+        "cycle": network.kernel.cycle,
+        "activity": network.activity_snapshot(),
+        "streams": network.stream_statistics(),
+        "fault_drops": network.fault_drops(),
+        "energy": network.energy_per_delivered_bit_pj(),
+    }
+
+
+def _random_plan(seed: int) -> dict:
+    """Draw one deterministic scenario (kind, fabric, channels, churn, fault)."""
+    rng = random.Random(seed)
+    kind = rng.choice(KINDS)
+    family, extent = rng.choice(FABRICS)
+    width, height = extent
+    tiles = [(x, y) for x in range(width) for y in range(height)]
+    channels = []
+    for index in range(rng.randint(2, 3)):
+        src, dst = rng.sample(tiles, 2)
+        channels.append(
+            {
+                "name": f"ch{index}",
+                "src": src,
+                "dst": dst,
+                "bandwidth": rng.choice((50.0, 100.0)),
+                "load": rng.choice((0.1, 0.5, 1.0)),
+                "seed": rng.randint(0, 2**16),
+            }
+        )
+    return {
+        "kind": kind,
+        "family": family,
+        "extent": extent,
+        "channels": channels,
+        "churn": rng.random() < 0.5,
+        "fault": rng.random() < 0.5,
+        "shards": rng.choice((2, 3, 4)),
+        "phase_cycles": rng.choice((250, 400)),
+    }
+
+
+def _execute(plan: dict, shards: int | None = None):
+    """Build and run one drawn scenario, sharded or single-process."""
+    params = {"frequency_hz": FREQUENCY_HZ, "schedule": "auto"}
+    if shards is not None:
+        params["shards"] = shards
+    network = build_network(
+        plan["kind"], _build_topology(plan["family"], plan["extent"]), **params
+    )
+    for channel in plan["channels"]:
+        generator = word_generator(BitFlipPattern.TYPICAL, seed=channel["seed"])
+        network.attach_channel(
+            channel["name"],
+            channel["src"],
+            channel["dst"],
+            channel["bandwidth"],
+            generator,
+            load=channel["load"],
+        )
+    network.run(plan["phase_cycles"])
+    if plan["fault"]:
+        network.fail_link((1, 0), (2, 0))
+        network.refresh_routing(network.degraded_topology())
+        network.run(plan["phase_cycles"])
+    if plan["churn"]:
+        network.detach_channel(plan["channels"][0]["name"], drain_cycles=64)
+        network.run(plan["phase_cycles"])
+    return network
+
+
+# ---------------------------------------------------------------------------
+# Shard-vs-single bit-identity
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_scenarios_are_shard_identical(seed):
+    plan = _random_plan(seed)
+    single = _execute(plan)
+    sharded = _execute(plan, shards=plan["shards"])
+    try:
+        assert _snapshot(sharded) == _snapshot(single), (
+            f"seed {seed}: sharded diverged from single "
+            f"(kind={plan['kind']}, fabric={plan['family']}{plan['extent']}, "
+            f"shards={plan['shards']}, churn={plan['churn']}, "
+            f"fault={plan['fault']})"
+        )
+    finally:
+        sharded.close()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_live_fault_mid_run_is_shard_identical(kind):
+    """The fault broadcast must drop exactly the in-flight boundary payload
+    the single network drops — mirror-copy drops must not double-count."""
+
+    def run_once(shards=None):
+        params = {"frequency_hz": FREQUENCY_HZ, "schedule": "auto"}
+        if shards is not None:
+            params["shards"] = shards
+        network = build_network(kind, Mesh2D(4, 2), **params)
+        # One generator per channel: a stateful source *shared* across
+        # channels whose drivers land in different shards cannot reproduce
+        # the single-process pull interleaving (documented shard contract).
+        network.attach_channel(
+            "a", (0, 0), (3, 0), 100.0,
+            word_generator(BitFlipPattern.TYPICAL, seed=13), load=0.7,
+        )
+        network.attach_channel(
+            "b", (3, 1), (0, 1), 100.0,
+            word_generator(BitFlipPattern.TYPICAL, seed=14), load=0.4,
+        )
+        network.run(250)
+        # The failed link is a *boundary* link of the 2-column partition.
+        dropped = network.fail_link((1, 0), (2, 0))
+        network.run(250)
+        snapshot = (_snapshot(network), dropped)
+        if shards is not None:
+            network.close()
+        return snapshot
+
+    assert run_once(shards=2) == run_once()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_boundary_frame_exchange_is_deterministic(kind):
+    """The identical sharded scenario twice: same observables, same merged
+    scheduler statistics — frame ordering must depend on nothing but the
+    scenario (worker replies are folded in shard-index order, frames in
+    sorted link order)."""
+
+    def run_once():
+        network = build_network(
+            kind,
+            Mesh2D(4, 4),
+            frequency_hz=FREQUENCY_HZ,
+            schedule="auto",
+            shards=4,
+        )
+        generator = word_generator(BitFlipPattern.TYPICAL, seed=7)
+        network.attach_channel("a", (0, 0), (3, 3), 100.0, generator, load=0.6)
+        network.attach_channel("b", (3, 0), (0, 3), 100.0, generator, load=0.3)
+        network.run(250)
+        network.detach_channel("a", drain_cycles=32)
+        network.run(150)
+        stats = network.stats
+        snapshot = _snapshot(network)
+        network.close()
+        return snapshot, (stats.evaluated, stats.wakes, stats.events_processed)
+
+    assert run_once() == run_once()
+
+
+def test_sharded_scheduler_stats_merge_across_shards():
+    network = build_network(
+        "circuit", Mesh2D(4, 2), frequency_hz=FREQUENCY_HZ, shards=2
+    )
+    generator = word_generator(BitFlipPattern.TYPICAL, seed=3)
+    network.attach_channel("a", (0, 0), (3, 1), 100.0, generator, load=0.5)
+    network.run(200)
+    merged = network.stats
+    assert merged.evaluated > 0
+    assert network.kernel.cycle == 200
+    network.close()
+
+
+def test_post_start_attach_crosses_the_pipe():
+    """Channels attached after the workers fork ship their word source by
+    pickle — the traffic generators must survive the round trip with state."""
+    generator = word_generator(BitFlipPattern.TYPICAL, seed=11)
+    clone = pickle.loads(pickle.dumps(generator))
+    assert [generator() for _ in range(8)] == [clone() for _ in range(8)]
+
+    network = build_network("circuit", Mesh2D(4, 2), frequency_hz=FREQUENCY_HZ, shards=2)
+    network.run(50)  # workers are live now
+    network.attach_channel(
+        "late", (0, 0), (3, 1), 100.0, word_generator(BitFlipPattern.TYPICAL, seed=4)
+    )
+    network.run(200)
+    stats = network.stream_statistics()
+    delivered = sum(
+        entry["received"] for name, entry in stats.items() if name.startswith("late")
+    )
+    assert delivered > 0
+    network.close()
+
+
+# ---------------------------------------------------------------------------
+# Partitioner geometry
+# ---------------------------------------------------------------------------
+
+
+def test_partition_rows_are_contiguous_and_exhaustive():
+    topology = Mesh2D(4, 4)
+    regions = partition_topology(topology, 2, mode="rows")
+    assert len(regions) == 2
+    assert regions[0] == frozenset((x, y) for x in range(4) for y in range(2))
+    assert regions[1] == frozenset((x, y) for x in range(4) for y in range(2, 4))
+
+
+def test_partition_cols_split_width():
+    regions = partition_topology(Mesh2D(4, 2), 2, mode="cols")
+    assert regions[0] == frozenset((x, y) for x in range(2) for y in range(2))
+    assert regions[1] == frozenset((x, y) for x in range(2, 4) for y in range(2))
+
+
+def test_partition_grid_minimises_cut():
+    # 4 shards on a square mesh: the 2x2 grid cut beats 4 rows.
+    regions = partition_topology(Mesh2D(16, 16), 4, mode="auto")
+    assert len(regions) == 4
+    assert all(len(region) == 64 for region in regions)
+
+
+def test_partition_is_deterministic():
+    first = partition_topology(Mesh2D(8, 8), 4)
+    second = partition_topology(Mesh2D(8, 8), 4)
+    assert first == second
+
+
+def test_partition_rejects_impossible_counts():
+    with pytest.raises(ValueError):
+        partition_topology(Mesh2D(2, 2), 0)
+    with pytest.raises(ValueError):
+        partition_topology(Mesh2D(2, 2), 5)
+
+
+# ---------------------------------------------------------------------------
+# The window loop's kernel primitive
+# ---------------------------------------------------------------------------
+
+
+def test_activity_horizon_reports_idle_gap():
+    """An idle fabric's horizon is the query limit; attaching traffic pins
+    it back to the present (awake components)."""
+    network = build_network("circuit", Mesh2D(2, 2), frequency_hz=FREQUENCY_HZ)
+    network.run(10)
+    assert network.kernel.activity_horizon(1000) == 1000
+    generator = word_generator(BitFlipPattern.TYPICAL, seed=1)
+    network.attach_channel("a", (0, 0), (1, 1), 100.0, generator, load=0.5)
+    assert network.kernel.activity_horizon(1000) == network.kernel.cycle
+
+
+def test_activity_horizon_is_clamped_and_monotonic():
+    network = build_network(
+        "gt", Mesh2D(2, 2), frequency_hz=FREQUENCY_HZ, schedule="event"
+    )
+    generator = word_generator(BitFlipPattern.TYPICAL, seed=2)
+    network.attach_channel("a", (0, 0), (1, 1), 50.0, generator, load=0.1)
+    network.run(100)
+    cycle = network.kernel.cycle
+    horizon = network.kernel.activity_horizon(2**62)
+    assert horizon >= cycle
+    assert network.kernel.activity_horizon(cycle) == cycle
+    # Querying must not advance or perturb the simulation.
+    assert network.kernel.cycle == cycle
+    assert network.kernel.activity_horizon(2**62) == horizon
+
+
+# ---------------------------------------------------------------------------
+# Packet-router credit-event prediction (satellite fix)
+# ---------------------------------------------------------------------------
+
+
+def test_backpressured_worm_parks_until_credits():
+    """A hotspot fabric: sources whose tile VC buffer is full and whose
+    head-of-line worm is credit-starved must report ``None`` (park) from
+    ``next_event_cycle`` instead of claiming an injection event every
+    cycle.  Before the buffer-aware predicate this could never happen with
+    a non-empty injection queue."""
+    network = build_network(
+        "packet", Mesh2D(3, 3), frequency_hz=FREQUENCY_HZ, schedule="strict"
+    )
+    # Every surrounding tile floods the centre: the shared ejection port is
+    # oversubscribed, so back-pressure reaches all the way into the source
+    # tile buffers.
+    sources = [p for p in network.topology.positions() if p != (1, 1)]
+    for index, src in enumerate(sources):
+        network.attach_channel(
+            f"hot{index}",
+            src,
+            (1, 1),
+            2000.0,
+            word_generator(BitFlipPattern.TYPICAL, seed=index),
+            load=1.0,
+        )
+    parked_with_backlog = []
+
+    def probe(cycle):
+        for src in sources:
+            router = network.router_at(src)
+            queue = router.tile._injection_queue
+            if not queue:
+                continue
+            if router.next_event_cycle(cycle) is None:
+                assert router.buffers[(Port.TILE, queue[0].vc)].is_full()
+                parked_with_backlog.append(cycle)
+
+    network.kernel.add_pre_cycle_hook(probe, every=5)
+    network.run(600)
+    assert parked_with_backlog, "no source ever parked while back-pressured"
+
+
+def test_packet_hotspot_stays_trimodal_identical():
+    """The parking refinement must not change what the fabric delivers."""
+
+    def run_once(schedule):
+        network = build_network(
+            "packet", Mesh2D(3, 3), frequency_hz=FREQUENCY_HZ, schedule=schedule
+        )
+        sources = [p for p in network.topology.positions() if p != (1, 1)]
+        for index, src in enumerate(sources):
+            network.attach_channel(
+                f"hot{index}",
+                src,
+                (1, 1),
+                2000.0,
+                word_generator(BitFlipPattern.TYPICAL, seed=index),
+                load=1.0,
+            )
+        network.run(600)
+        return _snapshot(network)
+
+    reference = run_once("strict")
+    assert run_once("auto") == reference
+    assert run_once("event") == reference
