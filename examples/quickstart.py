@@ -93,12 +93,23 @@ def sharded_demo(shards: int) -> None:
     )
     network.run(2000)
     print()
-    print(f"=== sharded quickstart: 4x4 mesh over {shards} workers ===")
+    print(
+        f"=== sharded quickstart: 4x4 mesh over {shards} workers "
+        f"({network.transport} transport) ==="
+    )
     for name, entry in network.stream_statistics().items():
         print(f"stream {name:<12}: {entry['received']} of {entry['sent']} words delivered")
     print("cross-shard scheduler statistics (merged over all workers):")
     for key, value in network.stats.as_dict().items():
         print(f"  {key:<16}: {value}")
+    stats = network.stats
+    if stats.exchange_windows:
+        windows = stats.exchange_windows / shards
+        print(
+            f"boundary exchange: {stats.frames_sent} frames, "
+            f"{stats.frame_bytes / windows:.1f} bytes/window over "
+            f"{windows:.0f} windows, {stats.overlap_hits} overlap hits"
+        )
     network.close()
 
 

@@ -24,6 +24,7 @@ from repro.energy.activity import ActivityCounters
 from repro.energy.power import PowerBreakdown
 from repro.energy.technology import TSMC_130NM_LVHP, Technology
 from repro.noc.topology import IrregularMesh, Position, Topology
+from repro.noc.word_proxy import WordSourceRegistry
 from repro.sim.engine import SimulationKernel
 
 __all__ = [
@@ -117,6 +118,13 @@ class NocBase:
             self.kernel.add(router)
 
         self.streams: Dict[str, Any] = {}
+
+        #: Shard-exact pull routing for word sources shared between
+        #: channels (:mod:`repro.noc.word_proxy`).  Region networks only;
+        #: a single-process network pulls its sources directly.
+        self._word_registry: Optional[WordSourceRegistry] = (
+            WordSourceRegistry(self.kernel) if self.region is not None else None
+        )
 
         #: Undirected links killed at run time (:meth:`fail_link`).
         self.dead_links: set = set()
@@ -227,6 +235,34 @@ class NocBase:
         """
         raise NotImplementedError
 
+    def _register_stream_source(
+        self,
+        name: str,
+        word_source: "WordSource",
+        local: bool,
+        model_factory: Callable[[], Any],
+    ) -> "WordSource":
+        """Route one stream's word source through the shard pull registry.
+
+        Every ``add_stream`` of a kind calls this exactly once per stream,
+        in the replicated configuration order, flagging whether the
+        stream's driver is local to this shard; *model_factory* builds the
+        kind's exact remote pull model (only invoked when remote).  On a
+        single-process network this is the identity — the driver pulls the
+        source directly.
+        """
+        registry = self._word_registry
+        if registry is None:
+            return word_source
+        model = None if local else model_factory()
+        return registry.register(name, word_source, local, model)
+
+    def _deactivate_stream_source(self, name: str) -> None:
+        """Tell the pull registry this stream's driver left the kernel."""
+        registry = self._word_registry
+        if registry is not None:
+            registry.deactivate(name, self.kernel.cycle)
+
     def _remove_component(self, component: Any) -> None:
         """Take one endpoint component off the kernel (tolerates absence).
 
@@ -253,6 +289,7 @@ class NocBase:
         except KeyError:
             raise ConfigurationError(f"no stream named {name!r}") from None
         self._remove_component(getattr(endpoints, "source", None))
+        self._deactivate_stream_source(name)
 
     def detach_stream(self, name: str) -> Any:
         """Remove one registered stream's endpoints from the network.
@@ -269,6 +306,7 @@ class NocBase:
         except KeyError:
             raise ConfigurationError(f"no stream named {name!r}") from None
         self._detach_stream_components(endpoints)
+        self._deactivate_stream_source(name)
         return endpoints
 
     def detach_channel(self, name: str, drain_cycles: int = 0) -> None:
@@ -583,18 +621,27 @@ def build_network(kind: str, topology: Topology, **params: Any) -> Any:
     ``packet``/``ps``, ``gt``/``aethereal``/``tdma``);
     ``params`` are forwarded to the network constructor.
 
-    ``shards=N`` (with an optional ``partition_mode``) builds the same
-    network partitioned over *N* worker processes instead — a
-    :class:`repro.sim.shard.ShardedNetwork` mirroring this reporting
+    ``shards=N`` (with an optional ``partition_mode`` and ``transport``)
+    builds the same network partitioned over *N* worker processes instead
+    — a :class:`repro.sim.shard.ShardedNetwork` mirroring this reporting
     surface, bit-identical to the single-process network.
+    ``transport="auto"`` exchanges boundary frames through shared-memory
+    rings where supported, falling back to the parent-routed pipes.
     """
     shards = params.pop("shards", None)
     if shards is not None and shards > 1:
         from repro.sim.shard import ShardedNetwork
 
         partition_mode = params.pop("partition_mode", "auto")
+        transport = params.pop("transport", "auto")
         return ShardedNetwork(
-            kind, topology, shards=shards, partition_mode=partition_mode, **params
+            kind,
+            topology,
+            shards=shards,
+            partition_mode=partition_mode,
+            transport=transport,
+            **params,
         )
     params.pop("partition_mode", None)
+    params.pop("transport", None)
     return resolve_network_kind(kind)(topology, **params)

@@ -50,6 +50,7 @@ from repro.energy.technology import TSMC_130NM_LVHP, Technology
 from repro.noc.fabric import NocBase, WordSource, register_network_kind
 from repro.noc.slot_table import SlotAllocation, SlotCircuit, SlotTableAllocator
 from repro.noc.topology import Position, Topology
+from repro.noc.word_proxy import GtPullModel
 from repro.sim.engine import ClockedComponent
 from repro.sim.signals import DirtyBit, WakeListener
 
@@ -823,6 +824,23 @@ class TimeDivisionNoC(NocBase):
             self.streams[name] = endpoints
             return endpoints
         cycles_per_word = max(1, round(self.slots / allocation.slots_used))
+        # The TDMA driver pulls conditionally (a full injection queue drops
+        # the offer), so the remote model needs the queue bound and the
+        # slot-table drain schedule: one pop per programmed injection slot
+        # (the first hop of each slot train) per table revolution.
+        word_source = self._register_stream_source(
+            name,
+            word_source,
+            self.is_local(allocation.src),
+            lambda: GtPullModel(
+                load,
+                cycles_per_word,
+                self.slots,
+                [circuit.hops[0].slot for circuit in allocation.circuits],
+                8,  # GtStreamDriver's queue_limit default
+                self.kernel.cycle,
+            ),
+        )
         driver = sink = None
         if self.is_local(allocation.src):
             driver = GtStreamDriver(

@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from repro.common import ConfigurationError
 from repro.core.configuration import COMMAND_BITS
+from repro.core.header import phits_per_packet
 from repro.core.lane import LaneLink
 from repro.core.router import CircuitSwitchedRouter
 from repro.core.testbench import TileStreamConsumer, TileStreamDriver
@@ -25,6 +26,7 @@ from repro.energy.technology import TSMC_130NM_LVHP, Technology
 from repro.noc.fabric import NocBase, WordSource, register_network_kind
 from repro.noc.path_allocation import CircuitAllocation, LaneAllocator, LaneCircuit
 from repro.noc.topology import Position, Topology
+from repro.noc.word_proxy import PacedPullModel
 
 __all__ = ["StreamEndpoints", "CircuitSwitchedNoC"]
 
@@ -173,6 +175,18 @@ class CircuitSwitchedNoC(NocBase):
             self.streams[name] = endpoints
             return endpoints
         circuit = allocation.circuits[0]
+        # The tile driver pulls one word per pacer emission, unconditionally
+        # — the remote pull model is the pacer schedule itself.
+        word_source = self._register_stream_source(
+            name,
+            word_source,
+            self.is_local(circuit.src),
+            lambda: PacedPullModel(
+                load,
+                phits_per_packet(self.data_width, self.lane_width),
+                self.kernel.cycle,
+            ),
+        )
         driver = sink = None
         if self.is_local(circuit.src):
             driver = TileStreamDriver(

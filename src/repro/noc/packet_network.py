@@ -25,6 +25,7 @@ from repro.energy.technology import TSMC_130NM_LVHP, Technology
 from repro.noc.fabric import NocBase, WordSource, register_network_kind
 from repro.noc.routing import RoutingTable
 from repro.noc.topology import Position, Topology
+from repro.noc.word_proxy import PacedPullModel
 
 __all__ = ["PacketStreamEndpoints", "PacketSwitchedNoC"]
 
@@ -145,6 +146,14 @@ class PacketSwitchedNoC(NocBase):
             # Derived from the stream-registry size, which every shard of a
             # replayed configuration sequence grows identically.
             vc = len(self.streams) % self.num_vcs
+        # The tile driver pulls one word per pacer emission, unconditionally;
+        # its pacer always uses the driver-default 16-bit/4-bit geometry.
+        word_source = self._register_stream_source(
+            name,
+            word_source,
+            self.is_local(src),
+            lambda: PacedPullModel(load, phits_per_packet(16, 4), self.kernel.cycle),
+        )
         driver = None
         if self.is_local(src):
             driver = TilePacketDriver(

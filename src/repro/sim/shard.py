@@ -37,6 +37,27 @@ recorded in a log the forked children inherit by memory, so nothing has to
 pickle; commands issued after the start cross the pipe and must be
 picklable.
 
+Two boundary transports carry the frames (``transport=`` of
+:class:`ShardedNetwork` / ``build_network``):
+
+* ``"pipe"`` — every window the parent collects each shard's frames over
+  its command pipe and routes them to the destination shards: simple,
+  width-unlimited, but two pickles and two hops per window with the
+  parent on the critical path.
+* ``"shm"`` — the fast path (:mod:`repro.sim.shard_transport`): workers
+  exchange struct-packed frames directly through double-buffered
+  shared-memory rings and synchronise through seqlock horizon votes; the
+  parent is demoted to a control plane (start/stop, configuration
+  commands, queries, faults).  A worker publishes its window-*t* deltas
+  at commit and its peers typically find them already in the ring when
+  they arrive (the ``overlap_hits`` scheduler counter), so the per-window
+  exchange cost collapses to a few hundred bytes of shared memory.
+
+``transport="auto"`` (the default) picks ``"shm"`` whenever the platform
+and the network's wire geometry support it.  Both transports apply the
+identical decoded frames through the identical code path, so the
+bit-identity contract is transport-independent.
+
 :class:`ShardedNetwork` mirrors the :class:`~repro.noc.fabric.NocBase`
 reporting surface (stream statistics, merged activity, power, energy per
 bit, fault drops) by aggregating across shards, and
@@ -49,8 +70,11 @@ counters, delivered words, energy, drop totals) is asserted by
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 import multiprocessing
+import pickle
+import time
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -62,6 +86,14 @@ from repro.energy.power import PowerBreakdown
 from repro.noc.fabric import resolve_network_kind
 from repro.noc.gt_network import TdmaLink
 from repro.noc.topology import IrregularMesh, Position, Topology, partition_topology
+from repro.sim.shard_transport import (
+    BoundaryCodec,
+    BoundaryRing,
+    ControlBlock,
+    SpinWait,
+    build_plan,
+    shm_unsupported_reason,
+)
 from repro.sim.stats import SchedulerStats
 
 __all__ = ["ShardedNetwork", "ShardedSimulation"]
@@ -238,8 +270,53 @@ class _ShardHarness:
                 self.out_fwd.append((key, link, _fwd_shadow(link)))
             elif _has_reverse(link):
                 self.out_rev.append((key, link, _rev_shadow(link)))
+        # Transport counters, merged into the scheduler statistics.
+        self.frames_sent = 0
+        self.frame_bytes = 0
+        self.exchange_windows = 0
+        self.overlap_hits = 0
+        #: Post-start ``word_source`` replicas by attach token, so channels
+        #: sharing one source in the parent resolve the same replica here.
+        self._source_cache: Dict[int, Any] = {}
+        #: A state-changing command ran since the last horizon vote; the
+        #: next shm run must re-derive its horizon conservatively.
+        self._dirty = False
+        self.transport: str = spec.get("transport", "pipe")
+        if self.transport == "shm":
+            self._init_shm(spec)
         for command in spec["log"]:
             self.handle(command)
+
+    def _init_shm(self, spec: Dict[str, Any]) -> None:
+        """Map the fork-inherited segment into codecs, rings and votes."""
+        plan = spec["plan"]
+        buf = spec["shm"].buf
+        self.control = ControlBlock(buf, 0, plan["shards"])
+        self.shards: int = plan["shards"]
+        #: Frames this shard ships, grouped by destination shard.
+        self.out_channels: Dict[int, Tuple[BoundaryCodec, BoundaryRing]] = {}
+        self.in_channels: Dict[int, Tuple[BoundaryCodec, BoundaryRing]] = {}
+        for (src_shard, dst_shard), pair in plan["pairs"].items():
+            codec = BoundaryCodec(pair["entries"], plan["geometry"])
+            ring = BoundaryRing(buf, pair["offset"], pair["capacity"])
+            if src_shard == self.index:
+                self.out_channels[dst_shard] = (codec, ring)
+            elif dst_shard == self.index:
+                self.in_channels[src_shard] = (codec, ring)
+        self.out_by_dest: Dict[int, List[Tuple[str, Any, Any, Any]]] = {
+            dest: [] for dest in self.out_channels
+        }
+        for key, link, shadow in self.out_fwd:
+            self.out_by_dest[self.shard_of[key[1]]].append(("fwd", key, link, shadow))
+        for key, link, shadow in self.out_rev:
+            self.out_by_dest[self.shard_of[key[0]]].append(("rev", key, link, shadow))
+        #: Published-but-unapplied inbound window per source shard.
+        self.inbox: Dict[int, Optional[int]] = {src: None for src in self.in_channels}
+        #: Global counters, identical on every shard (same command stream):
+        #: votes published (windows + one per run command) and windows run.
+        self.vote_seq = 0
+        self.harvested_seq = 0
+        self.window = 0
 
     # -- command dispatch ------------------------------------------------------
 
@@ -247,11 +324,21 @@ class _ShardHarness:
         op = message[0]
         if op == "step":
             return self._step(message[1], message[2])
+        if op == "run":
+            return self._run_shm(message[1])
         if op == "call":
             _op, method, args, kwargs = message
+            self._dirty = True
             result = getattr(self.network, method)(*args, **kwargs)
             return result if method in _VALUE_METHODS else None
+        if op == "attach":
+            _op, name, src, dst, bandwidth, word_source, token, kwargs = message
+            self._dirty = True
+            word_source = self._source_cache.setdefault(token, word_source)
+            self.network.attach_channel(name, src, dst, bandwidth, word_source, **kwargs)
+            return None
         if op == "refresh":
+            self._dirty = True
             self.network.refresh_routing(self.network.degraded_topology())
             return None
         if op == "query":
@@ -261,13 +348,16 @@ class _ShardHarness:
     def horizon(self) -> int:
         return self.network.kernel.activity_horizon(_FAR)
 
-    def _step(self, target: int, frames: List[Tuple[str, Any, Any]]) -> Any:
+    def _apply_frames(self, frames: List[Tuple[str, Any, Any]]) -> None:
         links = self.network.links
         for direction, key, payload in frames:
             if direction == "fwd":
                 _apply_fwd(links[key], payload)
             else:
                 _apply_rev(links[key], payload)
+
+    def _step(self, target: int, frames: List[Tuple[str, Any, Any]]) -> Any:
+        self._apply_frames(frames)
         kernel = self.network.kernel
         if target > kernel.cycle:
             kernel.run(target - kernel.cycle)
@@ -280,7 +370,112 @@ class _ShardHarness:
             payload = _collect_rev(link, shadow)
             if payload is not None:
                 out.append(("rev", key, payload))
-        return (self.horizon(), out)
+        # The worker pickles its own frames so the exchange cost is
+        # measured where it is paid; the parent routes the blob onward.
+        blob = None
+        if out:
+            blob = pickle.dumps(out, protocol=pickle.HIGHEST_PROTOCOL)
+            self.frames_sent += len(out)
+            self.frame_bytes += len(blob)
+        self.exchange_windows += 1
+        return (self.horizon(), blob)
+
+    # -- shared-memory window loop ---------------------------------------------
+
+    def _publish_vote(self, horizon: int, dest_mask: int) -> None:
+        self.vote_seq += 1
+        self.control.publish_vote(
+            self.index, self.vote_seq, horizon, self.network.kernel.cycle, dest_mask
+        )
+
+    def _harvest(self) -> Tuple[List[int], int]:
+        """Read every shard's current vote; note which shards got frames.
+
+        Returns the per-shard horizons and the union of destination masks
+        — every shard computes the identical values from the identical
+        votes, which is what keeps the window targets in lockstep without
+        a coordinator.
+        """
+        horizons: List[int] = []
+        pending_mask = 0
+        for shard in range(self.shards):
+            spin = SpinWait(self.control)
+            horizon, _cycle, mask = self.control.read_vote(shard, self.vote_seq, spin)
+            horizons.append(horizon)
+            pending_mask |= mask
+            if shard != self.index and (mask >> self.index) & 1:
+                if self.inbox[shard] is not None:  # pragma: no cover - protocol guard
+                    raise SimulationError(
+                        f"shard {shard} published twice before shard {self.index}"
+                        " consumed: window protocol out of sync"
+                    )
+                self.inbox[shard] = self.window - 1
+        self.harvested_seq = self.vote_seq
+        return horizons, pending_mask
+
+    def _run_shm(self, cycles: int) -> int:
+        """Advance ``cycles`` through the shared-memory window protocol.
+
+        Replicates the pipe parent's conservative window formula locally:
+        all shards read the same votes, so all compute the same target.
+        Frames published at a window's commit are consumed by the peer at
+        its next window start — the double-buffered rings make the publish
+        overlap the peer's previous-window work.
+        """
+        kernel = self.network.kernel
+        end = kernel.cycle + cycles
+        # A vote may be left unread from the previous run's final window
+        # (or from another run command): harvest its destination masks
+        # before voting again.
+        if self.vote_seq > self.harvested_seq:
+            self._harvest()
+        # Run-start re-vote: configuration commands since the last vote may
+        # have scheduled new events, and unapplied inbound frames pin this
+        # shard to the next cycle exactly like the parent's pending queue.
+        pinned = self._dirty or any(w is not None for w in self.inbox.values())
+        self._publish_vote(
+            kernel.cycle if pinned else kernel.activity_horizon(_FAR), 0
+        )
+        self._dirty = False
+        while kernel.cycle < end:
+            horizons, pending_mask = self._harvest()
+            cycle = kernel.cycle
+            horizon = min(
+                cycle if (pending_mask >> shard) & 1 else max(horizons[shard], cycle)
+                for shard in range(self.shards)
+            )
+            target = end if horizon >= end else min(horizon + 1, end)
+            for src_shard in sorted(self.inbox):
+                window = self.inbox[src_shard]
+                if window is None:
+                    continue
+                codec, ring = self.in_channels[src_shard]
+                spin = SpinWait(self.control)
+                self._apply_frames(codec.decode(ring.read(window, spin)))
+                if not spin.spun:
+                    self.overlap_hits += 1
+                self.inbox[src_shard] = None
+            if target > kernel.cycle:
+                kernel.run(target - kernel.cycle)
+            dest_mask = 0
+            for dest in sorted(self.out_channels):
+                out: List[Tuple[str, Any, Any]] = []
+                for direction, key, link, shadow in self.out_by_dest[dest]:
+                    collect = _collect_fwd if direction == "fwd" else _collect_rev
+                    payload = collect(link, shadow)
+                    if payload is not None:
+                        out.append((direction, key, payload))
+                if out:
+                    codec, ring = self.out_channels[dest]
+                    blob = codec.encode(out)
+                    ring.publish(self.window, blob)
+                    dest_mask |= 1 << dest
+                    self.frames_sent += len(out)
+                    self.frame_bytes += len(blob)
+            self.exchange_windows += 1
+            self.window += 1
+            self._publish_vote(kernel.activity_horizon(_FAR), dest_mask)
+        return kernel.cycle
 
     def _query(self, what: Any) -> Any:
         network = self.network
@@ -299,7 +494,13 @@ class _ShardHarness:
         if what == "fault_drops":
             return network.fault_drops()
         if what == "sched":
-            return network.kernel.scheduler_stats
+            return dataclasses.replace(
+                network.kernel.scheduler_stats,
+                frames_sent=self.frames_sent,
+                frame_bytes=self.frame_bytes,
+                exchange_windows=self.exchange_windows,
+                overlap_hits=self.overlap_hits,
+            )
         if isinstance(what, tuple) and what[0] == "powers":
             return {
                 position: router.power(what[1])
@@ -328,26 +529,39 @@ def _rev_shadow(link: Any) -> Optional[List[Any]]:
 def _shard_worker_main(conn: Any, spec: Dict[str, Any]) -> None:
     """Worker process entry: build the region network, then serve commands."""
     try:
-        harness = _ShardHarness(spec)
-    except BaseException:  # noqa: BLE001 - ship the traceback to the parent
-        conn.send(("err", traceback.format_exc()))
-        return
-    conn.send(("ok", harness.horizon()))
-    while True:
         try:
-            message = conn.recv()
-        except EOFError:
-            break
-        if message[0] == "stop":
-            conn.send(("ok", None))
-            break
-        try:
-            result = harness.handle(message)
-        except BaseException:  # noqa: BLE001
+            harness = _ShardHarness(spec)
+        except BaseException:  # noqa: BLE001 - ship the traceback to the parent
             conn.send(("err", traceback.format_exc()))
-        else:
-            conn.send(("ok", result))
-    conn.close()
+            return
+        conn.send(("ok", harness.horizon()))
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            if message[0] == "stop":
+                try:
+                    conn.send(("ok", None))
+                except (OSError, ValueError):  # pragma: no cover - parent gone
+                    pass
+                break
+            try:
+                result = harness.handle(message)
+            except BaseException:  # noqa: BLE001
+                conn.send(("err", traceback.format_exc()))
+            else:
+                conn.send(("ok", result))
+        conn.close()
+    finally:
+        # Drop this worker's mapping of the shared segment on every exit
+        # path; only the parent ever unlinks it.
+        segment = spec.get("shm")
+        if segment is not None:
+            try:
+                segment.close()
+            except (OSError, BufferError):  # pragma: no cover - defensive
+                pass
 
 
 # ---------------------------------------------------------------------------
@@ -426,6 +640,7 @@ class ShardedNetwork:
         topology: Topology,
         shards: int,
         partition_mode: str = "auto",
+        transport: str = "auto",
         **params: Any,
     ) -> None:
         cls = resolve_network_kind(kind)
@@ -456,10 +671,28 @@ class ShardedNetwork:
             "regions": self.regions,
             "shard_of": self.shard_of,
         }
+        if transport not in ("auto", "pipe", "shm"):
+            raise ConfigurationError(
+                f"unknown transport {transport!r} (auto, pipe or shm)"
+            )
+        reason = shm_unsupported_reason(self.kind, params, topology, self.shards)
+        if transport == "shm" and reason is not None:
+            raise ConfigurationError(f"shm transport unavailable: {reason}")
+        if transport == "auto":
+            transport = "pipe" if (reason is not None or self.shards < 2) else "shm"
+        #: Resolved boundary transport, ``"pipe"`` or ``"shm"``.
+        self.transport = transport
+        self._shm: Any = None
+        self._control: Optional[ControlBlock] = None
         #: Configuration commands recorded before the fork; the children
         #: inherit this by process memory, so closure word sources need no
         #: pickling.
         self._log: List[Tuple[Any, ...]] = []
+        #: Attach tokens: one per distinct word-source object, so channels
+        #: sharing a source keep sharing its replica inside every worker
+        #: even when post-start commands pickle the source per command.
+        self._source_tokens: Dict[int, int] = {}
+        self._source_refs: List[Any] = []  # keeps id() keys alive and stable
         self._workers: Optional[List[Tuple[Any, Any]]] = None
         self._closed = False
         self._cycle = 0
@@ -478,11 +711,28 @@ class ShardedNetwork:
             raise ConfigurationError("sharded network is closed")
         if self._workers is not None:
             return
+        extra: Dict[str, Any] = {"transport": self.transport}
+        if self.transport == "shm":
+            from multiprocessing import shared_memory
+
+            plan = build_plan(
+                self.kind,
+                self._spec_base["params"],
+                self.topology,
+                self.shard_of,
+                self.shards,
+            )
+            # Created before the fork: the children inherit the mapped
+            # object by memory, and only the parent ever unlinks it.
+            self._shm = shared_memory.SharedMemory(create=True, size=plan["size"])
+            self._control = ControlBlock(self._shm.buf, 0, self.shards)
+            extra["plan"] = plan
+            extra["shm"] = self._shm
         context = multiprocessing.get_context("fork")
         workers: List[Tuple[Any, Any]] = []
         for index in range(self.shards):
             parent_conn, child_conn = context.Pipe()
-            spec = dict(self._spec_base, index=index, log=list(self._log))
+            spec = dict(self._spec_base, index=index, log=list(self._log), **extra)
             process = context.Process(
                 target=_shard_worker_main, args=(child_conn, spec), daemon=True
             )
@@ -490,8 +740,14 @@ class ShardedNetwork:
             child_conn.close()
             workers.append((process, parent_conn))
         self._workers = workers
-        for index, (_process, conn) in enumerate(workers):
-            self._horizons[index] = self._recv(conn)
+        try:
+            for index, (_process, conn) in enumerate(workers):
+                self._horizons[index] = self._recv(conn)
+        except BaseException:
+            # A worker failed to build its region network: stop the rest
+            # and unlink the segment before the error propagates.
+            self.close()
+            raise
 
     @staticmethod
     def _recv(conn: Any) -> Any:
@@ -501,15 +757,29 @@ class ShardedNetwork:
         return value
 
     def _broadcast(self, message: Tuple[Any, ...]) -> List[Any]:
-        """Send *message* to every worker (or log it pre-start) and collect replies."""
+        """Send *message* to every worker (or log it pre-start) and collect replies.
+
+        Every reply is gathered before any worker error is raised, so a
+        deterministic configuration error (raised identically by every
+        worker) leaves the pipes aligned and the network usable; a dead
+        transport (EOF / broken pipe) tears the whole fleet down instead.
+        """
         if self._workers is None:
             if self._closed:
                 raise ConfigurationError("sharded network is closed")
             self._log.append(message)
             return [None] * self.shards
-        for _process, conn in self._workers:
-            conn.send(message)
-        return [self._recv(conn) for _process, conn in self._workers]
+        try:
+            for _process, conn in self._workers:
+                conn.send(message)
+            replies = [conn.recv() for _process, conn in self._workers]
+        except (EOFError, OSError) as exc:
+            self.close()
+            raise SimulationError(f"shard worker connection lost: {exc!r}") from exc
+        errors = [value for status, value in replies if status != "ok"]
+        if errors:
+            raise SimulationError(f"shard worker failed:\n{errors[0]}")
+        return [value for _status, value in replies]
 
     def _call(self, method: str, *args: Any, **kwargs: Any) -> List[Any]:
         results = self._broadcast(("call", method, args, kwargs))
@@ -543,10 +813,74 @@ class ShardedNetwork:
     # -- execution -------------------------------------------------------------
 
     def _run_windows(self, cycles: int) -> int:
-        """The conservative window loop: lockstep frames, batched idle gaps."""
+        """Advance the fleet by *cycles*, tearing everything down on failure.
+
+        Any exception escaping a run — a worker traceback, a lost pipe, a
+        crashed process — leaves the shards out of lockstep, so the only
+        safe continuation is none: workers are stopped and the shared
+        segment is unlinked before the error propagates.
+        """
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
         self._ensure_started()
+        if cycles == 0:
+            return self._cycle
+        try:
+            if self.transport == "shm":
+                self._run_shm_windows(cycles)
+            else:
+                self._run_pipe_windows(cycles)
+        except BaseException:
+            self.close()
+            raise
+        return self._cycle
+
+    def _run_shm_windows(self, cycles: int) -> None:
+        """Control-plane side of a shm run: one command, workers sync themselves."""
+        assert self._workers is not None
+        for _process, conn in self._workers:
+            conn.send(("run", cycles))
+        self._gather_run()
+        self._cycle += cycles
+
+    def _gather_run(self) -> List[Any]:
+        """Collect run replies round-robin, watching worker liveness.
+
+        A worker that dies mid-run (crash, kill) leaves its peers spinning
+        on its votes; polling all pipes instead of blocking on one lets
+        the parent notice the death and abort the fleet promptly.
+        """
+        assert self._workers is not None
+        remaining = dict(enumerate(self._workers))
+        results: Dict[int, Any] = {}
+        deadline = time.monotonic() + 900.0
+        while remaining:
+            for index in list(remaining):
+                process, conn = remaining[index]
+                try:
+                    ready = conn.poll(0.05)
+                    if ready:
+                        status, value = conn.recv()
+                    elif not process.is_alive():
+                        raise SimulationError(
+                            f"shard worker {index} died during a sharded run"
+                        )
+                    else:
+                        continue
+                except (EOFError, OSError) as exc:
+                    raise SimulationError(
+                        f"shard worker {index} connection lost: {exc!r}"
+                    ) from exc
+                if status != "ok":
+                    raise SimulationError(f"shard worker failed:\n{value}")
+                results[index] = value
+                del remaining[index]
+            if remaining and time.monotonic() > deadline:
+                raise SimulationError("sharded run timed out")
+        return [results[index] for index in sorted(results)]
+
+    def _run_pipe_windows(self, cycles: int) -> None:
+        """The conservative window loop: lockstep frames, batched idle gaps."""
         assert self._workers is not None
         end = self._cycle + cycles
         shard_of = self.shard_of
@@ -569,14 +903,21 @@ class ShardedNetwork:
                 conn.send(("step", target, self._pending[index]))
                 self._pending[index] = []
             for index, (_process, conn) in enumerate(self._workers):
-                reported, frames = self._recv(conn)
+                try:
+                    reported, blob = self._recv(conn)
+                except EOFError as exc:
+                    raise SimulationError(
+                        f"shard worker {index} died during a sharded run"
+                    ) from exc
                 self._horizons[index] = reported
-                for frame in frames:
+                if blob is None:
+                    continue
+                for frame in pickle.loads(blob):
                     direction, key, _payload = frame
                     destination = shard_of[key[1] if direction == "fwd" else key[0]]
                     self._pending[destination].append(frame)
             self._cycle = target
-        return self._cycle
+        return
 
     def run(self, cycles: int) -> int:
         """Advance the whole sharded network by *cycles* clock cycles."""
@@ -605,20 +946,28 @@ class ShardedNetwork:
         command crosses the worker pipes and *word_source* must be
         picklable (the generators of :mod:`repro.apps.traffic` are).
 
-        Bit-identity contract: use one word source per channel.  Every
-        worker replays every attachment, so a source *shared* between
-        channels is replicated per shard — channels whose drivers land in
-        the same shard still interleave their pulls exactly as the single
-        process does, but cross-shard sharing cannot reproduce the global
-        interleaving (delivered word *counts* still match; word contents,
-        and with them toggle statistics, may differ).
+        Word sources may be freely *shared* between channels, including
+        channels whose drivers land in different shards: every region
+        network keeps a :class:`~repro.noc.word_proxy.WordSourceRegistry`
+        that replays the remote channels' pull schedules against the local
+        replica, so the global pull interleaving — and with it word
+        contents, toggle statistics and switching energy — matches the
+        single process exactly.  Sharing is keyed by object identity in
+        this parent (an attach token keeps the identity stable across the
+        per-command pickling of post-start attachments).
         """
         kwargs: Dict[str, Any] = {"load": load}
         if allocation is not None:
             kwargs["allocation"] = allocation
-        self._call(
-            "attach_channel", name, src, dst, bandwidth_mbps, word_source, **kwargs
+        token = self._source_tokens.get(id(word_source))
+        if token is None:
+            token = len(self._source_refs)
+            self._source_tokens[id(word_source)] = token
+            self._source_refs.append(word_source)
+        self._broadcast(
+            ("attach", name, src, dst, bandwidth_mbps, word_source, token, kwargs)
         )
+        self._invalidate_horizons()
 
     def halt_stream(self, name: str) -> None:
         """Stop one stream's injection on whichever shard drives it."""
@@ -832,26 +1181,52 @@ class ShardedNetwork:
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        """Stop every worker process (idempotent)."""
+        """Stop every worker and release the shared segment (idempotent).
+
+        Safe on every path — normal teardown, a worker traceback mid-run,
+        a crashed worker process: the abort flag breaks any peer still
+        spinning on shared-memory votes, stragglers are terminated after a
+        bounded join, and the segment is unlinked exactly once.
+        """
         workers, self._workers = self._workers, None
         self._closed = True
-        if not workers:
-            return
-        for process, conn in workers:
+        if self._control is not None:
+            # First thing: release workers spinning on a vote or a ring —
+            # they exit their window loop before the stop command lands.
             try:
-                conn.send(("stop",))
-            except (OSError, ValueError):
+                self._control.abort()
+            except (OSError, ValueError):  # pragma: no cover - defensive
                 pass
-        for process, conn in workers:
-            try:
-                self._recv(conn)
-            except (EOFError, OSError, SimulationError):
-                pass
-            conn.close()
-            process.join(timeout=5)
-            if process.is_alive():  # pragma: no cover - defensive cleanup
-                process.terminate()
+            self._control = None
+        if workers:
+            for process, conn in workers:
+                try:
+                    conn.send(("stop",))
+                except (OSError, ValueError):
+                    pass
+            for process, conn in workers:
+                try:
+                    # Bounded: a worker wedged mid-run never replies, and
+                    # the join/terminate below deals with it.
+                    if conn.poll(5):
+                        conn.recv()
+                except (EOFError, OSError):
+                    pass
+                conn.close()
                 process.join(timeout=5)
+                if process.is_alive():  # pragma: no cover - defensive cleanup
+                    process.terminate()
+                    process.join(timeout=5)
+        if self._shm is not None:
+            segment, self._shm = self._shm, None
+            try:
+                segment.close()
+            except (OSError, BufferError):  # pragma: no cover - defensive
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
 
     def __enter__(self) -> "ShardedNetwork":
         return self

@@ -32,6 +32,18 @@ class SchedulerStats:
     (components scheduled at a predicted due-cycle), and ``heap_peak`` is
     the largest number of pending entries the queue ever held.  Both stay 0
     under the ``strict`` and ``auto`` schedules.
+
+    Sharded runs (:mod:`repro.sim.shard`) add four transport counters,
+    all 0 on a single-process kernel: ``frames_sent`` counts boundary
+    frame records shipped to neighbouring shards, ``frame_bytes`` the
+    encoded payload bytes they occupied (pickle bytes on the pipe
+    transport, struct-packed bytes on the shared-memory transport),
+    ``exchange_windows`` the synchronisation windows each worker executed
+    (the merge *sums* workers, so divide by the shard count for the
+    fleet-wide window count), and ``overlap_hits`` the inbound frame
+    slots that were already published when the worker first looked —
+    exchange latency fully hidden behind the neighbour's local execution
+    (shared-memory transport only).
     """
 
     evaluated: int = 0
@@ -42,6 +54,10 @@ class SchedulerStats:
     leaped_cycles: int = 0
     events_processed: int = 0
     heap_peak: int = 0
+    frames_sent: int = 0
+    frame_bytes: int = 0
+    exchange_windows: int = 0
+    overlap_hits: int = 0
 
     @property
     def total(self) -> int:
@@ -71,6 +87,10 @@ class SchedulerStats:
             result.leaped_cycles += part.leaped_cycles
             result.events_processed += part.events_processed
             result.heap_peak = max(result.heap_peak, part.heap_peak)
+            result.frames_sent += part.frames_sent
+            result.frame_bytes += part.frame_bytes
+            result.exchange_windows += part.exchange_windows
+            result.overlap_hits += part.overlap_hits
         return result
 
     def as_dict(self) -> Dict[str, float]:
@@ -84,6 +104,10 @@ class SchedulerStats:
             "leaped_cycles": float(self.leaped_cycles),
             "events_processed": float(self.events_processed),
             "heap_peak": float(self.heap_peak),
+            "frames_sent": float(self.frames_sent),
+            "frame_bytes": float(self.frame_bytes),
+            "exchange_windows": float(self.exchange_windows),
+            "overlap_hits": float(self.overlap_hits),
             "occupancy": self.occupancy,
         }
 

@@ -19,15 +19,17 @@ buffer parks instead of reporting an injection event every cycle).
 
 from __future__ import annotations
 
+import os
 import pickle
 import random
+import signal
 
 import pytest
 
 from repro.apps.traffic import BitFlipPattern, word_generator
 from repro.common import Port
 from repro.noc.fabric import build_network
-from repro.noc.topology import Mesh2D, Torus2D, partition_topology
+from repro.noc.topology import IrregularMesh, Mesh2D, Torus2D, partition_topology
 
 FREQUENCY_HZ = 100e6
 KINDS = ("circuit", "packet", "gt")
@@ -82,11 +84,13 @@ def _random_plan(seed: int) -> dict:
     }
 
 
-def _execute(plan: dict, shards: int | None = None):
+def _execute(plan: dict, shards: int | None = None, transport: str | None = None):
     """Build and run one drawn scenario, sharded or single-process."""
     params = {"frequency_hz": FREQUENCY_HZ, "schedule": "auto"}
     if shards is not None:
         params["shards"] = shards
+    if transport is not None:
+        params["transport"] = transport
     network = build_network(
         plan["kind"], _build_topology(plan["family"], plan["extent"]), **params
     )
@@ -142,9 +146,6 @@ def test_live_fault_mid_run_is_shard_identical(kind):
         if shards is not None:
             params["shards"] = shards
         network = build_network(kind, Mesh2D(4, 2), **params)
-        # One generator per channel: a stateful source *shared* across
-        # channels whose drivers land in different shards cannot reproduce
-        # the single-process pull interleaving (documented shard contract).
         network.attach_channel(
             "a", (0, 0), (3, 0), 100.0,
             word_generator(BitFlipPattern.TYPICAL, seed=13), load=0.7,
@@ -229,6 +230,246 @@ def test_post_start_attach_crosses_the_pipe():
 
 
 # ---------------------------------------------------------------------------
+# Transport equivalence: shm vs pipe vs single process
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_scenarios_are_transport_identical(seed):
+    """Every observable must agree across single-process, pipe-sharded and
+    shm-sharded builds of the same drawn scenario — the binary frame codec
+    and the seqlock window protocol must be invisible."""
+    plan = _random_plan(seed)
+    reference = _snapshot(_execute(plan))
+    for transport in ("pipe", "shm"):
+        sharded = _execute(plan, shards=plan["shards"], transport=transport)
+        try:
+            assert sharded.transport == transport
+            assert _snapshot(sharded) == reference, (
+                f"seed {seed}: {transport} diverged from single "
+                f"(kind={plan['kind']}, fabric={plan['family']}{plan['extent']}, "
+                f"shards={plan['shards']})"
+            )
+        finally:
+            sharded.close()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_mincut_transport_identity_with_live_fault(kind):
+    """Min-cut partitions and the shm transport compose with live boundary
+    faults and routing refreshes without losing bit-identity."""
+    plan = {
+        "kind": kind,
+        "family": "mesh",
+        "extent": (4, 4),
+        "channels": [
+            {"name": "c0", "src": (0, 0), "dst": (3, 3), "bandwidth": 100.0,
+             "load": 0.8, "seed": 21},
+            {"name": "c1", "src": (3, 0), "dst": (0, 3), "bandwidth": 50.0,
+             "load": 0.4, "seed": 22},
+        ],
+        "churn": True,
+        "fault": True,
+        "phase_cycles": 300,
+    }
+    reference = _snapshot(_execute(plan))
+    for transport in ("pipe", "shm"):
+        params = {
+            "frequency_hz": FREQUENCY_HZ,
+            "schedule": "auto",
+            "shards": 2,
+            "transport": transport,
+            "partition_mode": "mincut",
+        }
+        sharded = build_network(kind, Mesh2D(4, 4), **params)
+        try:
+            for channel in plan["channels"]:
+                sharded.attach_channel(
+                    channel["name"], channel["src"], channel["dst"],
+                    channel["bandwidth"],
+                    word_generator(BitFlipPattern.TYPICAL, seed=channel["seed"]),
+                    load=channel["load"],
+                )
+            sharded.run(300)
+            sharded.fail_link((1, 0), (2, 0))
+            sharded.refresh_routing(sharded.degraded_topology())
+            sharded.run(300)
+            sharded.detach_channel("c0", drain_cycles=64)
+            sharded.run(300)
+            assert _snapshot(sharded) == reference
+        finally:
+            sharded.close()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_irregular_mesh_transport_identity_with_live_fault(kind):
+    """Both transports stay bit-identical on an irregular fabric whose
+    min-cut seam funnels all cross-region traffic through one link, with a
+    mid-run fault and churn on top."""
+    channels = [
+        {"name": "c0", "src": (0, 0), "dst": (7, 7), "bandwidth": 50.0,
+         "load": 0.6, "seed": 31},
+        {"name": "c1", "src": (7, 0), "dst": (0, 6), "bandwidth": 50.0,
+         "load": 0.3, "seed": 32},
+    ]
+
+    def execute(extra=None):
+        params = {"frequency_hz": FREQUENCY_HZ, "schedule": "auto"}
+        params.update(extra or {})
+        network = build_network(kind, _mincut_fixture(), **params)
+        for channel in channels:
+            network.attach_channel(
+                channel["name"], channel["src"], channel["dst"],
+                channel["bandwidth"],
+                word_generator(BitFlipPattern.TYPICAL, seed=channel["seed"]),
+                load=channel["load"],
+            )
+        network.run(250)
+        network.fail_link((1, 0), (2, 0))
+        network.refresh_routing(network.degraded_topology())
+        network.run(250)
+        network.detach_channel("c1", drain_cycles=64)
+        network.run(250)
+        return network
+
+    reference = _snapshot(execute())
+    for transport in ("pipe", "shm"):
+        sharded = execute(
+            {"shards": 2, "transport": transport, "partition_mode": "mincut"}
+        )
+        try:
+            assert _snapshot(sharded) == reference, (
+                f"{kind} over {transport} diverged on the irregular mesh"
+            )
+        finally:
+            sharded.close()
+
+
+def test_shm_frames_are_smaller_than_pipe_frames():
+    """The struct-packed codec must beat pickled tuples on the same traffic."""
+    per_transport = {}
+    for transport in ("pipe", "shm"):
+        network = build_network(
+            "circuit", Mesh2D(4, 2), frequency_hz=FREQUENCY_HZ,
+            schedule="auto", shards=2, transport=transport,
+        )
+        network.attach_channel(
+            "a", (0, 0), (3, 1), 100.0,
+            word_generator(BitFlipPattern.TYPICAL, seed=5), load=1.0,
+        )
+        network.run(400)
+        stats = network.stats
+        per_transport[transport] = stats
+        network.close()
+    pipe, shm = per_transport["pipe"], per_transport["shm"]
+    assert shm.frames_sent == pipe.frames_sent  # identical boundary deltas
+    assert shm.exchange_windows == pipe.exchange_windows
+    assert 0 < shm.frame_bytes < pipe.frame_bytes
+    assert pipe.overlap_hits == 0 and shm.overlap_hits > 0
+
+
+def test_explicit_shm_on_unsupported_geometry_is_rejected():
+    from repro.common import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        build_network(
+            "gt", Mesh2D(4, 2), shards=2, transport="shm", data_width=80
+        )
+    # auto quietly falls back to the pipe transport instead.
+    network = build_network("gt", Mesh2D(4, 2), shards=2, data_width=80)
+    assert network.transport == "pipe"
+    network.close()
+
+
+# ---------------------------------------------------------------------------
+# Shared word sources across shard cuts
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_shared_word_source_across_cut_is_shard_identical(kind):
+    """One stateful generator feeding channels whose sources live in
+    *different* shards: the word-source registry must replay the remote
+    channels' pull schedules so word contents — and with them the toggle
+    statistics inside the activity snapshot — match the single process."""
+
+    def run_once(shards=None, transport=None):
+        params = {"frequency_hz": FREQUENCY_HZ, "schedule": "auto"}
+        if shards is not None:
+            params.update(shards=shards, transport=transport)
+        network = build_network(kind, Mesh2D(4, 2), **params)
+        shared = word_generator(BitFlipPattern.TYPICAL, seed=11)
+        # Source tiles (0, 0) and (3, 0) land in different column shards.
+        network.attach_channel("left", (0, 0), (2, 1), 100.0, shared, load=0.7)
+        network.attach_channel("right", (3, 0), (1, 1), 100.0, shared, load=0.9)
+        network.run(400)
+        # A third sharer attached after the workers forked exercises the
+        # attach-token path that keeps the replicas unified per worker.
+        network.attach_channel("late", (0, 1), (3, 1), 50.0, shared, load=0.5)
+        network.run(300)
+        # Churn: the halted sharer's pulls must stop in the remote models
+        # exactly when its driver leaves the kernel.
+        network.detach_channel("right", drain_cycles=64)
+        network.run(200)
+        return network
+
+    reference = _snapshot(run_once())
+    for transport in ("pipe", "shm"):
+        sharded = run_once(shards=2, transport=transport)
+        try:
+            assert _snapshot(sharded) == reference, (
+                f"{kind}/{transport}: shared cross-cut source diverged"
+            )
+        finally:
+            sharded.close()
+
+
+# ---------------------------------------------------------------------------
+# Worker teardown and segment lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_worker_crash_mid_run_releases_shared_segment():
+    """SIGKILL one worker, then run: the parent must notice the death,
+    stop the fleet and unlink the shared segment — no orphans in /dev/shm,
+    no zombie workers."""
+    network = build_network(
+        "circuit", Mesh2D(4, 2), frequency_hz=FREQUENCY_HZ,
+        schedule="auto", shards=2, transport="shm",
+    )
+    network.attach_channel(
+        "a", (0, 0), (3, 1), 100.0,
+        word_generator(BitFlipPattern.TYPICAL, seed=3), load=1.0,
+    )
+    network.run(50)
+    workers = network._workers
+    segment = f"/dev/shm/{network._shm.name}"
+    assert os.path.exists(segment)
+    os.kill(workers[1][0].pid, signal.SIGKILL)
+    workers[1][0].join(timeout=10)
+    with pytest.raises(Exception):
+        network.run(10_000)
+    assert network._workers is None  # torn down, not wedged
+    assert not os.path.exists(segment)
+    for process, _conn in workers:
+        process.join(timeout=10)
+        assert not process.is_alive()
+    network.close()  # idempotent after the failure path
+
+
+def test_close_unlinks_segment_on_clean_shutdown():
+    network = build_network(
+        "circuit", Mesh2D(4, 2), frequency_hz=FREQUENCY_HZ,
+        schedule="auto", shards=2, transport="shm",
+    )
+    network.run(20)
+    segment = f"/dev/shm/{network._shm.name}"
+    assert os.path.exists(segment)
+    network.close()
+    assert not os.path.exists(segment)
+
+
+# ---------------------------------------------------------------------------
 # Partitioner geometry
 # ---------------------------------------------------------------------------
 
@@ -265,6 +506,70 @@ def test_partition_rejects_impossible_counts():
         partition_topology(Mesh2D(2, 2), 0)
     with pytest.raises(ValueError):
         partition_topology(Mesh2D(2, 2), 5)
+
+
+def _cut_size(topology, regions) -> int:
+    assign = {
+        position: index
+        for index, region in enumerate(regions)
+        for position in region
+    }
+    return sum(
+        1
+        for src, dst in topology.directed_links()
+        if src < dst and assign[src] != assign[dst]
+    )
+
+
+def _mincut_fixture() -> IrregularMesh:
+    """An 8×8 mesh whose dead links leave a near-separating seam.
+
+    Rows of broken links at staggered heights make both the straight row
+    cut (5 surviving cut links) and the column cut (7) poor; the actual
+    minimum cut follows the seam and severs a single link."""
+    broken = (
+        tuple((((x, 3), (x, 4))) for x in (1, 2, 3))
+        + tuple((((x, 2), (x, 3))) for x in (4, 5, 6, 7))
+        + ((((3, 3), (4, 3))),)
+    )
+    return IrregularMesh(Mesh2D(8, 8), broken)
+
+
+def test_mincut_beats_geometric_cuts_on_irregular_mesh():
+    topology = _mincut_fixture()
+    rows = _cut_size(topology, partition_topology(topology, 2, mode="rows"))
+    cols = _cut_size(topology, partition_topology(topology, 2, mode="cols"))
+    mincut = _cut_size(
+        topology, partition_topology(topology, 2, strategy="mincut")
+    )
+    assert mincut < min(rows, cols)
+    assert mincut == 1
+
+
+def test_mincut_is_deterministic_and_balanced():
+    topology = _mincut_fixture()
+    first = partition_topology(topology, 2, strategy="mincut")
+    second = partition_topology(topology, 2, mode="mincut")
+    assert first == second
+    total = len(list(topology.positions()))
+    sizes = sorted(len(region) for region in first)
+    assert sum(sizes) == total
+    # Balance bound: no shard below 3/4 or above 5/4 of the even share.
+    assert sizes[0] >= (3 * total) // (4 * 2)
+    assert sizes[-1] <= -(-5 * total // (4 * 2))
+
+
+def test_mincut_on_regular_meshes_matches_geometric_optimum():
+    """On an intact mesh the geometric cuts are already optimal; mincut
+    must never do worse (the seeds include them) and must stay exhaustive."""
+    for shards in (2, 3, 4):
+        topology = Mesh2D(8, 8)
+        regions = partition_topology(topology, shards, strategy="mincut")
+        assert len(regions) == shards
+        covered = [position for region in regions for position in region]
+        assert sorted(covered) == sorted(topology.positions())
+        geometric = _cut_size(topology, partition_topology(topology, shards))
+        assert _cut_size(topology, regions) <= geometric
 
 
 # ---------------------------------------------------------------------------
