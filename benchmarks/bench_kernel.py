@@ -4,8 +4,9 @@ Measures simulated cycles per wall-clock second for circuit-switched meshes
 of 2×2, 4×4 and 8×8 routers at 0 %, 25 % and 100 % row occupancy (a row at
 occupancy carries one full-load lane circuit west→east, so the fabric's lane
 occupancy is at most the row fraction), under the strict (seed-equivalent)
-schedule, the quiescence-aware ``auto`` schedule and the event-queue native
-``event`` schedule.
+schedule, the quiescence-aware ``auto`` schedule, the event-queue native
+``event`` schedule and the columnar ``vector`` schedule (the event kernel
+plus the struct-of-arrays wire plane of :mod:`repro.sim.vector`).
 
 A second scenario family exercises the timed tier: ``paced-stream`` rows
 carry the same row circuits at a low offered load (one word per 50 cycles —
@@ -14,7 +15,7 @@ word injections the only scheduled components are timed drivers/sinks and
 the kernel leaps the clock from word to word instead of iterating every
 cycle.
 
-Every measurement also verifies the tentpole invariant: all three schedules
+Every measurement also verifies the tentpole invariant: all four schedules
 must produce bit-identical merged activity counters and delivered word
 counts.
 
@@ -25,7 +26,9 @@ at the repository root::
 
 ``--quick`` runs the 8×8 low-occupancy scenario plus the 8×8 paced-stream
 scenario with fewer cycles and asserts ``identical_results`` without
-touching the JSON file (the CI smoke).
+touching the JSON file (the CI smoke).  ``--profile`` runs the hottest
+scenario (the fully loaded 8×8 mesh) under cProfile for the event and
+vector schedules and prints the top-20 functions by cumulative time.
 
 A third scenario family exercises the sharded kernel (:mod:`repro.sim.shard`):
 a fully loaded 16×16 mesh partitioned across 4 worker processes, timed
@@ -41,7 +44,8 @@ recording frames, bytes per exchange window and overlap hits for each.
 Future PRs regress against that file: the 8×8 mesh at ≤25 % occupancy must
 stay ≥3× faster under ``auto`` than under ``strict``, the 8×8 paced-stream
 row must stay ≥8× (cycle leaping), the fully loaded 8×8 mesh must stay
-≥3× faster under ``event`` than under ``auto`` (sparse per-event work), the
+≥3× faster under ``event`` than under ``auto`` (sparse per-event work) and
+≥2× faster under ``vector`` than under ``event`` (the columnar plane), the
 sharded 16×16 row must stay bit-identical everywhere and ≥2× faster on
 hosts whose recorded ``host_cpus`` is at least 4, and the shm transport
 rows must move strictly fewer bytes per exchange window than the pipe rows.
@@ -65,7 +69,7 @@ from repro.noc.topology import Mesh2D
 FREQUENCY_HZ = 100e6
 MESH_SIZES = (2, 4, 8)
 OCCUPANCIES = (0.0, 0.25, 1.0)
-SCHEDULES = ("strict", "auto", "event")
+SCHEDULES = ("strict", "auto", "event", "vector")
 #: Simulated cycles per measurement; large enough to amortise warm-up (the
 #: first cycles run every component before quiescence engages).
 CYCLES = {2: 8000, 4: 1500, 8: 800}
@@ -74,6 +78,10 @@ SPEEDUP_TARGET = 3.0
 #: 8×8 mesh — the regime where quiescence and leaping cannot help and only
 #: event-proportional per-cycle work (sparse lane/route visits) remains.
 EVENT_FULL_LOAD_TARGET = 3.0
+#: The columnar vector schedule must beat event by this much on the same
+#: fully loaded 8×8 mesh — the regime where even event-proportional work is
+#: dominated by the pure-Python per-route loops the NumPy plane replaces.
+VECTOR_FULL_LOAD_TARGET = 2.0
 #: Offered load of the paced-stream scenario: one word per 50 cycles — what
 #: a bandwidth-admitted application channel typically paces at.
 PACED_LOAD = 0.1
@@ -120,7 +128,7 @@ def _measure(network: CircuitSwitchedNoC, cycles: int) -> float:
 
 
 def run_benchmark(size: int, occupancy: float, cycles: int, load: float = 1.0) -> dict:
-    """Time all three schedules on one scenario and verify bit-identity."""
+    """Time all four schedules on one scenario and verify bit-identity."""
     results = {}
     observables = {}
     schedulers = {}
@@ -134,12 +142,12 @@ def run_benchmark(size: int, occupancy: float, cycles: int, load: float = 1.0) -
             network.kernel.cycle,
         )
         schedulers[schedule] = network.kernel.scheduler_stats
-    identical = (
-        observables["strict"] == observables["auto"]
-        and observables["strict"] == observables["event"]
+    identical = all(
+        observables[schedule] == observables["strict"] for schedule in SCHEDULES
     )
     auto_stats = schedulers["auto"]
     event_stats = schedulers["event"]
+    vector_stats = schedulers["vector"]
     return {
         "scenario": "row-stream" if load >= 1.0 else "paced-stream",
         "mesh": f"{size}x{size}",
@@ -150,13 +158,17 @@ def run_benchmark(size: int, occupancy: float, cycles: int, load: float = 1.0) -
         "strict_cycles_per_sec": round(results["strict"], 1),
         "auto_cycles_per_sec": round(results["auto"], 1),
         "event_cycles_per_sec": round(results["event"], 1),
+        "vector_cycles_per_sec": round(results["vector"], 1),
         "speedup": round(results["auto"] / results["strict"], 2),
         "event_speedup": round(results["event"] / results["auto"], 2),
+        "vector_speedup": round(results["vector"] / results["event"], 2),
         "auto_schedule_occupancy": round(auto_stats.occupancy, 4),
         "leaps": auto_stats.leaps,
         "leaped_cycles": auto_stats.leaped_cycles,
         "events_processed": event_stats.events_processed,
         "heap_peak": event_stats.heap_peak,
+        "vector_batches": vector_stats.vector_batches,
+        "vector_components": vector_stats.vector_components,
         "identical_results": identical,
     }
 
@@ -376,6 +388,17 @@ def test_kernel_event_schedule_wins_at_full_load(once):
     assert row["event_speedup"] >= EVENT_FULL_LOAD_TARGET
 
 
+def test_kernel_vector_schedule_wins_at_full_load(once):
+    """The columnar plane's acceptance bar: ≥2× over event on the saturated
+    8×8 mesh — the regime where even event-proportional Python loops
+    dominate — with bit-identical results and real batched coverage."""
+    row = once(run_benchmark, 8, 1.0, 600)
+    assert row["identical_results"]
+    assert row["vector_speedup"] >= VECTOR_FULL_LOAD_TARGET
+    assert row["vector_batches"] > 0
+    assert row["vector_components"] >= row["vector_batches"]
+
+
 # -- perf-trajectory file -------------------------------------------------------
 
 
@@ -386,7 +409,8 @@ def quick_smoke() -> None:
         print(
             f"{row['scenario']} {row['mesh']} occ={row['occupancy']} "
             f"speedup={row['speedup']}x event={row['event_speedup']}x "
-            f"leaps={row['leaps']} identical={row['identical_results']}"
+            f"vector={row['vector_speedup']}x leaps={row['leaps']} "
+            f"identical={row['identical_results']}"
         )
         if not row["identical_results"]:
             raise SystemExit(
@@ -420,6 +444,23 @@ def quick_smoke() -> None:
         raise SystemExit("shm transport did not reduce bytes per exchange window")
 
 
+def profile_hottest(cycles: int = 400, top: int = 20) -> None:
+    """cProfile the hottest scenario (full-load 8×8) and print the top
+    functions by cumulative time, once per optimised schedule."""
+    import cProfile
+    import pstats
+
+    for schedule in ("event", "vector"):
+        network = build_scenario(8, 1.0, schedule)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        network.run(cycles)
+        profiler.disable()
+        print(f"\n=== full-load 8x8, schedule={schedule}, {cycles} cycles ===")
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(top)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -427,7 +468,17 @@ def main() -> None:
         action="store_true",
         help="single fast scenario, assert identical_results, no JSON rewrite",
     )
-    if parser.parse_args().quick:
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the full-load 8x8 scenario (event and vector), "
+        "print the top-20 cumulative functions, no JSON rewrite",
+    )
+    arguments = parser.parse_args()
+    if arguments.profile:
+        profile_hottest()
+        return
+    if arguments.quick:
         quick_smoke()
         return
     rows = run_all()
@@ -435,14 +486,16 @@ def main() -> None:
         "benchmark": "kernel",
         "description": (
             "Simulated cycles/second of the circuit-switched mesh under the "
-            "strict (every-component), quiescence-aware (auto) and "
-            "event-queue (event) schedules; identical_results asserts "
-            "bit-identical activity counters and delivered words between "
-            "all three.  row-stream rows carry full-load circuits; "
-            "paced-stream rows carry the same circuits at one word per 50 "
-            "cycles, where the timed tier leaps the clock between word "
-            "injections.  speedup is auto vs strict; event_speedup is "
-            "event vs auto.  The sharded row times the 16x16 full-load "
+            "strict (every-component), quiescence-aware (auto), "
+            "event-queue (event) and columnar (vector) schedules; "
+            "identical_results asserts bit-identical activity counters and "
+            "delivered words between all four.  row-stream rows carry "
+            "full-load circuits; paced-stream rows carry the same circuits "
+            "at one word per 50 cycles, where the timed tier leaps the "
+            "clock between word injections.  speedup is auto vs strict; "
+            "event_speedup is event vs auto; vector_speedup is vector vs "
+            "event (the struct-of-arrays wire plane batching whole fabric "
+            "cycles through NumPy).  The sharded row times the 16x16 full-load "
             "fabric split over worker processes against the single-process "
             "event kernel; its speedup is single vs sharded wall-clock and "
             "only binds on hosts with host_cpus >= 4.  shard-transport rows "
@@ -457,6 +510,7 @@ def main() -> None:
         "speedup_target_8x8_low_occupancy": SPEEDUP_TARGET,
         "speedup_target_paced_stream": PACED_SPEEDUP_TARGET,
         "speedup_target_event_full_load": EVENT_FULL_LOAD_TARGET,
+        "speedup_target_vector_full_load": VECTOR_FULL_LOAD_TARGET,
         "speedup_target_sharded": SHARDED_SPEEDUP_TARGET,
         "results": rows,
     }
@@ -489,7 +543,9 @@ def main() -> None:
             f"strict={row['strict_cycles_per_sec']:>9} cyc/s "
             f"auto={row['auto_cycles_per_sec']:>9} cyc/s "
             f"event={row['event_cycles_per_sec']:>9} cyc/s "
+            f"vector={row['vector_cycles_per_sec']:>9} cyc/s "
             f"speedup={row['speedup']:>6}x event_speedup={row['event_speedup']:>6}x "
+            f"vector_speedup={row['vector_speedup']:>6}x "
             f"identical={row['identical_results']}"
         )
     if not all(row["identical_results"] for row in rows):

@@ -315,6 +315,29 @@ class Crossbar:
 
     # -- observation ---------------------------------------------------------------
 
+    def active_routes(self) -> List[Tuple[int, int]]:
+        """``(out_idx, src_idx)`` per configured output lane (cache-fresh).
+
+        Dense lane indexing (``port * lanes_per_port + lane``), one entry per
+        active route of the current configuration version.  Used by the
+        vector plane (:mod:`repro.sim.vector`) to compile its gather indices;
+        the returned list is the live cache — treat it as read-only.
+        """
+        if self._cached_version != self.config.version:
+            self._refresh_cache()
+        return self._routes
+
+    def ack_fanins(self) -> List[Tuple[int, Tuple[int, ...]]]:
+        """``(in_idx, fed_out_indices)`` per acknowledge fan-in (cache-fresh).
+
+        The reverse-routed acknowledge structure of the current
+        configuration version, sorted by input index.  Same read-only
+        convention as :meth:`active_routes`.
+        """
+        if self._cached_version != self.config.version:
+            self._refresh_cache()
+        return self._ack_routes
+
     @property
     def committed_data(self) -> List[int]:
         """Committed output-lane values, dense-indexed (read-only by convention)."""

@@ -47,6 +47,8 @@ from repro.noc.faults import (
     FaultSpec,
     loaded_link_chooser,
     random_router_chooser,
+    region_chooser,
+    row_cut_chooser,
 )
 from repro.noc.topology import Mesh2D, Topology
 
@@ -125,6 +127,9 @@ def storm_schedule(
     fault_start: Optional[int] = None,
     fault_spacing: int = 250,
     router_fault_every: int = 3,
+    row_cut_every: int = 0,
+    region_every: int = 0,
+    region_extent: Tuple[int, int] = (2, 2),
     cooldown: int = 300,
 ) -> Tuple[List[WorkloadEvent], int]:
     """A seeded storm: arrivals, *storm_size* faults mid-traffic, departures.
@@ -133,9 +138,16 @@ def storm_schedule(
     :func:`~repro.noc.faults.loaded_link_chooser` (the busiest allocated
     link — a storm that misses all traffic measures nothing); every
     *router_fault_every*-th fault kills a whole router via
-    :func:`~repro.noc.faults.random_router_chooser` instead.  Each fault
-    gets its own chooser seeded from *seed* and the fault index, so the
-    victim sequence is a pure function of the schedule parameters.
+    :func:`~repro.noc.faults.random_router_chooser` instead.  Correlated
+    faults are opt-in: with ``row_cut_every=N`` every N-th fault severs a
+    whole mesh row's horizontal links atomically
+    (:func:`~repro.noc.faults.row_cut_chooser`), and with
+    ``region_every=N`` every N-th fault browns out a
+    *region_extent*-sized power domain of routers
+    (:func:`~repro.noc.faults.region_chooser`); row cuts take precedence
+    when both land on the same index.  Each fault gets its own chooser
+    seeded from *seed* and the fault index, so the victim sequence is a
+    pure function of the schedule parameters.
     """
     if storm_size < 1:
         raise ValueError("storm_size must be positive")
@@ -147,7 +159,15 @@ def storm_schedule(
         fault_start = len(apps) * arrival_spacing + arrival_spacing
     for index in range(storm_size):
         cycle = fault_start + index * fault_spacing
-        if router_fault_every and (index + 1) % router_fault_every == 0:
+        if row_cut_every and (index + 1) % row_cut_every == 0:
+            spec = FaultSpec("link", chooser=row_cut_chooser(seed + index))
+        elif region_every and (index + 1) % region_every == 0:
+            width, height = region_extent
+            spec = FaultSpec(
+                "router",
+                chooser=region_chooser(seed + index, width=width, height=height),
+            )
+        elif router_fault_every and (index + 1) % router_fault_every == 0:
             spec = FaultSpec("router", chooser=random_router_chooser(seed + index))
         else:
             spec = FaultSpec("link", chooser=loaded_link_chooser(seed + index))

@@ -64,6 +64,11 @@ class NocBase:
     #: kind (``"phit"`` / ``"flit"`` / ``"word"``) — the unit of
     #: :meth:`fault_drops`.
     fault_drop_unit: str = "word"
+    #: The columnar batch plane under ``schedule="vector"`` (kinds that
+    #: support one install it in :meth:`_register_with_kernel`); ``None``
+    #: everywhere else.  Fault injection must desynchronise it before
+    #: touching wires — see :meth:`fail_link` / :meth:`fail_router`.
+    vector_plane: Optional[Any] = None
 
     def __init__(
         self,
@@ -114,8 +119,7 @@ class NocBase:
 
         # Streams are appended to the kernel after the routers so that their
         # pacing decisions see the routers' committed state of the same cycle.
-        for router in self.routers.values():
-            self.kernel.add(router)
+        self._register_with_kernel()
 
         self.streams: Dict[str, Any] = {}
 
@@ -134,6 +138,20 @@ class NocBase:
     def is_local(self, position: Position) -> bool:
         """True when *position* lies in this network's shard region (or no region is set)."""
         return self.region is None or position in self.region
+
+    def _register_with_kernel(self) -> None:
+        """Register the routers with the simulation kernel.
+
+        The default puts every router on the schedule individually; kinds
+        with a columnar fast path override this to register one
+        :class:`repro.sim.vector.VectorPlane` in their place under
+        ``schedule="vector"`` (the routers then execute as plane members,
+        bit-identically).  Runs before any stream endpoint is added, so the
+        registration-index ordering routers-before-streams is preserved
+        either way.
+        """
+        for router in self.routers.values():
+            self.kernel.add(router)
 
     # -- construction hooks -----------------------------------------------------------
 
@@ -408,6 +426,12 @@ class NocBase:
             # degraded-topology view matches every other shard's.
             self.dead_links.add((a, b) if a <= b else (b, a))
             return 0
+        if self.vector_plane is not None:
+            # The plane owns the internal wire state while batching; bring
+            # the wires back to scalar coherence (so the in-flight drop
+            # count reads true values) and force a recompile that
+            # reclassifies the dead bundle onto the scalar drive path.
+            self.vector_plane.desync()
         dropped = 0
         for key in ((a, b), (b, a)):
             link = self.links.get(key)
@@ -432,6 +456,8 @@ class NocBase:
         """
         if position not in self.routers and self.region is None:
             raise ConfigurationError(f"no router at position {position}")
+        if self.vector_plane is not None:
+            self.vector_plane.desync()
         dropped = 0
         for (src, dst), link in self.links.items():
             if position in (src, dst):

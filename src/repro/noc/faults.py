@@ -23,7 +23,15 @@ applications on whatever fabric survives.  This module is that half:
   .handle_fault` for recovery,
 * deterministic victim choosers (:func:`random_link_chooser`,
   :func:`random_router_chooser`, :func:`loaded_link_chooser`) used by the
-  failure-storm campaigns of :mod:`repro.experiments.storm`.
+  failure-storm campaigns of :mod:`repro.experiments.storm`,
+* **correlated** fault models: :func:`row_cut_chooser` severs every
+  surviving horizontal link of one mesh row in a single atomic kill (a
+  cut trace through the die), :func:`region_chooser` takes down every
+  router inside a rectangular window at once (a power-domain failure).
+  A group kill validates cumulatively — the whole set must leave the
+  survivors connected *together*, not merely one at a time — executes as
+  one fault event (one routing rebuild, one CCN recovery pass) and
+  produces one :class:`FaultReport`.
 
 Faults are injected *between* cycles (the kernel is in its idle phase), so a
 storm schedule replayed under ``schedule="strict"`` and ``schedule="auto"``
@@ -49,6 +57,8 @@ __all__ = [
     "random_link_chooser",
     "random_router_chooser",
     "loaded_link_chooser",
+    "row_cut_chooser",
+    "region_chooser",
 ]
 
 Link = Tuple[Position, Position]
@@ -64,7 +74,12 @@ def _undirected(link: Link) -> Link:
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """One scheduled kill: a link or a router, fixed or chosen at run time."""
+    """One scheduled kill: a link or a router, fixed or chosen at run time.
+
+    A chooser (or fixed target) may also yield a *list* of links/routers —
+    a correlated kill (row cut, power-domain loss) executed as one atomic
+    fault event with a single recovery pass.
+    """
 
     kind: str  # "link" | "router"
     target: Optional[Any] = None
@@ -98,6 +113,14 @@ class FaultReport:
         if self.kind == "link":
             (a, b) = self.target
             what = f"link {a}-{b}"
+        elif self.kind == "link_group":
+            what = f"{len(self.target)} links " + ", ".join(
+                f"{a}-{b}" for a, b in self.target
+            )
+        elif self.kind == "router_group":
+            what = f"{len(self.target)} routers " + ", ".join(
+                str(p) for p in self.target
+            )
         else:
             what = f"router {self.target}"
         suffix = ""
@@ -144,13 +167,25 @@ class FaultInjector:
         return self.network.degraded_topology()
 
     def _candidate(
-        self, add_link: Optional[Link] = None, add_router: Optional[Position] = None
+        self,
+        add_link: Optional[Link] = None,
+        add_router: Optional[Position] = None,
+        add_links: Tuple[Link, ...] = (),
+        add_routers: Tuple[Position, ...] = (),
     ) -> Topology:
-        """The degraded view *if* the given kill happened — or a FaultError.
+        """The degraded view *if* the given kill(s) happened — or a FaultError.
 
         Validation is atomic: raised before a single wire is touched, so a
-        rejected kill leaves network, CCN and allocator untouched.
+        rejected kill leaves network, CCN and allocator untouched.  A group
+        kill validates *cumulatively* — every member lands in the candidate
+        topology together.
         """
+        links = list(add_links)
+        routers = list(add_routers)
+        if add_link is not None:
+            links.append(add_link)
+        if add_router is not None:
+            routers.append(add_router)
         base = self.network.topology
         broken_links = set(self.network.dead_links)
         broken_routers = set(self.network.dead_routers)
@@ -158,15 +193,10 @@ class FaultInjector:
             broken_links |= set(base.broken_links)
             broken_routers |= set(base.broken_routers)
             base = base.base
-        cut = (
-            f"link {add_link[0]}-{add_link[1]}"
-            if add_link is not None
-            else f"router {add_router}"
-        )
-        if add_link is not None:
-            broken_links.add(_undirected(add_link))
-        if add_router is not None:
-            broken_routers.add(add_router)
+        parts = [f"link {a}-{b}" for a, b in links] + [f"router {p}" for p in routers]
+        cut = ", ".join(parts)
+        broken_links |= {_undirected(link) for link in links}
+        broken_routers |= set(routers)
         try:
             return IrregularMesh(
                 base, tuple(sorted(broken_links)), tuple(sorted(broken_routers))
@@ -175,11 +205,17 @@ class FaultInjector:
             raise FaultError(f"cannot kill {cut}: {error}") from None
 
     def survives(
-        self, link: Optional[Link] = None, router: Optional[Position] = None
+        self,
+        link: Optional[Link] = None,
+        router: Optional[Position] = None,
+        links: Tuple[Link, ...] = (),
+        routers: Tuple[Position, ...] = (),
     ) -> bool:
-        """True when the given kill would leave the fabric connected."""
+        """True when the given kill(s) would leave the fabric connected."""
         try:
-            self._candidate(add_link=link, add_router=router)
+            self._candidate(
+                add_link=link, add_router=router, add_links=links, add_routers=routers
+            )
         except FaultError:
             return False
         return True
@@ -210,15 +246,71 @@ class FaultInjector:
         degraded = self._candidate(add_router=position)
         return self._execute("router", position, degraded, [], [position])
 
+    def kill_link_group(self, links: List[Link]) -> FaultReport:
+        """Kill several links as *one* correlated fault event.
+
+        Connectivity is validated cumulatively and atomically; the routing
+        rebuild, selector re-anchoring and CCN recovery all run once, over
+        the whole group — exactly what a physical row cut does.
+        """
+        group: List[Link] = []
+        for a, b in links:
+            link = _undirected((a, b))
+            if link in self.network.dead_links:
+                raise FaultError(f"link {link[0]}-{link[1]} is already dead")
+            if (a, b) not in self.network.links and (b, a) not in self.network.links:
+                raise FaultError(f"no link between {a} and {b} to kill")
+            if link not in group:
+                group.append(link)
+        if not group:
+            raise FaultError("a correlated link kill needs at least one link")
+        degraded = self._candidate(add_links=tuple(group))
+        return self._execute("link_group", tuple(group), degraded, group, [])
+
+    def kill_router_group(self, positions: List[Position]) -> FaultReport:
+        """Kill several routers as *one* correlated fault event (power domain)."""
+        group: List[Position] = []
+        for position in positions:
+            if position in self.network.dead_routers:
+                raise FaultError(f"router {position} is already dead")
+            if position not in self.network.routers:
+                raise FaultError(f"no router at {position} to kill")
+            if self.ccn is not None and position == self.ccn.be_network.ccn_position:
+                raise FaultError(
+                    f"cannot kill the CCN's own router at {position} — "
+                    "system coordination would be lost"
+                )
+            if position not in group:
+                group.append(position)
+        if not group:
+            raise FaultError("a correlated router kill needs at least one router")
+        degraded = self._candidate(add_routers=tuple(group))
+        return self._execute("router_group", tuple(group), degraded, [], group)
+
     def inject(self, spec: FaultSpec) -> FaultReport:
-        """Resolve and execute one :class:`FaultSpec`."""
+        """Resolve and execute one :class:`FaultSpec`.
+
+        A resolved target that is a list (or a tuple of more than one
+        victim) executes as a correlated group kill.
+        """
         target = spec.target
         if target is None:
             target = spec.chooser(self.network, self.ccn)
         if spec.kind == "link":
-            a, b = target
-            return self.kill_link(a, b)
-        return self.kill_router(target)
+            # A single link is a pair of positions; anything else is a group.
+            if (
+                isinstance(target, tuple)
+                and len(target) == 2
+                and isinstance(target[0], tuple)
+                and target[0]
+                and isinstance(target[0][0], int)
+            ):
+                a, b = target
+                return self.kill_link(a, b)
+            return self.kill_link_group(list(target))
+        if isinstance(target, tuple) and target and isinstance(target[0], int):
+            return self.kill_router(target)
+        return self.kill_router_group(list(target))
 
     def _execute(
         self,
@@ -239,10 +331,11 @@ class FaultInjector:
         if ccn is not None:
             affected = ccn.affected_admissions(dead_links, dead_routers, network)
 
-        if kind == "link":
-            wire_drops = network.fail_link(*target)
-        else:
-            wire_drops = network.fail_router(target)
+        wire_drops = 0
+        for link in dead_links:
+            wire_drops += network.fail_link(*link)
+        for position in dead_routers:
+            wire_drops += network.fail_router(position)
         network.refresh_routing(degraded)
 
         # A mid-run fault changes the effective topology without anyone
@@ -388,5 +481,98 @@ def loaded_link_chooser(seed: int = 0) -> Chooser:
                 if link not in dead and probe.survives(link=link):
                     return link
         return fallback(network, ccn)
+
+    return choose
+
+
+# ---------------------------------------------------------------------------
+# Correlated fault models (row cuts, power domains)
+# ---------------------------------------------------------------------------
+
+
+def row_cut_chooser(seed: int = 0, row: Optional[int] = None) -> Chooser:
+    """A chooser severing every surviving horizontal link of one mesh row.
+
+    Models a physical cut trace through the die: all east–west wires of the
+    chosen row die in the *same* fault event.  The row is drawn from the
+    seeded RNG among rows that still have horizontal links (or pinned with
+    *row*); links whose loss would disconnect the survivors — even jointly
+    with the rest of the group — are left out, and a row whose whole cut
+    set validates to empty is skipped.  Deterministic like every chooser
+    here, so strict/auto/event/vector replays stay bit-identical.
+    """
+    rng = random.Random(seed)
+
+    def choose(
+        network: NocBase, ccn: Optional[CentralCoordinationNode]
+    ) -> List[Link]:
+        probe = _connectivity_filter(network, ccn)
+        surviving = set(_surviving_links(network))
+        by_row: Dict[int, List[Link]] = {}
+        for (a, b) in surviving:
+            if a[1] == b[1]:  # horizontal: same y at both ends
+                by_row.setdefault(a[1], []).append((a, b))
+        if row is not None:
+            candidate_rows = [row] if row in by_row else []
+        else:
+            candidate_rows = sorted(by_row)
+            rng.shuffle(candidate_rows)
+        for y in candidate_rows:
+            cut: List[Link] = []
+            for link in sorted(by_row[y]):
+                if probe.survives(links=tuple(cut + [link])):
+                    cut.append(link)
+            if cut:
+                return cut
+        raise FaultError("no row has a killable set of horizontal links left")
+
+    return choose
+
+
+def region_chooser(
+    seed: int = 0,
+    width: int = 2,
+    height: int = 2,
+    region: Optional[Position] = None,
+) -> Chooser:
+    """A chooser killing every surviving router in a *width*×*height* window.
+
+    Models a power-domain failure: one supply rail browns out and takes a
+    rectangular block of routers (and all their incident links) down
+    together.  The window origin is drawn from the seeded RNG among origins
+    whose cumulative kill keeps the survivors connected (or pinned with
+    *region*); the CCN's own router is never included, and routers whose
+    loss would jointly disconnect the fabric are left out of the group.
+    """
+    rng = random.Random(seed)
+
+    def choose(
+        network: NocBase, ccn: Optional[CentralCoordinationNode]
+    ) -> List[Position]:
+        probe = _connectivity_filter(network, ccn)
+        forbidden = set(network.dead_routers)
+        if ccn is not None:
+            forbidden.add(ccn.be_network.ccn_position)
+        alive = sorted(p for p in network.routers if p not in forbidden)
+        if not alive:
+            raise FaultError("no surviving router left for a region kill")
+        if region is not None:
+            origins = [region]
+        else:
+            origins = sorted({(x, y) for x, y in alive})
+            rng.shuffle(origins)
+        for x0, y0 in origins:
+            window = [
+                p
+                for p in alive
+                if x0 <= p[0] < x0 + width and y0 <= p[1] < y0 + height
+            ]
+            group: List[Position] = []
+            for position in window:
+                if probe.survives(routers=tuple(group + [position])):
+                    group.append(position)
+            if group:
+                return group
+        raise FaultError("no region window has a killable router set left")
 
     return choose

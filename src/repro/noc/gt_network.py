@@ -706,7 +706,13 @@ class GtStreamEndpoints:
 
 @register_network_kind("gt", "aethereal", "tdma", "time_division")
 class TimeDivisionNoC(NocBase):
-    """A complete Æthereal-style TDMA guaranteed-throughput network."""
+    """A complete Æthereal-style TDMA guaranteed-throughput network.
+
+    ``schedule="vector"`` is accepted but behaves exactly like
+    ``schedule="event"``: the slot-table router's per-slot table walk is
+    control flow, not a static register gather, so the columnar fast path
+    (:mod:`repro.sim.vector`) does not register a plane for GT fabrics.
+    """
 
     kind = "time_division_gt"
     activity_name = "gt_network"

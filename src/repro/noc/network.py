@@ -88,6 +88,30 @@ class CircuitSwitchedNoC(NocBase):
 
     # -- construction hooks -----------------------------------------------------------
 
+    def _register_with_kernel(self) -> None:
+        """Register routers — batched behind a vector plane when requested.
+
+        Under ``schedule="vector"`` the routers are not registered
+        individually; a single :class:`~repro.sim.vector.VectorPlane`
+        component owns them all and executes busy cycles through flat NumPy
+        arrays.  The plane requires the non-gated commit semantics and an
+        importable NumPy; otherwise the schedule quietly degrades to plain
+        event-driven execution (the kernel treats ``"vector"`` as
+        ``"event"`` either way).
+        """
+        if self.kernel.schedule == "vector" and not self.clock_gating and self.routers:
+            try:
+                from repro.sim.vector import VectorPlane
+            except ImportError:  # pragma: no cover - numpy is a hard dep
+                super()._register_with_kernel()
+                return
+            plane = VectorPlane(list(self.routers.values()))
+            self.kernel.add(plane)
+            self.kernel.add_sync_hook(plane.flush)
+            self.vector_plane = plane
+        else:
+            super()._register_with_kernel()
+
     def _build_router(self, position: Position) -> CircuitSwitchedRouter:
         return CircuitSwitchedRouter(
             self.topology.router_name(position),

@@ -122,6 +122,32 @@ bit-identity (strict = auto = event) is asserted by
 ``tests/test_event_scheduling.py``; ``BENCH_kernel.json`` tracks the ≥3×
 event-vs-auto speedup on the fully loaded 8×8 mesh, where quiescence and
 leaping cannot help.
+
+The columnar vector tier
+------------------------
+
+Every tier above attacks *idle* cost; a fully loaded fabric still pays a
+pure-Python per-component loop on every busy cycle.
+``SimulationKernel(schedule="vector")`` is the event schedule plus an
+opt-in **struct-of-arrays fast path** (:mod:`repro.sim.vector`): a
+circuit-switched fabric registers one :class:`~repro.sim.vector.VectorPlane`
+component in place of its routers, holding every crossbar output/acknowledge
+register in flat preallocated NumPy arrays.  The active routes compile into
+a route-index gather per configuration version, so one busy cycle over the
+whole fabric becomes a handful of ``take``/``xor``/``bitwise_count`` calls;
+toggle accounting is vectorised popcounts that equal the scalar
+``int.bit_count`` path exactly.  Configuration-version guards trigger a
+dense reference cycle and recompile — reconfiguration, live faults and
+post-start channel attach all invalidate the compiled gather exactly like
+the event schedule's sparse sweeps — and a flush at every ``sync`` folds
+the columnar state back into the scalar objects, so external readers never
+observe the plane.  Word-level serialiser/deserialiser state machines stay
+scalar (only the *live* subset ticks); GT slot tables, packet routers and
+clock-gated fabrics do not register a plane and simply run event-driven.
+Quad-modal bit-identity (strict = auto = event = vector) is asserted by
+``tests/test_kernel_equivalence.py`` and ``tests/test_vector_plane.py``;
+``BENCH_kernel.json`` tracks the ≥2× vector-vs-event speedup on the fully
+loaded 8×8 mesh.
 """
 
 from repro.sim.engine import ClockedComponent, SimulationKernel
@@ -144,6 +170,7 @@ __all__ = [
     "Histogram",
     "TraceEvent",
     "TraceRecorder",
+    "VectorPlane",
 ]
 
 
@@ -155,4 +182,10 @@ def __getattr__(name):  # PEP 562 lazy export
         from repro.sim import shard
 
         return getattr(shard, name)
+    if name == "VectorPlane":
+        # Lazy as well: the plane needs NumPy, which the kernel itself does
+        # not.
+        from repro.sim.vector import VectorPlane
+
+        return VectorPlane
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -36,6 +36,20 @@ Three schedules are available:
     proportional to *events* rather than cycles × components.  See
     "Event-queue contract" below.
 
+``vector``
+    The columnar fast path: the event schedule plus an opt-in struct-of-
+    arrays batch plane (:mod:`repro.sim.vector`).  Network builders that
+    support it (the circuit-switched fabric) register one composite
+    :class:`~repro.sim.vector.VectorPlane` component in place of their
+    routers; one busy cycle of the whole fabric then becomes a handful of
+    NumPy gathers/XORs/popcounts instead of per-router Python loops.  The
+    kernel itself treats ``"vector"`` exactly like ``"event"`` — builders
+    that have no plane (packet, GT, clock-gated runs) fall back to event
+    behaviour, so the schedule is always safe to request.  Bit-identity to
+    ``strict`` is preserved: toggle counts come from vectorised
+    ``popcount(xor(new, old))``, which equals the scalar ``int.bit_count``
+    path exactly.
+
 Quiescence protocol
 -------------------
 
@@ -156,6 +170,13 @@ class ClockedComponent(abc.ABC):
     #: then replays the current cycle in registration order instead of
     #: deferring to the next cycle (see "Event-queue contract").
     commit_wake_replays_cycle: ClassVar[bool] = False
+    #: Installed (as an *instance* attribute) by
+    #: :class:`repro.sim.vector.VectorPlane` on its member components: any
+    #: dirty-bit wake is then also reported to the plane, which must know
+    #: when a member's inputs changed outside its own batched execution
+    #: (reconfiguration, tile writes, boundary-frame drives).  Class default
+    #: ``None`` keeps the hot path a single attribute test.
+    _batch_plane: ClassVar[Optional[object]] = None
 
     def __init__(self, name: str) -> None:
         if not name:
@@ -240,6 +261,9 @@ class ClockedComponent(abc.ABC):
         per-wire dirty-bit hooks.
         """
         self._input_dirty = True
+        plane = self._batch_plane
+        if plane is not None:
+            plane.member_dirty(self)
         if self._asleep:
             scheduler = self._scheduler
             if scheduler is not None:
@@ -261,9 +285,13 @@ class SimulationKernel:
     schedule:
         ``"auto"`` (default) skips quiescent components, ``"strict"`` runs
         the seed-equivalent every-component schedule, ``"event"`` runs the
-        heap-based discrete-event schedule (cost proportional to events).
-        All three schedules produce bit-identical results; ``strict`` exists
-        as the reference for the equivalence tests and for debugging.
+        heap-based discrete-event schedule (cost proportional to events),
+        and ``"vector"`` runs the event schedule plus the columnar NumPy
+        fast path for builders that register a
+        :class:`repro.sim.vector.VectorPlane` (identical to ``"event"``
+        otherwise).  All schedules produce bit-identical results;
+        ``strict`` exists as the reference for the equivalence tests and
+        for debugging.
     """
 
     #: Cycles to wait before re-scanning the event horizon after a failed
@@ -276,13 +304,14 @@ class SimulationKernel:
     def __init__(self, frequency_hz: float = 25e6, schedule: str = "auto") -> None:
         if frequency_hz <= 0:
             raise ValueError("frequency_hz must be positive")
-        if schedule not in ("auto", "strict", "event"):
+        if schedule not in ("auto", "strict", "event", "vector"):
             raise ValueError(
-                f"schedule must be 'auto', 'strict' or 'event', got {schedule!r}"
+                "schedule must be 'auto', 'strict', 'event' or 'vector', "
+                f"got {schedule!r}"
             )
         self.frequency_hz = float(frequency_hz)
         self.schedule = schedule
-        self._event = schedule == "event"
+        self._event = schedule in ("event", "vector")
         self._components: list[ClockedComponent] = []
         self._names: set[str] = set()
         #: Monotonic registration counter; indices stay unique across
@@ -315,6 +344,11 @@ class SimulationKernel:
         self._late: list[ClockedComponent] = []
         self._commit_index = -1
         self._event_seq = 0
+        #: Hooks run at the end of every :meth:`sync` — the vector plane
+        #: flushes its batched activity/wire state here so external readers
+        #: (benchmarks, tests, the sharded runner's merge) always observe
+        #: scalar-coherent state between runs.
+        self._sync_hooks: list[Callable[[], None]] = []
         self.scheduler_stats = SchedulerStats()
 
     # -- construction -----------------------------------------------------
@@ -411,6 +445,18 @@ class SimulationKernel:
             raise ValueError("hook stride must be positive")
         self._post_cycle_hooks.append((hook, every))
         self._has_dense_hooks = self._has_dense_hooks or every == 1
+
+    def add_sync_hook(self, hook: Callable[[], None]) -> None:
+        """Run *hook()* at the end of every :meth:`sync`.
+
+        Sync hooks bring lazily batched state (the vector plane's columnar
+        arrays and deferred activity sums) back into the scalar component
+        objects whenever deferred accounting is flushed — i.e. at the end of
+        every :meth:`run` / :meth:`step` and on manual :meth:`sync` calls.
+        Hooks must be idempotent and must not change observable simulation
+        state beyond completing deferred bookkeeping.
+        """
+        self._sync_hooks.append(hook)
 
     # -- inspection --------------------------------------------------------
 
@@ -511,6 +557,8 @@ class SimulationKernel:
                 component.idle_tick(start, cycle - start)
                 stats.skipped += cycle - start
                 self._sleeping[component] = cycle
+        for hook in self._sync_hooks:
+            hook()
 
     # -- execution ---------------------------------------------------------
 

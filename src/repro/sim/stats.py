@@ -33,6 +33,13 @@ class SchedulerStats:
     the largest number of pending entries the queue ever held.  Both stay 0
     under the ``strict`` and ``auto`` schedules.
 
+    Under ``schedule="vector"`` the columnar fast path
+    (:mod:`repro.sim.vector`) adds two counters: ``vector_batches`` counts
+    fabric-wide batched cycles executed through the NumPy plane (one per
+    committed cycle on the fast path; fallback cycles do not count), and
+    ``vector_components`` the member component-cycles those batches covered.
+    Both stay 0 under every other schedule.
+
     Sharded runs (:mod:`repro.sim.shard`) add four transport counters,
     all 0 on a single-process kernel: ``frames_sent`` counts boundary
     frame records shipped to neighbouring shards, ``frame_bytes`` the
@@ -54,6 +61,8 @@ class SchedulerStats:
     leaped_cycles: int = 0
     events_processed: int = 0
     heap_peak: int = 0
+    vector_batches: int = 0
+    vector_components: int = 0
     frames_sent: int = 0
     frame_bytes: int = 0
     exchange_windows: int = 0
@@ -87,6 +96,8 @@ class SchedulerStats:
             result.leaped_cycles += part.leaped_cycles
             result.events_processed += part.events_processed
             result.heap_peak = max(result.heap_peak, part.heap_peak)
+            result.vector_batches += part.vector_batches
+            result.vector_components += part.vector_components
             result.frames_sent += part.frames_sent
             result.frame_bytes += part.frame_bytes
             result.exchange_windows += part.exchange_windows
@@ -104,6 +115,8 @@ class SchedulerStats:
             "leaped_cycles": float(self.leaped_cycles),
             "events_processed": float(self.events_processed),
             "heap_peak": float(self.heap_peak),
+            "vector_batches": float(self.vector_batches),
+            "vector_components": float(self.vector_components),
             "frames_sent": float(self.frames_sent),
             "frame_bytes": float(self.frame_bytes),
             "exchange_windows": float(self.exchange_windows),

@@ -26,7 +26,7 @@ from repro.noc.path_allocation import LaneAllocator
 from repro.noc.topology import Mesh2D, Torus2D
 
 FREQUENCY_HZ = 100e6
-SCHEDULES = ("strict", "auto", "event")
+SCHEDULES = ("strict", "auto", "event", "vector")
 
 
 def _snapshot(network):
